@@ -1,0 +1,24 @@
+"""Benchmark suite configuration.
+
+Each benchmark regenerates one table or figure of the paper, saves the
+rendered artifact under ``benchmarks/results/`` and asserts the paper's
+qualitative shape.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale",
+        action="store",
+        default="1.0",
+        help="multiplier on workload sizes (1.0 = default paper-shaped runs)",
+    )
+
+
+@pytest.fixture(scope="session")
+def scale_factor(request) -> float:
+    return float(request.config.getoption("--repro-scale"))

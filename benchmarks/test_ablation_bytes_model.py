@@ -1,0 +1,36 @@
+"""Ablation A5 — §2.2's claim that results extend to the bytes model.
+
+Runs the Table 1 experiment under both the GetNext and bytes-processed
+models of work.  The reproduced claim: the qualitative conclusions are
+model-independent — safe has the lowest worst-case error, and every
+estimator improves when the plan becomes scan-based.
+"""
+
+from repro.bench import ablation_bytes_model, render_table, save_artifact
+
+ESTIMATORS = ("dne", "pmax", "safe")
+
+
+def test_bytes_model(benchmark, scale_factor):
+    results = benchmark.pedantic(
+        lambda: ablation_bytes_model(n=int(8000 * scale_factor)),
+        rounds=1, iterations=1,
+    )
+    artifact = render_table(
+        ["model/plan"] + list(ESTIMATORS),
+        [[key] + ["%.3f" % (errors[name],) for name in ESTIMATORS]
+         for key, errors in results.items()],
+        title="Ablation A5: max abs error under GetNext vs Bytes work models",
+    )
+    print("\n" + artifact)
+    save_artifact("ablation_bytes_model.txt", artifact)
+
+    for model in ("getnext", "bytes"):
+        inl = results["%s/inl" % (model,)]
+        hashed = results["%s/hash" % (model,)]
+        # safe is the best worst-case estimator under either model
+        assert inl["safe"] < inl["dne"]
+        assert inl["safe"] < inl["pmax"]
+        # the scan-based plan improves everyone under either model
+        for name in ESTIMATORS:
+            assert hashed[name] < inl[name]

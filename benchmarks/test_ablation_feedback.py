@@ -1,0 +1,42 @@
+"""Ablation A6 — inter-query feedback (§6.4's third heuristic).
+
+Three phases on the worst-case zipfian ⋈INL join:
+
+* first run — no history: feedback degenerates to safe (identical errors);
+* repeat run — the remembered total makes feedback essentially exact,
+  beating every static estimator on the adversarial order;
+* Theorem 1 twins — history recorded on instance X, replayed on the
+  indistinguishable instance Y (9x the work): the stale history misleads
+  feedback badly (worse than safe) until it is exhausted — Theorem 7's
+  warning that no observable signal certifies the heuristic's assumption.
+"""
+
+from repro.bench import ablation_feedback, render_table, save_artifact
+
+ESTIMATORS = ("dne", "pmax", "safe", "feedback")
+
+
+def test_feedback(benchmark, scale_factor):
+    results = benchmark.pedantic(
+        lambda: ablation_feedback(n=int(8000 * scale_factor)),
+        rounds=1, iterations=1,
+    )
+    artifact = render_table(
+        ["phase"] + list(ESTIMATORS),
+        [[phase] + ["%.3f" % (errors[name],) for name in ESTIMATORS]
+         for phase, errors in results.items()],
+        title="Ablation A6: inter-query feedback across runs (max abs error)",
+    )
+    print("\n" + artifact)
+    save_artifact("ablation_feedback.txt", artifact)
+
+    first = results["first-run"]
+    repeat = results["repeat-run"]
+    twins = results["data-changed-twins"]
+    # no history: identical to safe
+    assert abs(first["feedback"] - first["safe"]) < 1e-9
+    # repeat run: essentially exact, far better than every static estimator
+    assert repeat["feedback"] < 0.01
+    assert repeat["feedback"] < repeat["safe"] * 0.1
+    # stale history on changed data: no better than safe (Theorem 7 bites)
+    assert twins["feedback"] >= twins["safe"]

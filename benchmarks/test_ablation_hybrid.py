@@ -1,0 +1,39 @@
+"""Ablation A4 — §6.4's heuristic estimator combinations across scenarios.
+
+Max absolute error of dne / pmax / safe / hybrid-μ / hybrid-variance on the
+four canonical scenarios.  The paper's conclusion to verify: *no* estimator
+(hybrids included) wins everywhere — Theorems 7/8 rule out provably correct
+switching, so every combination loses some scenario.
+"""
+
+from repro.bench import ablation_hybrid, render_table, save_artifact
+
+ESTIMATORS = ("dne", "pmax", "safe", "hybrid-mu", "hybrid-var")
+
+
+def test_hybrid_grid(benchmark, scale_factor):
+    results = benchmark.pedantic(
+        lambda: ablation_hybrid(n=int(8000 * scale_factor)),
+        rounds=1, iterations=1,
+    )
+    artifact = render_table(
+        ["scenario"] + list(ESTIMATORS),
+        [
+            [scenario] + ["%.3f" % (errors[name],) for name in ESTIMATORS]
+            for scenario, errors in results.items()
+        ],
+        title="Ablation A4: max abs error per scenario (no clear winner)",
+    )
+    print("\n" + artifact)
+    save_artifact("ablation_hybrid.txt", artifact)
+
+    # pmax dominates dne when skew arrives early; dne dominates safe in the
+    # good case; and nobody wins every scenario.
+    assert results["inl-skew_first"]["pmax"] < results["inl-skew_first"]["dne"]
+    assert results["inl-good-case"]["dne"] < results["inl-good-case"]["safe"]
+    for name in ESTIMATORS:
+        wins = sum(
+            1 for errors in results.values()
+            if min(errors, key=errors.get) == name
+        )
+        assert wins < len(results)

@@ -1,0 +1,47 @@
+"""Ablation A1 — Theorem 1/6 live: the twin-instance impossibility.
+
+Two statistically indistinguishable instances whose total work differs 9x.
+At the decision instant every estimator answers identically on both, so it
+is forced into a ratio error of at least √9 = 3 on one of them.  safe pays
+exactly 3 (worst-case optimal, Theorem 6); dne and pmax pay 9.
+"""
+
+from repro.bench import ablation_lower_bound, render_table, save_artifact
+
+
+def test_lower_bound(benchmark, scale_factor):
+    result = benchmark.pedantic(
+        lambda: ablation_lower_bound(n=int(6000 * scale_factor)),
+        rounds=1, iterations=1,
+    )
+    forced = result["forced_ratio_error"]
+    artifact = render_table(
+        ["estimator", "estimate on X", "estimate on Y", "forced ratio error"],
+        [
+            [name,
+             "%.4f" % (result["at_decision_x"][name],),
+             "%.4f" % (result["at_decision_y"][name],),
+             "%.2f" % (forced[name],)]
+            for name in ("dne", "pmax", "safe")
+        ]
+        + [["(actual)",
+            "%.4f" % (result["at_decision_x"]["actual"],),
+            "%.4f" % (result["at_decision_y"]["actual"],),
+            "optimal=%.2f" % (result["optimal_bound"],)]],
+        title=(
+            "Ablation A1: Theorem 1 twins (totals %d vs %d)"
+            % result["totals"]
+        ),
+    )
+    print("\n" + artifact)
+    save_artifact("ablation_lower_bound.txt", artifact)
+
+    optimal = result["optimal_bound"]
+    assert forced["safe"] <= optimal * 1.1
+    assert forced["dne"] >= optimal * 2
+    assert forced["pmax"] >= optimal * 2
+    # identical answers on identical prefixes
+    for name in ("dne", "pmax", "safe"):
+        assert abs(
+            result["at_decision_x"][name] - result["at_decision_y"][name]
+        ) < 1e-9

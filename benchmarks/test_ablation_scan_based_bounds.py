@@ -1,0 +1,33 @@
+"""Ablation A3 — Property 6: scan-based plans are worst-case tractable.
+
+For linear scan-based plans with m internal nodes: μ ≤ m+1, safe's ratio
+error ≤ √(m+1), pmax's ≤ m+1 — measured over FK-join chains of increasing
+width.
+"""
+
+from repro.bench import ablation_scan_based, render_table, save_artifact
+
+
+def test_scan_based_bounds(benchmark, scale_factor):
+    results = benchmark.pedantic(
+        lambda: ablation_scan_based(
+            table_counts=(2, 3, 4, 5),
+            rows_per_table=int(2000 * scale_factor),
+        ),
+        rounds=1, iterations=1,
+    )
+    artifact = render_table(
+        ["tables", "m", "mu", "mu bound", "safe max ratio", "safe bound",
+         "pmax max ratio"],
+        [[r["tables"], r["m"], "%.3f" % r["mu"], r["mu_bound"],
+          "%.3f" % r["safe_max_ratio_error"], "%.3f" % r["safe_bound"],
+          "%.3f" % r["pmax_max_ratio_error"]] for r in results],
+        title="Ablation A3: Property 6 bounds on scan-based FK-join chains",
+    )
+    print("\n" + artifact)
+    save_artifact("ablation_scan_based.txt", artifact)
+
+    for row in results:
+        assert row["mu"] <= row["mu_bound"]
+        assert row["safe_max_ratio_error"] <= row["safe_bound"] * 1.01
+        assert row["pmax_max_ratio_error"] <= row["mu_bound"] * 1.01

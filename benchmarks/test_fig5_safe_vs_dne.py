@@ -1,0 +1,31 @@
+"""Figure 5 — safe vs dne under the worst-case (high-skew tuples last) order.
+
+Paper: when the offending tuples arrive at the very end, dne forecasts the
+query as nearly finished while a flood of getnext calls is still to come —
+it *over*-estimates massively; safe accounts for the possibility and yields
+substantially lower error.
+"""
+
+from repro.bench import figure5, render_series, save_artifact
+
+
+def test_figure5(benchmark, scale_factor):
+    result = benchmark.pedantic(
+        lambda: figure5(n=int(10000 * scale_factor)), rounds=1, iterations=1
+    )
+    artifact = render_series(
+        result["series"],
+        title=(
+            "Figure 5: safe vs dne, worst-case order (dne max err=%.3f, "
+            "safe max err=%.3f)"
+            % (result["dne_max_abs_error"], result["safe_max_abs_error"])
+        ),
+    )
+    print("\n" + artifact)
+    save_artifact("figure5.txt", artifact)
+
+    assert result["dne_max_abs_error"] > 0.3       # paper: ~49.5%
+    assert result["safe_max_abs_error"] < result["dne_max_abs_error"] * 0.6
+    mid = [est - actual for actual, est in result["series"]["dne"]
+           if 0.2 < actual < 0.5]
+    assert all(diff > 0 for diff in mid)  # over-estimation

@@ -1,0 +1,36 @@
+"""Figure 6 — ratio error of pmax over the execution of TPC-H Q21.
+
+Paper: Q21 has the suite's largest μ (2.782), so pmax starts with a loose
+guarantee — but the continuous refinement of the cardinality bounds makes
+its ratio error drop as execution proceeds ("to a small value after a
+reasonable fraction of the query is done, soon converging to 1").
+"""
+
+from repro.bench import figure6, render_series, save_artifact
+
+
+def test_figure6(benchmark, scale_factor):
+    result = benchmark.pedantic(
+        lambda: figure6(scale=0.002 * scale_factor), rounds=1, iterations=1
+    )
+    artifact = render_series(
+        result["series"],
+        x_label="actual progress",
+        title=(
+            "Figure 6: pmax ratio error over TPC-H Q21 (mu=%.3f; "
+            "err@30%%=%.3f, err@70%%=%.3f)"
+            % (result["mu"], result["error_after_30pct"],
+               result["error_after_70pct"])
+        ),
+    )
+    print("\n" + artifact)
+    save_artifact("figure6.txt", artifact)
+
+    series = result["series"]["pmax ratio error"]
+    # decays: the worst error late in the run is far below the early worst
+    early = max(err for actual, err in series if actual < 0.3)
+    late = max(err for actual, err in series if actual > 0.7)
+    assert late < early
+    assert result["error_after_70pct"] < 1.6
+    # converges to 1 at completion
+    assert series[-1][1] < 1.05

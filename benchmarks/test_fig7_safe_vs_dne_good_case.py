@@ -1,0 +1,29 @@
+"""Figure 7 — safe vs dne when the skew is filtered away (dne's good case).
+
+Paper: adding a predicate that removes the high-skew tuples makes the
+per-tuple work variance negligible — dne becomes almost exactly accurate
+while safe, still hedging against a worst case that cannot happen, is off
+by ~20%.  This is the cost of worst-case optimality.
+"""
+
+from repro.bench import figure7, render_series, save_artifact
+
+
+def test_figure7(benchmark, scale_factor):
+    result = benchmark.pedantic(
+        lambda: figure7(n=int(10000 * scale_factor)), rounds=1, iterations=1
+    )
+    artifact = render_series(
+        result["series"],
+        title=(
+            "Figure 7: safe vs dne, skew filtered out (dne max err=%.4f, "
+            "safe max err=%.4f)"
+            % (result["dne_max_abs_error"], result["safe_max_abs_error"])
+        ),
+    )
+    print("\n" + artifact)
+    save_artifact("figure7.txt", artifact)
+
+    assert result["dne_max_abs_error"] < 0.05   # near-exact
+    assert result["safe_max_abs_error"] > 0.1   # paper: ~20% off
+    assert result["safe_max_abs_error"] > result["dne_max_abs_error"] * 3

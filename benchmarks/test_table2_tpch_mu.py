@@ -1,0 +1,41 @@
+"""Table 2 — μ values for TPC-H queries 1-21 on skewed (z=2) data.
+
+Paper values range from 1.001 (Q12/Q14) to 2.782 (Q21), with Q1 at 1.989
+and most queries very close to 1 — the regime where pmax's guarantee is
+tight.  Absolute values depend on plan details; the band and the ranking
+extremes are the reproduced shape.
+"""
+
+PAPER_TABLE2 = {
+    1: 1.989, 2: 1.213, 3: 1.886, 4: 1.003, 5: 1.007, 6: 1.008, 7: 1.538,
+    8: 1.432, 9: 1.021, 10: 1.004, 11: 1.014, 12: 1.001, 13: 2.019,
+    14: 1.001, 15: 1.149, 16: 1.157, 17: 1.020, 18: 2.771, 19: 1.025,
+    20: 1.159, 21: 2.782,
+}
+
+from repro.bench import render_table, save_artifact, table2
+
+
+def test_table2(benchmark, scale_factor):
+    values = benchmark.pedantic(
+        lambda: table2(scale=0.002 * scale_factor), rounds=1, iterations=1
+    )
+    artifact = render_table(
+        ["query", "mu (ours)", "mu (paper)"],
+        [[q, "%.3f" % (values[q],), "%.3f" % (PAPER_TABLE2[q],)]
+         for q in sorted(values)],
+        title="Table 2: mu values for TPC-H (skew z=2)",
+    )
+    print("\n" + artifact)
+    save_artifact("table2.txt", artifact)
+
+    # band: μ ∈ [1, ~3.5] for every query
+    assert all(1.0 <= value <= 3.5 for value in values.values())
+    # Q1 matches the paper closely (it is structurally pinned: scan + ~97%
+    # filter + tiny aggregate)
+    assert abs(values[1] - PAPER_TABLE2[1]) < 0.1
+    # Q21 is the most expensive per input tuple, as in the paper
+    assert values[21] == max(values.values())
+    # most queries sit near 1 (the pmax-friendly regime)
+    near_one = [v for v in values.values() if v < 1.5]
+    assert len(near_one) >= 12

@@ -1,0 +1,146 @@
+"""The extended tool-kit: thresholds, feedback, random orders, byte model.
+
+Four short demonstrations of the library surface built on top of the
+paper's core results:
+
+1. a §2.5 threshold monitor answering "is the query past 50%?" honestly
+   (UNSURE whenever the guaranteed interval straddles the threshold);
+2. §6.4 inter-query feedback — the second run of a query is monitored
+   almost exactly thanks to the remembered total;
+3. the §7 online-aggregation trick — a random-order scan rescues dne from
+   an adversarial storage order;
+4. the §2.2 bytes-processed work model — same estimators, different units.
+
+Run:  python examples/progress_toolkit.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    DneEstimator,
+    FeedbackEstimator,
+    Observation,
+    QueryHistory,
+    SafeEstimator,
+    ThresholdAnswer,
+    ThresholdMonitor,
+    run_with_estimators,
+    standard_toolkit,
+)
+from repro.core.bounds import BoundsTracker
+from repro.core.pipelines import decompose
+from repro.core.runner import ProgressRunner
+from repro.core.workmodels import BytesModel
+from repro.engine.expressions import col
+from repro.engine.monitor import ExecutionMonitor
+from repro.engine.operators import (
+    ExecutionContext,
+    IndexNestedLoopsJoin,
+    RandomOrderScan,
+    TableScan,
+)
+from repro.engine.plan import Plan
+from repro.workloads import make_zipfian_join
+
+
+def demo_threshold() -> None:
+    print("== 1. threshold monitor (is the query past 50%?) ==")
+    workload = make_zipfian_join(n=20000, order="skew_last")
+    plan = workload.inl_plan()
+    monitor_obj = ThresholdMonitor(SafeEstimator(), tau=0.5, delta=0.05)
+    tracker = BoundsTracker(plan, workload.catalog)
+    pipelines = decompose(plan)
+    answers = []
+
+    def observe(monitor: ExecutionMonitor) -> None:
+        observation = Observation(
+            curr=monitor.total_ticks,
+            bounds=tracker.snapshot(),
+            pipelines=pipelines,
+        )
+        answers.append(monitor_obj.read(observation))
+
+    engine_monitor = ExecutionMonitor()
+    engine_monitor.add_observer(observe, every=4000)
+    for _ in plan.root.iterate(ExecutionContext(engine_monitor)):
+        pass
+    total = engine_monitor.total_ticks
+    for i, reading in enumerate(answers):
+        actual = (i + 1) * 4000 / total
+        print(
+            "  at %5.1f%% actual: %-6s (estimate %5.1f%%, guaranteed "
+            "[%4.1f%%, %5.1f%%])"
+            % (actual * 100, reading.answer.value, reading.estimate * 100,
+               reading.guaranteed_low * 100, reading.guaranteed_high * 100)
+        )
+    wrong = sum(
+        1 for i, reading in enumerate(answers)
+        if (reading.answer is ThresholdAnswer.ABOVE
+            and (i + 1) * 4000 / total < 0.45)
+        or (reading.answer is ThresholdAnswer.BELOW
+            and (i + 1) * 4000 / total > 0.55)
+    )
+    print(
+        "  confidently wrong answers: %d "
+        "(Theorem 1: on adversarial data some are unavoidable)\n" % (wrong,)
+    )
+
+
+def demo_feedback() -> None:
+    print("== 2. inter-query feedback across runs ==")
+    workload = make_zipfian_join(n=20000, order="skew_last")
+    history = QueryHistory()
+    for run in (1, 2):
+        plan = workload.inl_plan()
+        report = run_with_estimators(
+            plan, standard_toolkit() + [FeedbackEstimator(history)],
+            workload.catalog,
+        )
+        history.record(plan, report.total)
+        print("  run %d: max abs err  safe %.1f%%   feedback %.1f%%" % (
+            run,
+            report.trace.max_abs_error("safe") * 100,
+            report.trace.max_abs_error("feedback") * 100,
+        ))
+    print()
+
+
+def demo_random_order() -> None:
+    print("== 3. random-order scan rescues dne (the §7 connection) ==")
+    workload = make_zipfian_join(n=20000, z=1.0, order="skew_last")
+    index = workload.catalog.hash_index("r2", "b")
+    stored = Plan(IndexNestedLoopsJoin(
+        TableScan(workload.r1), index, col("r1.a"), linear=True), "stored")
+    randomized = Plan(IndexNestedLoopsJoin(
+        RandomOrderScan(workload.r1, seed=3), index, col("r1.a"),
+        linear=True), "randomized")
+    for plan in (stored, randomized):
+        report = run_with_estimators(plan, [DneEstimator()], workload.catalog)
+        print("  %-10s dne max abs err %5.1f%%" % (
+            plan.name, report.trace.max_abs_error("dne") * 100))
+    print()
+
+
+def demo_bytes_model() -> None:
+    print("== 4. the bytes-processed work model ==")
+    workload = make_zipfian_join(n=20000, order="skew_last")
+    report = ProgressRunner(
+        workload.inl_plan(), standard_toolkit(), workload.catalog,
+        work_model=BytesModel(),
+    ).run()
+    print("  model=%s  total work=%d byte-units" % (
+        report.work_model, report.total))
+    for name, metrics in report.summary().items():
+        print("  %-5s max abs err %5.1f%%" % (
+            name, metrics["max_abs_error"] * 100))
+
+
+def main() -> None:
+    demo_threshold()
+    demo_feedback()
+    demo_random_order()
+    demo_bytes_model()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Quickstart: run a SQL query with a live progress bar.
+
+Builds a small employees/departments database, plans a SQL query through
+the built-in front end, and executes it while the paper's three progress
+estimators (dne, pmax, safe) report their running estimates.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import run_with_estimators, standard_toolkit
+from repro.sql import plan_query
+from repro.stats import StatisticsManager
+from repro.storage import Catalog, Table, schema_of
+
+
+def build_database(employees: int = 20000, departments: int = 40) -> Catalog:
+    rng = random.Random(1)
+    catalog = Catalog("hr")
+    catalog.add_table(
+        Table(
+            "emp",
+            schema_of("emp", "id:int", "dept:int", "salary:float", "years:int"),
+            [
+                (
+                    i,
+                    rng.randrange(departments),
+                    round(rng.uniform(40000, 160000), 2),
+                    rng.randrange(0, 30),
+                )
+                for i in range(employees)
+            ],
+        )
+    )
+    catalog.add_table(
+        Table(
+            "dept",
+            schema_of("dept", "did:int", "dname:str", "budget:float"),
+            [
+                (i, "dept-%02d" % (i,), round(rng.uniform(1e6, 9e6), 2))
+                for i in range(departments)
+            ],
+        )
+    )
+    catalog.create_hash_index("dept", "did")
+    StatisticsManager(catalog).analyze_all()
+    return catalog
+
+
+QUERY = """
+SELECT dname, COUNT(*) AS heads, AVG(salary) AS avg_salary
+FROM emp JOIN dept ON emp.dept = dept.did
+WHERE salary > 60000 AND years >= 2
+GROUP BY dname
+HAVING COUNT(*) > 10
+ORDER BY avg_salary DESC
+LIMIT 10
+"""
+
+
+def main() -> None:
+    catalog = build_database()
+    plan = plan_query(QUERY, catalog, name="quickstart")
+    print("physical plan:")
+    print(plan.explain())
+    print()
+
+    report = run_with_estimators(plan, standard_toolkit(), catalog,
+                                 target_samples=20)
+    print("%8s  %8s  %8s  %8s  %8s" % ("ticks", "actual", "dne", "pmax", "safe"))
+    for sample in report.trace.samples:
+        print(
+            "%8d  %7.1f%%  %7.1f%%  %7.1f%%  %7.1f%%"
+            % (
+                sample.curr,
+                sample.actual * 100,
+                sample.estimates["dne"] * 100,
+                sample.estimates["pmax"] * 100,
+                sample.estimates["safe"] * 100,
+            )
+        )
+    print()
+    print("total getnext calls: %d, mu = %.3f" % (report.total, report.mu))
+    print("per-estimator accuracy:")
+    for name, metrics in report.summary().items():
+        print(
+            "  %-5s max abs err %5.2f%%  avg abs err %5.2f%%"
+            % (name, metrics["max_abs_error"] * 100, metrics["avg_abs_error"] * 100)
+        )
+
+
+if __name__ == "__main__":
+    main()

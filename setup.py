@@ -1,0 +1,25 @@
+"""Setup script.
+
+Packaging metadata lives here (rather than in ``pyproject.toml``'s
+``[project]`` table) so that ``pip install -e .`` works in fully offline
+environments: the legacy ``setup.py develop`` path needs neither network
+access nor the ``wheel`` package.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'When Can We Trust Progress Estimators for SQL "
+        "Queries?' (SIGMOD 2005): a pure-Python iterator-model query engine "
+        "with instrumented progress estimators (dne, pmax, safe)."
+    ),
+    author="repro contributors",
+    license="MIT",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

@@ -1,0 +1,22 @@
+"""repro — a reproduction of *When Can We Trust Progress Estimators for SQL
+Queries?* (Chaudhuri, Kaushik, Ramamurthy; SIGMOD 2005).
+
+The package ships a pure-Python iterator-model query engine (storage,
+indexes, statistics, physical operators, a SQL front end) instrumented under
+the paper's GetNext model of work, plus the progress-estimator tool-kit the
+paper analyzes: ``dne``, ``pmax``, ``safe`` and the §6.4 hybrids.
+
+Quickstart::
+
+    from repro.storage import Catalog, Table, schema_of
+    from repro.engine.operators import TableScan
+    from repro.engine.plan import Plan
+    from repro.core import run_with_estimators, standard_toolkit
+
+    catalog = Catalog()
+    catalog.add_table(Table("t", schema_of("t", "x:int"), [(i,) for i in range(1000)]))
+    report = run_with_estimators(Plan(TableScan(catalog.table("t"))), standard_toolkit())
+    print(report.summary())
+"""
+
+__version__ = "1.0.0"

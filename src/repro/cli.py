@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``        — run a monitored query on a generated database and print
+                    a live-style progress table for dne/pmax/safe;
+* ``sql``         — plan, explain and execute a SQL query against the
+                    bundled mini TPC-H database, with progress monitoring;
+* ``explain``     — just show the physical plan for a SQL query;
+* ``tpch-mu``     — print Table 2 (μ per TPC-H query);
+* ``sky-mu``      — print Table 3 (μ per SkyServer query);
+* ``experiments`` — regenerate paper artifacts (figures/tables/ablations).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.bench import (
+    ablation_bytes_model,
+    ablation_scale_sweep,
+    ablation_skew_sweep,
+    ablation_feedback,
+    ablation_hybrid,
+    ablation_lower_bound,
+    ablation_predictive_orders,
+    ablation_scan_based,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    render_series,
+    render_table,
+    table1,
+    table2,
+    table3,
+)
+from repro.bench.harness import downsample
+from repro.core import mu, run_with_estimators, standard_toolkit
+from repro.core.runner import ProgressReport
+from repro.sql import plan_query
+from repro.workloads import (
+    SKYSERVER_QUERIES,
+    build_query,
+    build_skyserver_query,
+    generate_skyserver,
+    generate_tpch,
+)
+
+EXPERIMENTS = {
+    "figure3": lambda: _series_artifact(figure3(), "Figure 3"),
+    "figure4": lambda: _series_artifact(figure4(), "Figure 4"),
+    "figure5": lambda: _series_artifact(figure5(), "Figure 5"),
+    "figure6": lambda: _series_artifact(figure6(), "Figure 6"),
+    "figure7": lambda: _series_artifact(figure7(), "Figure 7"),
+    "table1": lambda: render_table(
+        ["estimator", "max INL", "max hash", "avg INL", "avg hash"],
+        [[r.estimator, r.max_err_inl, r.max_err_hash, r.avg_err_inl,
+          r.avg_err_hash] for r in table1()],
+        title="Table 1",
+    ),
+    "table2": lambda: render_table(
+        ["query", "mu"], sorted(table2().items()), title="Table 2"
+    ),
+    "table3": lambda: render_table(
+        ["query", "mu"], sorted(table3().items()), title="Table 3"
+    ),
+    "lower-bound": lambda: str(ablation_lower_bound()),
+    "predictive-orders": lambda: str(ablation_predictive_orders()),
+    "scan-based": lambda: str(ablation_scan_based()),
+    "hybrid": lambda: str(ablation_hybrid()),
+    "bytes-model": lambda: str(ablation_bytes_model()),
+    "skew-sweep": lambda: str(ablation_skew_sweep()),
+    "scale-sweep": lambda: str(ablation_scale_sweep()),
+    "feedback": lambda: str(ablation_feedback()),
+}
+
+
+def _series_artifact(result, title: str) -> str:
+    return render_series(result["series"], title=title)
+
+
+def _print_progress_table(report: ProgressReport, points: int = 15) -> None:
+    names = report.trace.estimator_names()
+    print("%9s" % ("actual",) + "".join("%10s" % (name,) for name in names))
+    for sample in downsample(report.trace.samples, points):
+        cells = "".join(
+            "%9.1f%%" % (sample.estimates[name] * 100,) for name in names
+        )
+        print("%8.1f%%%s" % (sample.actual * 100, cells))
+    print("total getnext calls: %d" % (report.total,))
+    if report.mu is not None:
+        print("mu (work per input tuple): %.3f" % (report.mu,))
+    for name in names:
+        print(
+            "%-10s max abs err %6.2f%%   avg abs err %6.2f%%"
+            % (
+                name,
+                report.trace.max_abs_error(name) * 100,
+                report.trace.avg_abs_error(name) * 100,
+            )
+        )
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    db = generate_tpch(scale=args.scale, skew=args.skew, seed=args.seed)
+    print("generated mini TPC-H:", db.cardinalities())
+    plan = build_query(db, args.query)
+    print("\nphysical plan for Q%d:" % (args.query,))
+    print(plan.explain())
+    print()
+    report = run_with_estimators(plan, standard_toolkit(), db.catalog)
+    _print_progress_table(report)
+    return 0
+
+
+def cmd_sql(args: argparse.Namespace) -> int:
+    db = generate_tpch(scale=args.scale, skew=args.skew, seed=args.seed)
+    plan = plan_query(args.query, db.catalog, name="cli-sql")
+    print(plan.explain())
+    print()
+    report = run_with_estimators(plan, standard_toolkit(), db.catalog)
+    _print_progress_table(report)
+    if args.rows:
+        from repro.engine.executor import execute
+
+        result = execute(plan)
+        print("\nfirst %d rows:" % (min(args.rows, result.row_count),))
+        for row in result.rows[: args.rows]:
+            print(" ", row)
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    db = generate_tpch(scale=args.scale, skew=args.skew, seed=args.seed)
+    plan = plan_query(args.query, db.catalog, name="cli-explain")
+    print(plan.explain())
+    print("scan-based: %s   linear: %s   internal nodes: %d" % (
+        plan.is_scan_based(), plan.is_linear(), plan.internal_node_count(),
+    ))
+    return 0
+
+
+def cmd_tpch_mu(args: argparse.Namespace) -> int:
+    db = generate_tpch(scale=args.scale, skew=args.skew, seed=args.seed)
+    rows = []
+    for number in range(1, 23):
+        rows.append([number, mu(build_query(db, number))])
+    print(render_table(["query", "mu"], rows,
+                       title="mu per TPC-H query (skew z=%g)" % (args.skew,)))
+    return 0
+
+
+def cmd_sky_mu(args: argparse.Namespace) -> int:
+    db = generate_skyserver(scale=args.size, seed=args.seed)
+    rows = [
+        [number, mu(build_skyserver_query(db, number))]
+        for number in sorted(SKYSERVER_QUERIES)
+    ]
+    print(render_table(["query", "mu"], rows,
+                       title="mu per SkyServer query (%d objects)" % (args.size,)))
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    names = args.names or sorted(EXPERIMENTS)
+    for name in names:
+        if name not in EXPERIMENTS:
+            print("unknown experiment %r (choose from: %s)"
+                  % (name, ", ".join(sorted(EXPERIMENTS))), file=sys.stderr)
+            return 2
+        print("== %s ==" % (name,))
+        print(EXPERIMENTS[name]())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Progress estimation for SQL queries (SIGMOD 2005 repro)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_db_options(p):
+        p.add_argument("--scale", type=float, default=0.001,
+                       help="TPC-H scale (fraction of SF-1)")
+        p.add_argument("--skew", type=float, default=2.0,
+                       help="zipf skew parameter z")
+        p.add_argument("--seed", type=int, default=42)
+
+    demo = subparsers.add_parser("demo", help="monitor a TPC-H query")
+    add_db_options(demo)
+    demo.add_argument("--query", type=int, default=1, choices=range(1, 23),
+                      metavar="N", help="TPC-H query number (1-22)")
+    demo.set_defaults(func=cmd_demo)
+
+    sql = subparsers.add_parser("sql", help="run SQL with progress monitoring")
+    add_db_options(sql)
+    sql.add_argument("query", help="SQL text against the TPC-H schema")
+    sql.add_argument("--rows", type=int, default=0,
+                     help="also print the first N result rows")
+    sql.set_defaults(func=cmd_sql)
+
+    explain = subparsers.add_parser("explain", help="show the physical plan")
+    add_db_options(explain)
+    explain.add_argument("query")
+    explain.set_defaults(func=cmd_explain)
+
+    tpch_mu = subparsers.add_parser("tpch-mu", help="Table 2: mu per query")
+    add_db_options(tpch_mu)
+    tpch_mu.set_defaults(func=cmd_tpch_mu)
+
+    sky_mu = subparsers.add_parser("sky-mu", help="Table 3: mu per query")
+    sky_mu.add_argument("--size", type=int, default=6000)
+    sky_mu.add_argument("--seed", type=int, default=11)
+    sky_mu.set_defaults(func=cmd_sky_mu)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="regenerate paper artifacts"
+    )
+    experiments.add_argument("names", nargs="*",
+                             help="subset (default: all): %s"
+                             % (", ".join(sorted(EXPERIMENTS)),))
+    experiments.set_defaults(func=cmd_experiments)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,82 @@
+"""The paper's contribution: the GetNext work model, runtime cardinality
+bounds, pipeline decomposition, and the dne/pmax/safe estimator tool-kit."""
+
+from repro.core.bounds import BoundsSnapshot, BoundsTracker, NodeBounds
+from repro.core.estimators import (
+    DneBoundedEstimator,
+    DneEstimator,
+    FeedbackEstimator,
+    HybridMuEstimator,
+    HybridVarianceEstimator,
+    Observation,
+    PmaxEstimator,
+    ProgressEstimator,
+    QueryHistory,
+    SafeEstimator,
+    TrivialEstimator,
+    full_toolkit,
+    plan_signature,
+    standard_toolkit,
+)
+from repro.core.workmodels import BytesModel, GetNextModel, WeightedWork, WorkModel
+from repro.core.threshold import (
+    ThresholdAnswer,
+    ThresholdMonitor,
+    ThresholdReading,
+    threshold_accuracy,
+)
+from repro.core.metrics import ProgressTrace, TraceSample, ratio_error
+from repro.core.model import (
+    DriverWorkProfile,
+    driver_work_profile,
+    mu,
+    progress_of,
+    scanned_input_cardinality,
+    total_work,
+)
+from repro.core.pipelines import Pipeline, current_pipeline, decompose, pipeline_of
+from repro.core.runner import ProgressReport, ProgressRunner, run_with_estimators
+
+__all__ = [
+    "BoundsSnapshot",
+    "BytesModel",
+    "BoundsTracker",
+    "DneBoundedEstimator",
+    "DneEstimator",
+    "FeedbackEstimator",
+    "DriverWorkProfile",
+    "GetNextModel",
+    "HybridMuEstimator",
+    "HybridVarianceEstimator",
+    "NodeBounds",
+    "Observation",
+    "Pipeline",
+    "PmaxEstimator",
+    "ProgressEstimator",
+    "ProgressReport",
+    "ProgressRunner",
+    "ProgressTrace",
+    "QueryHistory",
+    "SafeEstimator",
+    "ThresholdAnswer",
+    "ThresholdMonitor",
+    "ThresholdReading",
+    "TraceSample",
+    "TrivialEstimator",
+    "WeightedWork",
+    "WorkModel",
+    "current_pipeline",
+    "decompose",
+    "driver_work_profile",
+    "full_toolkit",
+    "mu",
+    "pipeline_of",
+    "plan_signature",
+    "progress_of",
+    "ratio_error",
+    "run_with_estimators",
+    "scanned_input_cardinality",
+    "standard_toolkit",
+    "threshold_accuracy",
+    "total_work",
+]

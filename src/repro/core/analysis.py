@@ -1,0 +1,114 @@
+"""Trace analysis beyond the paper's headline metrics.
+
+Helpers for studying *when* an estimator becomes trustworthy, not just how
+wrong it can be:
+
+* :func:`convergence_point` — the earliest progress after which the
+  estimator stays within ε of the truth (the x-coordinate of the "knee" in
+  Figures 4-7);
+* :func:`area_under_error` — the integral of |estimate − actual| over the
+  run: a single scalar that rewards both accuracy and early convergence;
+* :func:`bias` — signed mean error: positive = systematic over-estimation
+  (dne in Figure 5), negative = under-estimation (dne in Figure 4);
+* :func:`guarantee_width` — the mean width of the sound interval
+  ``[Curr/UB, Curr/LB]``, i.e. how much the §5.1 bounds actually pin down;
+* :func:`pipeline_breakdown` — per-pipeline tick shares of a finished run,
+  the quantity dne's weights are trying to forecast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.metrics import ProgressTrace
+from repro.core.pipelines import Pipeline, decompose
+from repro.engine.monitor import ExecutionMonitor
+from repro.engine.operators.base import ExecutionContext
+from repro.engine.plan import Plan
+
+
+def convergence_point(
+    trace: ProgressTrace, name: str, epsilon: float = 0.05
+) -> Optional[float]:
+    """Earliest actual progress after which |err| ≤ ε holds to the end.
+
+    Returns None if the estimator never settles inside ε.
+    """
+    point: Optional[float] = None
+    for sample in trace.samples:
+        error = abs(sample.estimates[name] - sample.actual)
+        if error <= epsilon:
+            if point is None:
+                point = sample.actual
+        else:
+            point = None
+    return point
+
+
+def area_under_error(trace: ProgressTrace, name: str) -> float:
+    """∫ |estimate − actual| d(actual), by the trapezoid rule.
+
+    0 for a perfect estimator; an estimator that is off by a constant c for
+    the whole run scores ≈ c.
+    """
+    samples = trace.samples
+    if len(samples) < 2:
+        return 0.0
+    area = 0.0
+    for previous, current in zip(samples, samples[1:]):
+        width = current.actual - previous.actual
+        left = abs(previous.estimates[name] - previous.actual)
+        right = abs(current.estimates[name] - current.actual)
+        area += width * (left + right) / 2.0
+    return area
+
+
+def bias(trace: ProgressTrace, name: str) -> float:
+    """Signed mean error; > 0 means systematic over-estimation."""
+    if not trace.samples:
+        return 0.0
+    return sum(
+        sample.estimates[name] - sample.actual for sample in trace.samples
+    ) / len(trace.samples)
+
+
+def guarantee_width(trace: ProgressTrace) -> float:
+    """Mean width of the sound progress interval over the run."""
+    widths: List[float] = []
+    for sample in trace.samples:
+        if sample.lower_bound <= 0 or sample.upper_bound <= 0:
+            continue
+        low = sample.curr / sample.upper_bound
+        high = min(1.0, sample.curr / sample.lower_bound)
+        widths.append(max(0.0, high - low))
+    return sum(widths) / len(widths) if widths else 0.0
+
+
+def pipeline_breakdown(plan: Plan) -> List[Dict[str, object]]:
+    """Run ``plan`` once; report each pipeline's share of the total ticks.
+
+    This is the ground truth that dne's pipeline weights approximate: the
+    output lists, per pipeline, its drivers, operator count, tick count and
+    fraction of ``total(Q)``.
+    """
+    pipelines: List[Pipeline] = decompose(plan)
+    monitor = ExecutionMonitor()
+    context = ExecutionContext(monitor)
+    for _ in plan.root.iterate(context):
+        pass
+    total = monitor.total_ticks
+    breakdown: List[Dict[str, object]] = []
+    for pipeline in pipelines:
+        ticks = sum(
+            monitor.count_for(op.operator_id) for op in pipeline.operators
+        )
+        breakdown.append(
+            {
+                "pipeline": pipeline.index,
+                "drivers": [driver.label() for driver in pipeline.drivers],
+                "operators": len(pipeline.operators),
+                "ticks": ticks,
+                "share": ticks / total if total else 0.0,
+            }
+        )
+    return breakdown

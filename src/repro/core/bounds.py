@@ -1,0 +1,371 @@
+"""Runtime lower/upper bounds on operator cardinalities (§5.1).
+
+At any instant during execution the :class:`BoundsTracker` computes, for
+every operator, guaranteed bounds on the *total* number of counted getnext
+calls that operator will have performed by the end of the query.  Summed
+over the plan, these give ``LB`` and ``UB`` with the invariant
+
+    Curr ≤ LB ≤ total(Q) ≤ UB
+
+which pmax (``Curr/LB``) and safe (``Curr/√(LB·UB)``) consume directly.
+
+Rules implemented (refined on every inspection):
+
+* scanned leaves contribute their exact catalog cardinality;
+* index seeks use histogram bucket bounds when a statistic exists (footnote
+  2 of the paper), otherwise the index's exact range count;
+* σ's lower bound is the rows returned so far; its upper bound is what its
+  child can still deliver — and when the filter is a single range predicate
+  directly over a base-table scan, the table's own histogram tightens both
+  ends (the buckets were built over exactly that data, so fully-covered
+  buckets are guaranteed matches: the footnote-2 refinement);
+* π / sort / merge-pass-through keep their child's bounds; a finished sort
+  pins the cardinality of the pipeline it drives;
+* γ lower-bounds by groups seen so far (scalar aggregates are exactly 1);
+* linear joins (declared, e.g. FK joins) upper-bound by the larger input;
+  general joins by the product;
+* the inner subtree of a ⋈NL is multiplied by the outer's output bounds
+  (each outer row rescans it), and per-pass runtime refinements are
+  disabled there (counters are cumulative across rescans);
+* below a LIMIT, "will be fully scanned" no longer holds, so descendants
+  fall back to produced-so-far lower bounds — the effect stops at blocking
+  operators, which always drain their input;
+* a finished operator's bounds collapse to its exact count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.engine.operators.aggregate import HashAggregate, StreamAggregate
+from repro.engine.operators.base import Operator
+from repro.engine.operators.filter import Filter
+from repro.engine.operators.hash_join import HashJoin
+from repro.engine.operators.index_nested_loops import IndexNestedLoopsJoin
+from repro.engine.operators.index_seek import IndexSeek
+from repro.engine.operators.merge_join import MergeJoin
+from repro.engine.operators.misc import Distinct, Limit, UnionAll
+from repro.engine.operators.nested_loops import NestedLoopsJoin
+from repro.engine.operators.project import Project
+from repro.engine.operators.scan import RowSource, TableScan
+from repro.engine.operators.sort import Sort
+from repro.engine.operators.topn import TopN
+from repro.engine.plan import Plan
+from repro.stats.histogram import Histogram
+from repro.storage.catalog import Catalog
+
+
+@dataclass(frozen=True)
+class NodeBounds:
+    """Bounds on one node's total counted getnext calls."""
+
+    lower: float
+    upper: float
+
+
+@dataclass(frozen=True)
+class BoundsSnapshot:
+    """Plan-wide bounds at one instant."""
+
+    curr: int
+    lower: float
+    upper: float
+    per_node: Dict[int, NodeBounds]
+
+    @property
+    def ratio(self) -> float:
+        """UB/LB — safe's worst-case ratio error is √(this)."""
+        if self.lower <= 0:
+            return float("inf")
+        return self.upper / self.lower
+
+
+class BoundsTracker:
+    """Computes :class:`BoundsSnapshot`s for a plan during execution."""
+
+    def __init__(self, plan: Plan, catalog: Optional[Catalog] = None) -> None:
+        self.plan = plan
+        self.catalog = catalog
+
+    # -- public ------------------------------------------------------------------
+
+    def snapshot(self) -> BoundsSnapshot:
+        per_node: Dict[int, NodeBounds] = {}
+        self._visit(self.plan.root, 1.0, 1.0, single_exec=True, full_scan=True,
+                    out=per_node)
+        curr = sum(op.rows_produced for op in self.plan.operators())
+        lower = sum(bounds.lower for bounds in per_node.values())
+        upper = sum(bounds.upper for bounds in per_node.values())
+        # The work already done is itself a lower bound on the total.
+        lower = max(lower, float(curr))
+        upper = max(upper, lower)
+        return BoundsSnapshot(curr, lower, upper, per_node)
+
+    # -- recursion ----------------------------------------------------------------
+
+    def _visit(
+        self,
+        node: Operator,
+        exec_lower: float,
+        exec_upper: float,
+        single_exec: bool,
+        full_scan: bool,
+        out: Dict[int, NodeBounds],
+    ) -> Tuple[float, float]:
+        """Record bounds for ``node``'s subtree; return per-pass output bounds.
+
+        ``exec_lower/upper`` bound how many times this subtree executes;
+        ``single_exec`` says the runtime counters can be read as per-pass
+        values; ``full_scan`` says ancestors are guaranteed to drain this
+        node completely (false below a LIMIT).
+        """
+        lower, upper = self._node_bounds(node, single_exec, full_scan, out,
+                                         exec_lower, exec_upper)
+        ticks = float(node.rows_produced)
+        total_lower = max(lower * exec_lower, ticks)
+        total_upper = max(upper * exec_upper, total_lower)
+        out[node.operator_id] = NodeBounds(total_lower, total_upper)
+        return lower, upper
+
+    def _node_bounds(
+        self,
+        node: Operator,
+        single_exec: bool,
+        full_scan: bool,
+        out: Dict[int, NodeBounds],
+        exec_lower: float,
+        exec_upper: float,
+    ) -> Tuple[float, float]:
+        produced = node.rows_produced if single_exec else 0
+        finished = node.finished and single_exec
+
+        def recurse(child: Operator, drains: bool = False) -> Tuple[float, float]:
+            # A blocking consumer drains its input no matter what happens
+            # above it, so `drains=True` restores the full-scan guarantee a
+            # LIMIT higher up would otherwise cancel — and, because blocking
+            # state is spooled across NL-join rescans, the drained subtree
+            # executes exactly once regardless of the rescan count.
+            if drains:
+                return self._visit(child, 1.0, 1.0, True, True, out)
+            return self._visit(
+                child, exec_lower, exec_upper, single_exec, full_scan, out
+            )
+
+        if finished:
+            # A finished node is never pulled again, so nothing below it can
+            # do further work either: freeze the whole subtree at its current
+            # tick counts.  (This also nails the case of a finished LIMIT
+            # whose descendants stopped mid-stream without finishing.)
+            for descendant in node.walk():
+                if descendant is node:
+                    continue
+                ticks = float(descendant.rows_produced)
+                out[descendant.operator_id] = NodeBounds(ticks, ticks)
+            return float(produced), float(produced)
+
+        if isinstance(node, (TableScan, RowSource)):
+            n = float(node.base_cardinality())
+            if full_scan:
+                return n, n
+            return float(produced), n
+
+        if isinstance(node, IndexSeek):
+            return self._index_seek_bounds(node, produced, full_scan)
+
+        if isinstance(node, Filter):
+            child_lower, child_upper = recurse(node.child)
+            consumed = node.child.rows_produced if single_exec else 0
+            remaining = max(0.0, child_upper - consumed)
+            # +1: a row the child just produced may be in flight inside this
+            # filter (observers fire inside the child's get_next, before the
+            # filter has decided the row's fate).
+            in_flight = 1.0 if single_exec and consumed > produced else 0.0
+            lower = float(produced)
+            upper = float(produced) + remaining + in_flight
+            histogram_bounds = self._filter_histogram_bounds(node)
+            if histogram_bounds is not None and single_exec and full_scan:
+                hist_lower, hist_upper = histogram_bounds
+                lower = max(lower, float(hist_lower))
+                upper = min(upper, max(float(hist_upper), lower))
+            return lower, upper
+
+        if isinstance(node, (Project, Sort)):
+            child_lower, child_upper = recurse(node.child, drains=isinstance(node, Sort))
+            if isinstance(node, Sort):
+                # Spooled once even under rescans: the materialized count is
+                # this node's exact per-pass output — but a LIMIT above may
+                # still cut the emission short, so it is only a lower bound
+                # when the full-scan guarantee is gone.
+                materialized = node.materialized_count()
+                if materialized is not None:
+                    if full_scan:
+                        return float(materialized), float(materialized)
+                    return float(produced), float(materialized)
+            if not full_scan:
+                return float(produced), child_upper
+            return max(child_lower, float(produced)), child_upper
+
+        if isinstance(node, TopN):
+            child_lower, child_upper = recurse(node.child, drains=True)
+            materialized = node.materialized_count()
+            if materialized is not None:
+                if full_scan:
+                    return float(materialized), float(materialized)
+                return float(produced), float(materialized)
+            upper = min(float(node.limit), child_upper)
+            lower = float(produced)
+            if full_scan:
+                lower = max(lower, min(float(node.limit), child_lower))
+            return lower, max(upper, lower)
+
+        if isinstance(node, Distinct):
+            _, child_upper = recurse(node.child)
+            return float(produced), max(child_upper, float(produced))
+
+        if isinstance(node, (HashAggregate, StreamAggregate)):
+            _, child_upper = recurse(node.child, drains=isinstance(node, HashAggregate))
+            if not node.group_by:
+                return (1.0 if full_scan else float(produced)), 1.0
+            groups = 0.0
+            if isinstance(node, HashAggregate):
+                # Also spooled once: group counts are per-pass exact.
+                if node.input_consumed:
+                    exact = float(node.groups_seen())
+                    if full_scan:
+                        return exact, exact
+                    return float(produced), exact
+                groups = float(node.groups_seen())
+            lower = max(groups, float(produced)) if full_scan else float(produced)
+            return lower, max(child_upper, lower, groups)
+
+        if isinstance(node, HashJoin):
+            build_lower, build_upper = recurse(node.build_child, drains=True)
+            probe_lower, probe_upper = recurse(node.probe_child)
+            lower, upper = self._join_output_bounds(
+                node, produced, build_upper, probe_upper
+            )
+            if node.preserve_probe:
+                # Probe-side outer join: every probe row emits at least one
+                # output row (a match or a NULL-padded copy).
+                if full_scan:
+                    lower = max(lower, probe_lower)
+                upper = upper + probe_upper
+            return lower, upper
+
+        if isinstance(node, MergeJoin):
+            left_lower, left_upper = recurse(node.left)
+            right_lower, right_upper = recurse(node.right)
+            return self._join_output_bounds(node, produced, left_upper, right_upper)
+
+        if isinstance(node, IndexNestedLoopsJoin):
+            outer_lower, outer_upper = recurse(node.child)
+            inner_size = float(len(node.index.table))
+            if node.is_linear:
+                upper = max(outer_upper, inner_size)
+            else:
+                upper = outer_upper * inner_size
+            return float(produced), max(upper, float(produced))
+
+        if isinstance(node, NestedLoopsJoin):
+            outer_lower, outer_upper = self._visit(
+                node.left, exec_lower, exec_upper, single_exec, full_scan, out
+            )
+            # The inner subtree runs once per outer row; its counters are
+            # cumulative across rescans, so per-pass refinement is off.  If a
+            # LIMIT above can cut the join mid-stream, the latest rescan may
+            # be incomplete, so only outer_lower - 1 passes are guaranteed.
+            guaranteed_passes = outer_lower if full_scan else max(0.0, outer_lower - 1)
+            inner_lower, inner_upper = self._visit(
+                node.right,
+                exec_lower * guaranteed_passes,
+                exec_upper * outer_upper,
+                single_exec=False,
+                full_scan=True,
+                out=out,
+            )
+            return self._join_output_bounds(node, produced, outer_upper, inner_upper)
+
+        if isinstance(node, Limit):
+            # Descendants may be cut off mid-stream: drop their full-scan
+            # lower bounds (blocking descendants re-enable it themselves via
+            # `finished`/materialized refinements).
+            _, child_upper = self._visit(
+                node.child, exec_lower, exec_upper, single_exec, False, out
+            )
+            upper = min(float(node.limit), max(0.0, child_upper - node.offset))
+            return float(produced), max(upper, float(produced))
+
+        if isinstance(node, UnionAll):
+            lowers, uppers = 0.0, 0.0
+            for child in node.children:
+                child_lower, child_upper = recurse(child)
+                lowers += child_lower
+                uppers += child_upper
+            return max(lowers, float(produced)), max(uppers, float(produced))
+
+        # Unknown operator: be conservative.
+        lowers, uppers = 0.0, 0.0
+        for child in node.children:
+            child_lower, child_upper = recurse(child)
+            lowers += child_lower
+            uppers += child_upper
+        return float(produced), max(uppers, float(produced))
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def _index_seek_bounds(
+        self, node: IndexSeek, produced: int, full_scan: bool
+    ) -> Tuple[float, float]:
+        statistic = None
+        if self.catalog is not None:
+            statistic = self.catalog.statistic(node.index.table.name, node.index.column)
+        if isinstance(statistic, Histogram):
+            lower, upper = statistic.range_bounds(node.low, node.high)
+        else:
+            exact = node.exact_match_count()
+            lower, upper = exact, exact
+        if not full_scan:
+            lower = 0
+        return max(float(lower), float(produced)), max(float(upper), float(produced))
+
+    def _filter_histogram_bounds(
+        self, node: Filter
+    ) -> Optional[Tuple[int, int]]:
+        """Guaranteed output bounds for a range filter over a base scan.
+
+        Applies only when the filter's predicate is a single range-shaped
+        comparison on a column of the table its child scans: the catalog
+        histogram was built over exactly those rows, so bucket arithmetic
+        yields *guaranteed* bounds on the matching row count (footnote 2).
+        """
+        from repro.engine.expressions import as_column_range
+
+        if self.catalog is None or not isinstance(node.child, TableScan):
+            return None
+        shape = as_column_range(node.predicate)
+        if shape is None:
+            return None
+        column, low, high, low_inclusive, high_inclusive = shape
+        if not (low_inclusive and high_inclusive):
+            # Bucket bounds are inclusive; exclusive ends would need value
+            # adjustment per type — skip rather than risk unsoundness.
+            return None
+        table_name = node.child.table.name
+        bare = column.split(".")[-1]
+        if not node.child.schema.has_column(column):
+            return None
+        statistic = self.catalog.statistic(table_name, bare)
+        if not isinstance(statistic, Histogram):
+            return None
+        return statistic.range_bounds(low, high)
+
+    @staticmethod
+    def _join_output_bounds(
+        node: Operator, produced: int, left_upper: float, right_upper: float
+    ) -> Tuple[float, float]:
+        if node.is_linear:
+            upper = max(left_upper, right_upper)
+        else:
+            upper = left_upper * right_upper
+        return float(produced), max(upper, float(produced))

@@ -1,0 +1,50 @@
+"""The tool-kit of progress estimators the paper analyzes."""
+
+from repro.core.estimators.base import Observation, ProgressEstimator, clamp_progress
+from repro.core.estimators.dne import DneBoundedEstimator, DneEstimator
+from repro.core.estimators.feedback import (
+    FeedbackEstimator,
+    QueryHistory,
+    plan_signature,
+)
+from repro.core.estimators.hybrid import HybridMuEstimator, HybridVarianceEstimator
+from repro.core.estimators.pmax import PmaxEstimator
+from repro.core.estimators.safe import SafeEstimator
+from repro.core.estimators.trivial import TrivialEstimator
+
+
+def standard_toolkit():
+    """The three estimators of the paper, ready to attach to a runner."""
+    return [DneEstimator(), PmaxEstimator(), SafeEstimator()]
+
+
+def full_toolkit():
+    """All implemented estimators, including the §6.4 hybrids."""
+    return [
+        DneEstimator(),
+        DneBoundedEstimator(),
+        PmaxEstimator(),
+        SafeEstimator(),
+        TrivialEstimator(),
+        HybridMuEstimator(),
+        HybridVarianceEstimator(),
+    ]
+
+
+__all__ = [
+    "DneBoundedEstimator",
+    "DneEstimator",
+    "FeedbackEstimator",
+    "QueryHistory",
+    "HybridMuEstimator",
+    "HybridVarianceEstimator",
+    "Observation",
+    "PmaxEstimator",
+    "ProgressEstimator",
+    "SafeEstimator",
+    "TrivialEstimator",
+    "clamp_progress",
+    "plan_signature",
+    "full_toolkit",
+    "standard_toolkit",
+]

@@ -1,0 +1,63 @@
+"""Progress-estimator interface (§2.4).
+
+An estimator maps an :class:`Observation` — everything it is *allowed* to
+see: the getnext trace so far, runtime cardinality bounds derived from it
+plus catalog statistics, the pipeline structure, and optimizer estimates —
+to a progress value in [0, 1].  It never sees ``total(Q)``; that oracle
+lives only in the evaluation harness.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.bounds import BoundsSnapshot
+from repro.core.pipelines import Pipeline
+from repro.engine.plan import Plan
+
+
+@dataclass
+class Observation:
+    """A snapshot of what an estimator may legally observe at one instant."""
+
+    #: counted getnext calls so far (``Curr``)
+    curr: int
+    #: runtime cardinality bounds (``LB``/``UB`` summed over the plan)
+    bounds: BoundsSnapshot
+    #: pipeline decomposition with live driver state
+    pipelines: List[Pipeline]
+    #: optimizer per-operator output estimates (no guarantees attached)
+    estimates: Optional[Dict[int, float]] = None
+    #: total tuples consumed so far from scanned leaves (μ̂'s denominator)
+    leaf_input_consumed: int = 0
+
+
+class ProgressEstimator(abc.ABC):
+    """Base class for all progress estimators."""
+
+    #: short identifier used in traces, tables and plots
+    name: str = "estimator"
+
+    def prepare(self, plan: Plan) -> None:
+        """Optional one-time hook before execution starts."""
+
+    @abc.abstractmethod
+    def estimate(self, observation: Observation) -> float:
+        """Point estimate of the progress, in [0, 1]."""
+
+    def interval(self, observation: Observation) -> Tuple[float, float]:
+        """Interval guarantee; defaults to the degenerate point interval."""
+        value = self.estimate(observation)
+        return value, value
+
+    def __repr__(self) -> str:
+        return "%s(%s)" % (type(self).__name__, self.name)
+
+
+def clamp_progress(value: float) -> float:
+    """Progress estimates live in [0, 1]."""
+    if value != value:  # NaN guard
+        return 0.0
+    return max(0.0, min(1.0, value))

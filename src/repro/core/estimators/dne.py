@@ -1,0 +1,85 @@
+"""The dne (driver-node) estimator of [5, 13], reviewed in §4 of the paper.
+
+For a single pipeline, dne returns the fraction of the driver node's input
+consumed.  For multi-pipeline plans it follows the approach of [5]: each
+pipeline's local driver fraction is weighted by that pipeline's (estimated)
+share of the total work, with weights refined to exact tick counts as
+pipelines finish.
+
+The clamped variant additionally constrains dne to the interval
+``[Curr/UB, Curr/LB]`` implied by the runtime bounds — the adjustment §5.4
+uses to give dne a worst-case guarantee on scan-based plans.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.estimators.base import Observation, ProgressEstimator, clamp_progress
+from repro.core.pipelines import Pipeline
+
+
+def _pipeline_weight(
+    pipeline: Pipeline, estimates: Optional[Dict[int, float]]
+) -> float:
+    """Expected counted getnext calls in ``pipeline``.
+
+    Finished operators contribute their exact tick counts; unfinished ones
+    their optimizer estimate (falling back to driver totals when no estimate
+    is available).  These weights carry no guarantee — they only apportion
+    progress across pipelines, exactly as in [5].
+    """
+    from repro.core.pipelines import runtime_output_hint
+
+    weight = 0.0
+    for operator in pipeline.operators:
+        hint = runtime_output_hint(operator, estimates)
+        if hint is None:
+            hint = max(operator.rows_produced, 1.0)
+        weight += hint
+    return weight
+
+
+class DneEstimator(ProgressEstimator):
+    """Driver-node estimator ("dne"): per-pipeline input fractions."""
+
+    name = "dne"
+
+    def estimate(self, observation: Observation) -> float:
+        pipelines = observation.pipelines
+        if not pipelines:
+            return 0.0
+        if len(pipelines) == 1:
+            return clamp_progress(pipelines[0].driver_fraction(observation.estimates))
+        total_weight = 0.0
+        achieved = 0.0
+        for pipeline in pipelines:
+            weight = _pipeline_weight(pipeline, observation.estimates)
+            fraction = pipeline.driver_fraction(observation.estimates)
+            total_weight += weight
+            achieved += weight * fraction
+        if total_weight <= 0:
+            return 0.0
+        return clamp_progress(achieved / total_weight)
+
+
+class DneBoundedEstimator(ProgressEstimator):
+    """dne clamped into the progress interval implied by the bounds.
+
+    Since ``LB ≤ total(Q) ≤ UB``, the true progress lies in
+    ``[Curr/UB, Curr/LB]``; constraining dne to that interval gives it the
+    same worst-case ratio bound as the interval width (Property 6's
+    "constraining dne to be within the upper and lower bounds").
+    """
+
+    name = "dne+bounds"
+
+    def __init__(self) -> None:
+        self._dne = DneEstimator()
+
+    def estimate(self, observation: Observation) -> float:
+        raw = self._dne.estimate(observation)
+        bounds = observation.bounds
+        low = observation.curr / bounds.upper if bounds.upper > 0 else 0.0
+        high = observation.curr / bounds.lower if bounds.lower > 0 else 1.0
+        return clamp_progress(min(max(raw, low), high))

@@ -1,0 +1,110 @@
+"""Inter-query feedback (§6.4's third direction).
+
+"Another promising direction is to use inter-query feedback, either across
+different runs of the same query, or across runs of similar looking
+physical plans."  This module implements that heuristic:
+
+* :func:`plan_signature` — a structural fingerprint of a physical plan
+  (operator skeleton + table names + predicate shapes);
+* :class:`QueryHistory` — an EWMA store of observed ``total(Q)`` per
+  signature, recorded from finished :class:`ProgressReport`s;
+* :class:`FeedbackEstimator` — estimates ``Curr / expected_total`` using the
+  remembered total, *clamped into the sound interval* ``[Curr/UB, Curr/LB]``
+  (stale feedback must never override a guarantee), and falling back to
+  safe when no history exists or the history is exhausted (Curr has passed
+  the remembered total — the data evidently changed).
+
+Like every §6.4 combination, this carries no worst-case guarantee beyond
+the clamp; Theorem 7 still applies if the data shifts between runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.estimators.base import Observation, ProgressEstimator, clamp_progress
+from repro.core.estimators.safe import SafeEstimator
+from repro.engine.operators.base import Operator
+from repro.engine.plan import Plan
+
+
+def plan_signature(plan: Plan) -> str:
+    """A structural fingerprint: equal plans against equal tables collide.
+
+    Uses each operator's ``describe()`` (operator kind, table, predicate
+    repr) in pre-order; two runs of the same query text against the same
+    catalog produce the same signature even though operator ids differ.
+    """
+    parts = []
+
+    def visit(node: Operator, depth: int) -> None:
+        parts.append("%d:%s" % (depth, node.describe()))
+        for child in node.children:
+            visit(child, depth + 1)
+
+    visit(plan.root, 0)
+    return "|".join(parts)
+
+
+@dataclass
+class HistoryEntry:
+    """EWMA of observed totals plus the raw observation count."""
+
+    expected_total: float
+    observations: int
+
+
+class QueryHistory:
+    """Remembers ``total(Q)`` per plan signature across runs."""
+
+    def __init__(self, smoothing: float = 0.5) -> None:
+        if not 0 < smoothing <= 1:
+            raise ValueError("smoothing must be in (0, 1]")
+        self.smoothing = smoothing
+        self._entries: Dict[str, HistoryEntry] = {}
+
+    def record(self, plan: Plan, total: int) -> None:
+        """Fold one finished run's total into the history."""
+        signature = plan_signature(plan)
+        entry = self._entries.get(signature)
+        if entry is None:
+            self._entries[signature] = HistoryEntry(float(total), 1)
+        else:
+            entry.expected_total = (
+                self.smoothing * total + (1 - self.smoothing) * entry.expected_total
+            )
+            entry.observations += 1
+
+    def expected_total(self, plan: Plan) -> Optional[float]:
+        entry = self._entries.get(plan_signature(plan))
+        return entry.expected_total if entry is not None else None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class FeedbackEstimator(ProgressEstimator):
+    """``Curr / remembered_total``, clamped into the sound bound interval."""
+
+    name = "feedback"
+
+    def __init__(self, history: QueryHistory) -> None:
+        self.history = history
+        self._expected: Optional[float] = None
+        self._safe = SafeEstimator()
+
+    def prepare(self, plan: Plan) -> None:
+        self._expected = self.history.expected_total(plan)
+
+    def estimate(self, observation: Observation) -> float:
+        expected = self._expected
+        if expected is None or expected <= 0 or observation.curr > expected:
+            # No history, or the run has outlived it: the feedback is wrong,
+            # retreat to the worst-case-optimal answer.
+            return self._safe.estimate(observation)
+        raw = observation.curr / expected
+        bounds = observation.bounds
+        low = observation.curr / bounds.upper if bounds.upper > 0 else 0.0
+        high = observation.curr / bounds.lower if bounds.lower > 0 else 1.0
+        return clamp_progress(min(max(raw, low), high))

@@ -1,0 +1,27 @@
+"""The trivial estimator: the (0, 1) interval the paper's bounds are judged
+against.
+
+Theorem 1 shows that in the worst case nothing meaningfully better than this
+estimator is possible; it is included as the baseline every experiment can
+compare to.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.estimators.base import Observation, ProgressEstimator
+
+
+class TrivialEstimator(ProgressEstimator):
+    """Always answers "somewhere between 0% and 100%"."""
+
+    name = "trivial"
+
+    def estimate(self, observation: Observation) -> float:
+        # The midpoint minimizes the maximum absolute error of a point
+        # answer consistent with the trivial interval.
+        return 0.5
+
+    def interval(self, observation: Observation) -> Tuple[float, float]:
+        return 0.0, 1.0

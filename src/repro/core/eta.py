@@ -1,0 +1,100 @@
+"""Remaining-time estimation on top of progress estimators.
+
+The paper's motivation is operational: "help end users or applications
+decide whether to terminate the query or allow it to complete."  That
+decision needs wall-clock, not fractions.  :class:`EtaEstimator` converts a
+progress estimate into a time-to-completion figure by tracking the observed
+tick rate, and — because the progress layer exposes *guaranteed* bounds —
+also yields a sound remaining-work interval:
+
+    remaining work ∈ [LB − Curr, UB − Curr]
+
+divided by the observed rate gives an ETA interval whose honesty degrades
+only with rate variability, never with cardinality surprises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.estimators.base import Observation, ProgressEstimator
+from repro.errors import ProgressError
+
+
+@dataclass(frozen=True)
+class EtaReading:
+    """One remaining-time report."""
+
+    #: point estimate of seconds remaining (None until a rate is known)
+    seconds_remaining: Optional[float]
+    #: guaranteed remaining-work interval divided by the observed rate
+    interval_seconds: Tuple[Optional[float], Optional[float]]
+    #: observed work rate, ticks per second
+    ticks_per_second: Optional[float]
+    #: the underlying progress estimate
+    progress: float
+
+
+class EtaEstimator:
+    """Tracks tick throughput and converts progress into remaining time.
+
+    Feed it ``observe(curr, elapsed_seconds)`` pairs (the caller owns the
+    clock, so tests can be deterministic), then ask :meth:`read` with the
+    matching :class:`Observation`.
+    """
+
+    def __init__(
+        self,
+        estimator: ProgressEstimator,
+        window: int = 16,
+        min_observations: int = 2,
+    ) -> None:
+        if window < 2:
+            raise ProgressError("window must be >= 2")
+        self.estimator = estimator
+        self.window = window
+        self.min_observations = min_observations
+        self._history: list = []
+
+    def observe(self, curr: float, elapsed_seconds: float) -> None:
+        """Record that ``curr`` work units were done after ``elapsed`` s."""
+        if self._history and elapsed_seconds < self._history[-1][1]:
+            raise ProgressError("elapsed time must be non-decreasing")
+        self._history.append((curr, elapsed_seconds))
+        if len(self._history) > self.window:
+            self._history.pop(0)
+
+    def rate(self) -> Optional[float]:
+        """Observed ticks/second over the window; None until measurable."""
+        if len(self._history) < self.min_observations:
+            return None
+        (first_curr, first_time) = self._history[0]
+        (last_curr, last_time) = self._history[-1]
+        span = last_time - first_time
+        if span <= 0 or last_curr <= first_curr:
+            return None
+        return (last_curr - first_curr) / span
+
+    def read(self, observation: Observation) -> EtaReading:
+        """Remaining-time estimate for the current instant."""
+        progress = self.estimator.estimate(observation)
+        ticks_per_second = self.rate()
+        if ticks_per_second is None:
+            return EtaReading(None, (None, None), None, progress)
+        curr = observation.curr
+        # Point estimate from the progress fraction.
+        if progress > 0:
+            total_estimate = curr / progress
+            remaining_ticks = max(0.0, total_estimate - curr)
+            seconds = remaining_ticks / ticks_per_second
+        else:
+            seconds = None
+        # Sound interval from the bounds.
+        lower_ticks = max(0.0, observation.bounds.lower - curr)
+        upper_ticks = max(0.0, observation.bounds.upper - curr)
+        interval = (
+            lower_ticks / ticks_per_second,
+            upper_ticks / ticks_per_second,
+        )
+        return EtaReading(seconds, interval, ticks_per_second, progress)

@@ -1,0 +1,72 @@
+"""Exporting progress traces: CSV and plain-dict forms.
+
+Downstream users want traces out of the library — to plot the paper's
+figures with their own tooling or to archive runs next to query logs.  The
+functions here are deliberately dependency-free (plain ``csv``/``json``-able
+structures).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Optional
+
+from repro.core.metrics import ProgressTrace
+from repro.core.runner import ProgressReport
+
+
+def trace_to_rows(trace: ProgressTrace) -> List[Dict[str, object]]:
+    """One dict per sample: curr, actual, bounds, and every estimate."""
+    rows: List[Dict[str, object]] = []
+    for sample in trace.samples:
+        row: Dict[str, object] = {
+            "curr": sample.curr,
+            "actual": sample.actual,
+            "lower_bound": sample.lower_bound,
+            "upper_bound": sample.upper_bound,
+        }
+        for name, value in sample.estimates.items():
+            row[name] = value
+        rows.append(row)
+    return rows
+
+
+def trace_to_csv(trace: ProgressTrace, path: Optional[str] = None) -> str:
+    """Render the trace as CSV; optionally write it to ``path``."""
+    rows = trace_to_rows(trace)
+    fieldnames = ["curr", "actual", "lower_bound", "upper_bound"]
+    fieldnames += trace.estimator_names()
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", newline="") as handle:
+            handle.write(text)
+    return text
+
+
+def report_to_dict(report: ProgressReport) -> Dict[str, object]:
+    """A JSON-serializable summary of one instrumented run."""
+    return {
+        "plan": report.plan_name,
+        "work_model": report.work_model,
+        "total": report.total,
+        "mu": report.mu,
+        "samples": len(report.trace),
+        "metrics": report.summary(),
+    }
+
+
+def report_to_json(report: ProgressReport, path: Optional[str] = None,
+                   indent: int = 2) -> str:
+    """Serialize the report summary as JSON; optionally write to ``path``."""
+    text = json.dumps(report_to_dict(report), indent=indent, sort_keys=True)
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text)
+    return text

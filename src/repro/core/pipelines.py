@@ -1,0 +1,235 @@
+"""Pipeline decomposition and driver-node identification (§4.1).
+
+A *pipeline* is a maximal set of concurrently executing operators; blocking
+operators (sort, the build phase of a hash join, hash aggregation) cut the
+plan into pipelines that run in a partial order.  Each pipeline is *driven*
+by its input node(s): the node whose consumed fraction the dne estimator
+reads.
+
+Decomposition rules for this engine's operators:
+
+* leaves (table scan, row source, index seek) start a pipeline as drivers;
+* σ, π, stream-γ, distinct, limit stay in their child's pipeline;
+* sort and hash-γ terminate their child's pipeline and *drive* a new one;
+* hash join's build child terminates its own pipeline at the join; the join
+  output belongs to the probe child's pipeline;
+* ⋈NL and ⋈INL stay in the *outer* child's pipeline; a ⋈NL's entire inner
+  subtree is swallowed into that same pipeline (its rescans are interleaved
+  work, not an independent input);
+* merge join and union-all produce multi-driver pipelines — the case the
+  paper's footnote 1 sets aside; we support it by summing driver fractions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.engine.operators.aggregate import HashAggregate
+from repro.engine.operators.base import LeafOperator, Operator
+from repro.engine.operators.hash_join import HashJoin
+from repro.engine.operators.index_nested_loops import IndexNestedLoopsJoin
+from repro.engine.operators.index_seek import IndexSeek
+from repro.engine.operators.merge_join import MergeJoin
+from repro.engine.operators.misc import UnionAll
+from repro.engine.operators.nested_loops import NestedLoopsJoin
+from repro.engine.operators.scan import RowSource, TableScan
+from repro.engine.operators.sort import Sort
+from repro.engine.operators.topn import TopN
+from repro.engine.plan import Plan
+
+
+@dataclass
+class Pipeline:
+    """One pipeline: its operators, its driver nodes, and its consumer."""
+
+    index: int
+    operators: List[Operator] = field(default_factory=list)
+    drivers: List[Operator] = field(default_factory=list)
+    #: the blocking operator that consumes this pipeline's output, if any
+    consumer: Optional[Operator] = None
+
+    def contains(self, operator: Operator) -> bool:
+        return any(op is operator for op in self.operators)
+
+    # -- runtime state -----------------------------------------------------------
+
+    def driver_total(self, estimates: Optional[Dict[int, float]] = None) -> float:
+        """Expected number of tuples the drivers will produce in total.
+
+        Exact for leaves (catalog cardinalities / index match counts) and
+        for blocking drivers that finished materializing; otherwise falls
+        back to the optimizer estimate for that node.
+        """
+        total = 0.0
+        for driver in self.drivers:
+            total += _driver_node_total(driver, estimates)
+        return total
+
+    def driver_consumed(self) -> int:
+        """Tuples retrieved from the drivers so far."""
+        return sum(driver.rows_produced for driver in self.drivers)
+
+    def driver_fraction(self, estimates: Optional[Dict[int, float]] = None) -> float:
+        """dne's core quantity: fraction of the driver input consumed."""
+        if all(driver.finished for driver in self.drivers):
+            return 1.0
+        total = self.driver_total(estimates)
+        if total <= 0:
+            return 1.0 if self.started() else 0.0
+        return min(1.0, self.driver_consumed() / total)
+
+    def started(self) -> bool:
+        return self.driver_consumed() > 0
+
+    def finished(self) -> bool:
+        return all(driver.finished for driver in self.drivers)
+
+    def __repr__(self) -> str:
+        return "Pipeline(%d: drivers=%s, %d operators)" % (
+            self.index,
+            [driver.label() for driver in self.drivers],
+            len(self.operators),
+        )
+
+
+def _driver_node_total(driver: Operator, estimates: Optional[Dict[int, float]]) -> float:
+    hint = runtime_output_hint(driver, estimates)
+    return hint if hint is not None else 0.0
+
+
+def runtime_output_hint(
+    operator: Operator, estimates: Optional[Dict[int, float]]
+) -> Optional[float]:
+    """Best current guess of an operator's final output cardinality.
+
+    Exact for finished operators, leaves and materialized blocking
+    operators; live for aggregates (groups seen so far grow during the
+    build — execution feedback the estimators are allowed to use); the
+    optimizer estimate otherwise.  No guarantee attaches to the last case.
+    """
+    if operator.finished:
+        return float(operator.rows_produced)
+    if isinstance(operator, (TableScan, RowSource)):
+        return float(operator.base_cardinality())
+    if isinstance(operator, IndexSeek):
+        return float(operator.exact_match_count())
+    if isinstance(operator, (Sort, TopN)):
+        materialized = operator.materialized_count()
+        if materialized is not None:
+            return float(materialized)
+        if isinstance(operator, TopN):
+            child_hint = runtime_output_hint(operator.child, estimates)
+            if child_hint is not None:
+                return min(float(operator.limit), child_hint)
+            return float(operator.limit)
+        return runtime_output_hint(operator.child, estimates)
+    if isinstance(operator, HashAggregate):
+        if not operator.group_by:
+            return 1.0
+        if operator.input_consumed:
+            return float(operator.groups_seen())
+        # The group count only grows; once the build is underway it is a
+        # far better forecast than the optimizer's grouping-fraction guess.
+        if operator.groups_seen() > 0:
+            return float(operator.groups_seen())
+    if estimates is not None and operator.operator_id in estimates:
+        return max(estimates[operator.operator_id], float(operator.rows_produced))
+    if operator.rows_produced > 0:
+        return float(operator.rows_produced)
+    return None
+
+
+def decompose(plan: Plan) -> List[Pipeline]:
+    """Split ``plan`` into pipelines, in rough execution order."""
+    pipelines: List[Pipeline] = []
+
+    def new_pipeline(driver: Operator) -> Pipeline:
+        pipeline = Pipeline(index=len(pipelines))
+        pipeline.drivers.append(driver)
+        pipeline.operators.append(driver)
+        pipelines.append(pipeline)
+        return pipeline
+
+    def swallow(pipeline: Pipeline, node: Operator) -> None:
+        """Absorb an entire subtree into ``pipeline`` (⋈NL inner sides)."""
+        for descendant in node.walk():
+            if not pipeline.contains(descendant):
+                pipeline.operators.append(descendant)
+
+    def visit(node: Operator) -> Pipeline:
+        """Return the pipeline that ``node``'s *output* ticks belong to."""
+        if isinstance(node, LeafOperator):
+            return new_pipeline(node)
+        if isinstance(node, (Sort, HashAggregate, TopN)):
+            child_pipeline = visit(node.children[0])
+            child_pipeline.consumer = node
+            return new_pipeline(node)
+        if isinstance(node, HashJoin):
+            build_pipeline = visit(node.build_child)
+            build_pipeline.consumer = node
+            probe_pipeline = visit(node.probe_child)
+            probe_pipeline.operators.append(node)
+            return probe_pipeline
+        if isinstance(node, NestedLoopsJoin):
+            outer_pipeline = visit(node.left)
+            swallow(outer_pipeline, node.right)
+            outer_pipeline.operators.append(node)
+            return outer_pipeline
+        if isinstance(node, IndexNestedLoopsJoin):
+            outer_pipeline = visit(node.child)
+            outer_pipeline.operators.append(node)
+            return outer_pipeline
+        if isinstance(node, MergeJoin):
+            left_pipeline = visit(node.left)
+            right_pipeline = visit(node.right)
+            return _merge(pipelines, left_pipeline, right_pipeline, node)
+        if isinstance(node, UnionAll):
+            merged = visit(node.children[0])
+            for child in node.children[1:]:
+                merged = _merge(pipelines, merged, visit(child), None)
+            merged.operators.append(node)
+            return merged
+        # Unary streaming operators: σ, π, stream-γ, distinct, limit.
+        pipeline = visit(node.children[0])
+        pipeline.operators.append(node)
+        return pipeline
+
+    visit(plan.root)
+    return pipelines
+
+
+def _merge(
+    pipelines: List[Pipeline],
+    left: Pipeline,
+    right: Pipeline,
+    tail: Optional[Operator],
+) -> Pipeline:
+    """Fuse two pipelines into one multi-driver pipeline (merge join, union)."""
+    left.operators.extend(op for op in right.operators if not left.contains(op))
+    left.drivers.extend(driver for driver in right.drivers if driver not in left.drivers)
+    pipelines.remove(right)
+    for i, pipeline in enumerate(pipelines):
+        pipeline.index = i
+    if tail is not None:
+        left.operators.append(tail)
+    return left
+
+
+def pipeline_of(pipelines: List[Pipeline], operator: Operator) -> Optional[Pipeline]:
+    """The pipeline whose output ticks include ``operator``'s, if any."""
+    for pipeline in pipelines:
+        if pipeline.contains(operator):
+            return pipeline
+    return None
+
+
+def current_pipeline(pipelines: List[Pipeline]) -> Optional[Pipeline]:
+    """The earliest pipeline that has started but not finished."""
+    for pipeline in pipelines:
+        if pipeline.started() and not pipeline.finished():
+            return pipeline
+    for pipeline in pipelines:
+        if not pipeline.finished():
+            return pipeline
+    return None

@@ -1,0 +1,153 @@
+"""The progress runner: execute a plan while sampling every estimator.
+
+Supports both models of work from §2.2: the GetNext model (default) and the
+bytes-processed model — pass a :class:`repro.core.workmodels.WorkModel`; all
+quantities (Curr, LB, UB, the true progress) are then expressed in weighted
+units, with the estimator formulas unchanged.
+
+Evaluation protocol (the one behind every figure and table in the paper):
+
+1. run the plan once on a private monitor to learn the oracle ``total(Q)``;
+2. re-run it with an observer that, every few ticks, assembles an
+   :class:`Observation` (Curr, runtime bounds, pipeline state) and records
+   each estimator's answer next to the true progress;
+3. hand back a :class:`ProgressTrace` for metric extraction.
+
+The estimators never see the oracle; it is used only to label samples with
+the true progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.bounds import BoundsTracker
+from repro.core.estimators.base import Observation, ProgressEstimator
+from repro.core.metrics import ProgressTrace, TraceSample
+from repro.core.model import mu as compute_mu
+from repro.core.pipelines import Pipeline, decompose
+from repro.engine.executor import measure_total_work
+from repro.engine.monitor import ExecutionMonitor
+from repro.engine.operators.base import ExecutionContext
+from repro.engine.plan import Plan
+from repro.errors import ProgressError
+from repro.stats.estimate import CardinalityEstimator
+from repro.storage.catalog import Catalog
+
+
+@dataclass
+class ProgressReport:
+    """Everything one instrumented run produced."""
+
+    plan_name: str
+    total: int
+    mu: Optional[float]
+    trace: ProgressTrace
+    #: name of the work model the quantities are expressed in
+    work_model: str = "getnext"
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        return self.trace.summary()
+
+
+class ProgressRunner:
+    """Runs plans under progress instrumentation."""
+
+    def __init__(
+        self,
+        plan: Plan,
+        estimators: Sequence[ProgressEstimator],
+        catalog: Optional[Catalog] = None,
+        target_samples: int = 200,
+        work_model=None,
+    ) -> None:
+        if not estimators:
+            raise ProgressError("at least one estimator is required")
+        names = [estimator.name for estimator in estimators]
+        if len(set(names)) != len(names):
+            raise ProgressError("estimator names must be unique: %s" % (names,))
+        self.plan = plan
+        self.estimators = list(estimators)
+        self.catalog = catalog
+        self.target_samples = max(1, target_samples)
+        self.work_model = work_model
+
+    def run(self) -> ProgressReport:
+        weighted = None
+        if self.work_model is not None and self.work_model.name != "getnext":
+            from repro.core.workmodels import WeightedWork
+
+            weighted = WeightedWork(self.plan, self.work_model)
+        total_ticks = measure_total_work(self.plan)
+        total: float = float(total_ticks)
+        if weighted is not None:
+            total = weighted.total()
+        try:
+            mu_value: Optional[float] = compute_mu(self.plan, total=total_ticks)
+        except ProgressError:
+            mu_value = None
+
+        estimates = (
+            CardinalityEstimator(self.catalog).estimate_plan(self.plan)
+            if self.catalog is not None
+            else None
+        )
+        pipelines: List[Pipeline] = decompose(self.plan)
+        tracker = BoundsTracker(self.plan, self.catalog)
+        scanned_leaves = self.plan.scanned_leaves()
+        for estimator in self.estimators:
+            estimator.prepare(self.plan)
+
+        trace = ProgressTrace(total=total)
+        cadence = max(1, total_ticks // self.target_samples)
+
+        def sample(monitor: ExecutionMonitor) -> None:
+            snapshot = tracker.snapshot()
+            if weighted is not None:
+                curr = weighted.current()
+                snapshot = weighted.weighted_bounds(snapshot)
+            else:
+                curr = monitor.total_ticks
+            observation = Observation(
+                curr=curr,
+                bounds=snapshot,
+                pipelines=pipelines,
+                estimates=estimates,
+                leaf_input_consumed=sum(
+                    leaf.rows_produced for leaf in scanned_leaves
+                ),
+            )
+            trace.samples.append(
+                TraceSample(
+                    curr=curr,
+                    actual=curr / total if total else 1.0,
+                    estimates={
+                        estimator.name: estimator.estimate(observation)
+                        for estimator in self.estimators
+                    },
+                    lower_bound=observation.bounds.lower,
+                    upper_bound=observation.bounds.upper,
+                )
+            )
+
+        monitor = ExecutionMonitor()
+        monitor.add_observer(sample, every=cadence)
+        context = ExecutionContext(monitor)
+        for _ in self.plan.root.iterate(context):
+            pass
+        if not trace.samples or trace.samples[-1].actual < 1.0:
+            sample(monitor)
+        model_name = self.work_model.name if self.work_model else "getnext"
+        return ProgressReport(self.plan.name, int(total), mu_value, trace,
+                              model_name)
+
+
+def run_with_estimators(
+    plan: Plan,
+    estimators: Sequence[ProgressEstimator],
+    catalog: Optional[Catalog] = None,
+    target_samples: int = 200,
+) -> ProgressReport:
+    """One-call convenience wrapper around :class:`ProgressRunner`."""
+    return ProgressRunner(plan, estimators, catalog, target_samples).run()

@@ -1,0 +1,111 @@
+"""Alternative models of work: getnext calls vs. bytes processed (§2.2).
+
+The paper proves everything under the GetNext model and remarks that the
+results "would be equally applicable" to the bytes-processed model of Luo
+et al. [13].  This module makes that claim executable: a :class:`WorkModel`
+assigns each counted operator a weight (1 for GetNext; the operator's
+estimated output row width for Bytes), and :class:`WeightedObservation`
+re-expresses Curr/LB/UB in weighted units so the unchanged estimator
+formulas run under either model.
+
+Soundness carries over directly: if ``lb_i ≤ total_i ≤ ub_i`` per node,
+then ``Σ w_i·lb_i ≤ Σ w_i·total_i ≤ Σ w_i·ub_i`` for any non-negative
+weights — which is exactly why the paper's bounds arguments are
+model-agnostic.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+from repro.core.bounds import BoundsSnapshot
+from repro.engine.operators.base import Operator
+from repro.engine.plan import Plan
+from repro.storage.schema import ColumnType
+
+#: nominal byte widths per column type (fixed-width model, like [13]'s
+#: per-row byte accounting)
+TYPE_WIDTHS = {
+    ColumnType.INT: 8,
+    ColumnType.FLOAT: 8,
+    ColumnType.BOOL: 1,
+    ColumnType.STR: 24,
+    ColumnType.DATE: 10,
+}
+
+
+class WorkModel(abc.ABC):
+    """Assigns a per-row work weight to every counted operator."""
+
+    name: str = "model"
+
+    @abc.abstractmethod
+    def weight(self, operator: Operator) -> float:
+        """Work units contributed by one getnext call on ``operator``."""
+
+    def weights_for(self, plan: Plan) -> Dict[int, float]:
+        return {op.operator_id: self.weight(op) for op in plan.operators()}
+
+
+class GetNextModel(WorkModel):
+    """The paper's primary model: every counted call is one unit."""
+
+    name = "getnext"
+
+    def weight(self, operator: Operator) -> float:
+        return 1.0
+
+
+class BytesModel(WorkModel):
+    """Luo et al.'s model: work = bytes of the rows flowing through."""
+
+    name = "bytes"
+
+    def weight(self, operator: Operator) -> float:
+        return float(sum(
+            TYPE_WIDTHS[column.type] for column in operator.schema
+        ))
+
+
+class WeightedWork:
+    """Re-expresses ticks and bounds of a plan under a work model."""
+
+    def __init__(self, plan: Plan, model: WorkModel) -> None:
+        self.plan = plan
+        self.model = model
+        self._weights = model.weights_for(plan)
+
+    def current(self) -> float:
+        """Weighted work done so far (from live operator counters)."""
+        return sum(
+            self._weights[op.operator_id] * op.rows_produced
+            for op in self.plan.operators()
+        )
+
+    def weighted_bounds(self, snapshot: BoundsSnapshot) -> BoundsSnapshot:
+        """A cardinality BoundsSnapshot re-weighted into work units."""
+        lower = 0.0
+        upper = 0.0
+        for operator_id, bounds in snapshot.per_node.items():
+            weight = self._weights.get(operator_id, 1.0)
+            lower += weight * bounds.lower
+            upper += weight * bounds.upper
+        curr = self.current()
+        lower = max(lower, curr)
+        upper = max(upper, lower)
+        return BoundsSnapshot(int(curr), lower, upper, snapshot.per_node)
+
+    def total(self) -> float:
+        """Weighted ``total(Q)`` — runs the plan once (evaluation oracle)."""
+        from repro.engine.monitor import ExecutionMonitor
+        from repro.engine.operators.base import ExecutionContext
+
+        monitor = ExecutionMonitor()
+        context = ExecutionContext(monitor)
+        for _ in self.plan.root.iterate(context):
+            pass
+        return sum(
+            self._weights.get(operator_id, 1.0) * count
+            for operator_id, count in monitor.counts().items()
+        )

@@ -1,0 +1,13 @@
+"""Execution engine: expressions, physical operators, plans and executor."""
+
+from repro.engine.executor import ExecutionResult, execute, measure_total_work
+from repro.engine.monitor import ExecutionMonitor
+from repro.engine.plan import Plan
+
+__all__ = [
+    "ExecutionMonitor",
+    "ExecutionResult",
+    "Plan",
+    "execute",
+    "measure_total_work",
+]

@@ -1,0 +1,56 @@
+"""Executor: run a plan to completion under a monitored context.
+
+The executor is the only place that wires plans, contexts and monitors
+together; everything above it (the progress runner, the benchmark harness)
+goes through :func:`execute` or :func:`measure_total_work`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.engine.monitor import ExecutionMonitor
+from repro.engine.operators.base import ExecutionContext
+from repro.engine.plan import Plan
+from repro.storage.table import Row
+
+
+@dataclass
+class ExecutionResult:
+    """The rows a plan produced plus its work-model accounting."""
+
+    rows: List[Row]
+    total_getnext: int
+    per_operator: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+
+def execute(
+    plan: Plan, context: Optional[ExecutionContext] = None
+) -> ExecutionResult:
+    """Run ``plan`` to completion; return rows and getnext accounting."""
+    context = context or ExecutionContext()
+    rows = plan.root.run(context)
+    monitor = context.monitor
+    per_operator = {
+        monitor.label_for(operator_id): ticks
+        for operator_id, ticks in monitor.counts().items()
+    }
+    return ExecutionResult(rows, monitor.total_ticks, per_operator)
+
+
+def measure_total_work(plan: Plan) -> int:
+    """``total(Q)``: the exact number of counted getnext calls for ``plan``.
+
+    Runs the plan once on a private monitor.  This is the oracle quantity a
+    progress estimator is *not* allowed to precompute (it would require
+    running the query, §2.4); it exists for evaluation only.
+    """
+    context = ExecutionContext(ExecutionMonitor())
+    for _ in plan.root.iterate(context):
+        pass
+    return context.monitor.total_ticks

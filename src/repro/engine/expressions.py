@@ -1,0 +1,544 @@
+"""Scalar expressions evaluated over rows, with SQL NULL semantics.
+
+Expressions form a small tree language (literals, column references,
+comparisons, boolean connectives, arithmetic, BETWEEN/IN/LIKE/CASE).  An
+expression is *bound* against a schema once (resolving column names to tuple
+positions), yielding a plain Python callable that is then applied per row —
+the Volcano operators never re-resolve names in their inner loops.
+
+NULL handling follows SQL's three-valued logic: comparisons and arithmetic
+involving NULL yield NULL, AND/OR/NOT use Kleene logic, and a filter keeps a
+row only when its predicate is exactly ``True``.
+"""
+
+from __future__ import annotations
+
+import abc
+import re
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import ExpressionError
+from repro.storage.schema import Schema
+
+BoundFn = Callable[[Sequence[object]], object]
+
+COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
+ARITHMETIC_OPS = ("+", "-", "*", "/", "%")
+
+
+class Expression(abc.ABC):
+    """Base class for all scalar expression nodes."""
+
+    @abc.abstractmethod
+    def bind(self, schema: Schema) -> BoundFn:
+        """Resolve column names against ``schema``; return an evaluator."""
+
+    @abc.abstractmethod
+    def references(self) -> Tuple[str, ...]:
+        """Column names referenced anywhere in this expression tree."""
+
+    def evaluate(self, row: Sequence[object], schema: Schema) -> object:
+        """Convenience one-shot evaluation (binds every call; tests only)."""
+        return self.bind(schema)(row)
+
+    # Operator sugar so plans read naturally: col("a") == lit(3), etc.
+    def __eq__(self, other: object) -> "Comparison":  # type: ignore[override]
+        return Comparison("=", self, _coerce(other))
+
+    def __ne__(self, other: object) -> "Comparison":  # type: ignore[override]
+        return Comparison("<>", self, _coerce(other))
+
+    def __lt__(self, other: object) -> "Comparison":
+        return Comparison("<", self, _coerce(other))
+
+    def __le__(self, other: object) -> "Comparison":
+        return Comparison("<=", self, _coerce(other))
+
+    def __gt__(self, other: object) -> "Comparison":
+        return Comparison(">", self, _coerce(other))
+
+    def __ge__(self, other: object) -> "Comparison":
+        return Comparison(">=", self, _coerce(other))
+
+    def __add__(self, other: object) -> "Arithmetic":
+        return Arithmetic("+", self, _coerce(other))
+
+    def __sub__(self, other: object) -> "Arithmetic":
+        return Arithmetic("-", self, _coerce(other))
+
+    def __mul__(self, other: object) -> "Arithmetic":
+        return Arithmetic("*", self, _coerce(other))
+
+    def __truediv__(self, other: object) -> "Arithmetic":
+        return Arithmetic("/", self, _coerce(other))
+
+    def __mod__(self, other: object) -> "Arithmetic":
+        return Arithmetic("%", self, _coerce(other))
+
+    def __hash__(self) -> int:
+        return hash(repr(self))
+
+
+def _coerce(value: object) -> "Expression":
+    if isinstance(value, Expression):
+        return value
+    return Literal(value)
+
+
+class Literal(Expression):
+    """A constant value."""
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+    def bind(self, schema: Schema) -> BoundFn:
+        value = self.value
+        return lambda row: value
+
+    def references(self) -> Tuple[str, ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return "lit(%r)" % (self.value,)
+
+
+class ColumnRef(Expression):
+    """A reference to a column by (possibly qualified) name."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ExpressionError("column reference needs a name")
+        self.name = name
+
+    def bind(self, schema: Schema) -> BoundFn:
+        position = schema.index_of(self.name)
+        return lambda row: row[position]
+
+    def references(self) -> Tuple[str, ...]:
+        return (self.name,)
+
+    def __repr__(self) -> str:
+        return "col(%r)" % (self.name,)
+
+
+class Comparison(Expression):
+    """A binary comparison with SQL NULL propagation."""
+
+    def __init__(self, op: str, left: Expression, right: Expression) -> None:
+        if op not in COMPARISON_OPS:
+            raise ExpressionError("unknown comparison operator %r" % (op,))
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def bind(self, schema: Schema) -> BoundFn:
+        left = self.left.bind(schema)
+        right = self.right.bind(schema)
+        op = self.op
+
+        def evaluate(row: Sequence[object]) -> object:
+            a = left(row)
+            b = right(row)
+            if a is None or b is None:
+                return None
+            if op == "=":
+                return a == b
+            if op == "<>":
+                return a != b
+            if op == "<":
+                return a < b  # type: ignore[operator]
+            if op == "<=":
+                return a <= b  # type: ignore[operator]
+            if op == ">":
+                return a > b  # type: ignore[operator]
+            return a >= b  # type: ignore[operator]
+
+        return evaluate
+
+    def references(self) -> Tuple[str, ...]:
+        return self.left.references() + self.right.references()
+
+    def __repr__(self) -> str:
+        return "(%r %s %r)" % (self.left, self.op, self.right)
+
+
+class Arithmetic(Expression):
+    """Binary arithmetic with NULL propagation; division by zero is NULL."""
+
+    def __init__(self, op: str, left: Expression, right: Expression) -> None:
+        if op not in ARITHMETIC_OPS:
+            raise ExpressionError("unknown arithmetic operator %r" % (op,))
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def bind(self, schema: Schema) -> BoundFn:
+        left = self.left.bind(schema)
+        right = self.right.bind(schema)
+        op = self.op
+
+        def evaluate(row: Sequence[object]) -> object:
+            a = left(row)
+            b = right(row)
+            if a is None or b is None:
+                return None
+            if op == "+":
+                return a + b  # type: ignore[operator]
+            if op == "-":
+                return a - b  # type: ignore[operator]
+            if op == "*":
+                return a * b  # type: ignore[operator]
+            if op == "/":
+                if b == 0:
+                    return None
+                return a / b  # type: ignore[operator]
+            if b == 0:
+                return None
+            return a % b  # type: ignore[operator]
+
+        return evaluate
+
+    def references(self) -> Tuple[str, ...]:
+        return self.left.references() + self.right.references()
+
+    def __repr__(self) -> str:
+        return "(%r %s %r)" % (self.left, self.op, self.right)
+
+
+class And(Expression):
+    """Kleene-logic conjunction over two or more operands."""
+
+    def __init__(self, *operands: Expression) -> None:
+        if len(operands) < 2:
+            raise ExpressionError("AND needs at least two operands")
+        self.operands = tuple(operands)
+
+    def bind(self, schema: Schema) -> BoundFn:
+        bound = [operand.bind(schema) for operand in self.operands]
+
+        def evaluate(row: Sequence[object]) -> object:
+            saw_null = False
+            for fn in bound:
+                value = fn(row)
+                if value is False:
+                    return False
+                if value is None:
+                    saw_null = True
+            return None if saw_null else True
+
+        return evaluate
+
+    def references(self) -> Tuple[str, ...]:
+        return tuple(name for operand in self.operands for name in operand.references())
+
+    def __repr__(self) -> str:
+        return "AND(%s)" % (", ".join(repr(operand) for operand in self.operands),)
+
+
+class Or(Expression):
+    """Kleene-logic disjunction over two or more operands."""
+
+    def __init__(self, *operands: Expression) -> None:
+        if len(operands) < 2:
+            raise ExpressionError("OR needs at least two operands")
+        self.operands = tuple(operands)
+
+    def bind(self, schema: Schema) -> BoundFn:
+        bound = [operand.bind(schema) for operand in self.operands]
+
+        def evaluate(row: Sequence[object]) -> object:
+            saw_null = False
+            for fn in bound:
+                value = fn(row)
+                if value is True:
+                    return True
+                if value is None:
+                    saw_null = True
+            return None if saw_null else False
+
+        return evaluate
+
+    def references(self) -> Tuple[str, ...]:
+        return tuple(name for operand in self.operands for name in operand.references())
+
+    def __repr__(self) -> str:
+        return "OR(%s)" % (", ".join(repr(operand) for operand in self.operands),)
+
+
+class Not(Expression):
+    """Kleene-logic negation."""
+
+    def __init__(self, operand: Expression) -> None:
+        self.operand = operand
+
+    def bind(self, schema: Schema) -> BoundFn:
+        bound = self.operand.bind(schema)
+
+        def evaluate(row: Sequence[object]) -> object:
+            value = bound(row)
+            if value is None:
+                return None
+            return not value
+
+        return evaluate
+
+    def references(self) -> Tuple[str, ...]:
+        return self.operand.references()
+
+    def __repr__(self) -> str:
+        return "NOT(%r)" % (self.operand,)
+
+
+class IsNull(Expression):
+    """``expr IS NULL`` (or IS NOT NULL with ``negated=True``)."""
+
+    def __init__(self, operand: Expression, negated: bool = False) -> None:
+        self.operand = operand
+        self.negated = negated
+
+    def bind(self, schema: Schema) -> BoundFn:
+        bound = self.operand.bind(schema)
+        negated = self.negated
+        return lambda row: (bound(row) is not None) if negated else (bound(row) is None)
+
+    def references(self) -> Tuple[str, ...]:
+        return self.operand.references()
+
+    def __repr__(self) -> str:
+        return "IS %sNULL(%r)" % ("NOT " if self.negated else "", self.operand)
+
+
+class Between(Expression):
+    """``expr BETWEEN low AND high`` (inclusive on both ends, as in SQL)."""
+
+    def __init__(self, operand: Expression, low: Expression, high: Expression) -> None:
+        self.operand = operand
+        self.low = low
+        self.high = high
+
+    def bind(self, schema: Schema) -> BoundFn:
+        bound = self.operand.bind(schema)
+        low = self.low.bind(schema)
+        high = self.high.bind(schema)
+
+        def evaluate(row: Sequence[object]) -> object:
+            value = bound(row)
+            lo = low(row)
+            hi = high(row)
+            if value is None or lo is None or hi is None:
+                return None
+            return lo <= value <= hi  # type: ignore[operator]
+
+        return evaluate
+
+    def references(self) -> Tuple[str, ...]:
+        return (
+            self.operand.references() + self.low.references() + self.high.references()
+        )
+
+    def __repr__(self) -> str:
+        return "BETWEEN(%r, %r, %r)" % (self.operand, self.low, self.high)
+
+
+class InList(Expression):
+    """``expr IN (v1, v2, ...)`` over literal values."""
+
+    def __init__(self, operand: Expression, values: Sequence[object]) -> None:
+        self.operand = operand
+        self.values = tuple(values)
+
+    def bind(self, schema: Schema) -> BoundFn:
+        bound = self.operand.bind(schema)
+        allowed = set(self.values)
+
+        def evaluate(row: Sequence[object]) -> object:
+            value = bound(row)
+            if value is None:
+                return None
+            return value in allowed
+
+        return evaluate
+
+    def references(self) -> Tuple[str, ...]:
+        return self.operand.references()
+
+    def __repr__(self) -> str:
+        return "IN(%r, %r)" % (self.operand, list(self.values))
+
+
+class Like(Expression):
+    """SQL LIKE with ``%`` and ``_`` wildcards (compiled to a regex once)."""
+
+    def __init__(self, operand: Expression, pattern: str) -> None:
+        self.operand = operand
+        self.pattern = pattern
+        regex = "".join(
+            ".*" if ch == "%" else "." if ch == "_" else re.escape(ch)
+            for ch in pattern
+        )
+        self._compiled = re.compile("^%s$" % (regex,), re.DOTALL)
+
+    def bind(self, schema: Schema) -> BoundFn:
+        bound = self.operand.bind(schema)
+        compiled = self._compiled
+
+        def evaluate(row: Sequence[object]) -> object:
+            value = bound(row)
+            if value is None:
+                return None
+            return compiled.match(str(value)) is not None
+
+        return evaluate
+
+    def references(self) -> Tuple[str, ...]:
+        return self.operand.references()
+
+    def __repr__(self) -> str:
+        return "LIKE(%r, %r)" % (self.operand, self.pattern)
+
+
+class Case(Expression):
+    """``CASE WHEN cond THEN value ... ELSE value END``."""
+
+    def __init__(
+        self,
+        branches: Sequence[Tuple[Expression, Expression]],
+        default: Optional[Expression] = None,
+    ) -> None:
+        if not branches:
+            raise ExpressionError("CASE needs at least one WHEN branch")
+        self.branches = tuple(branches)
+        self.default = default if default is not None else Literal(None)
+
+    def bind(self, schema: Schema) -> BoundFn:
+        bound = [
+            (condition.bind(schema), value.bind(schema))
+            for condition, value in self.branches
+        ]
+        default = self.default.bind(schema)
+
+        def evaluate(row: Sequence[object]) -> object:
+            for condition, value in bound:
+                if condition(row) is True:
+                    return value(row)
+            return default(row)
+
+        return evaluate
+
+    def references(self) -> Tuple[str, ...]:
+        names: List[str] = []
+        for condition, value in self.branches:
+            names.extend(condition.references())
+            names.extend(value.references())
+        names.extend(self.default.references())
+        return tuple(names)
+
+    def __repr__(self) -> str:
+        return "CASE(%d branches)" % (len(self.branches),)
+
+
+# -- convenience constructors (the public plan-building vocabulary) -----------
+
+
+def col(name: str) -> ColumnRef:
+    """A column reference."""
+    return ColumnRef(name)
+
+
+def lit(value: object) -> Literal:
+    """A literal value."""
+    return Literal(value)
+
+
+# -- structural analysis helpers ----------------------------------------------
+
+
+def conjuncts(expression: Expression) -> List[Expression]:
+    """Flatten nested ANDs into a list of conjuncts."""
+    if isinstance(expression, And):
+        flattened: List[Expression] = []
+        for operand in expression.operands:
+            flattened.extend(conjuncts(operand))
+        return flattened
+    return [expression]
+
+
+def conjoin(parts: Sequence[Expression]) -> Expression:
+    """Combine conjuncts back into a single expression."""
+    if not parts:
+        raise ExpressionError("cannot conjoin an empty list")
+    if len(parts) == 1:
+        return parts[0]
+    return And(*parts)
+
+
+def as_column_equality(expression: Expression) -> Optional[Tuple[str, str]]:
+    """If ``expression`` is ``col = col``, return the two column names."""
+    if (
+        isinstance(expression, Comparison)
+        and expression.op == "="
+        and isinstance(expression.left, ColumnRef)
+        and isinstance(expression.right, ColumnRef)
+    ):
+        return expression.left.name, expression.right.name
+    return None
+
+
+def as_column_constant(
+    expression: Expression,
+) -> Optional[Tuple[str, str, object]]:
+    """If ``expression`` compares one column with a constant, normalize it.
+
+    Returns ``(column, op, value)`` with the column on the left, or None.
+    """
+    flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>"}
+    if isinstance(expression, Comparison):
+        if isinstance(expression.left, ColumnRef) and isinstance(
+            expression.right, Literal
+        ):
+            return expression.left.name, expression.op, expression.right.value
+        if isinstance(expression.left, Literal) and isinstance(
+            expression.right, ColumnRef
+        ):
+            return expression.right.name, flip[expression.op], expression.left.value
+    if isinstance(expression, Between) and isinstance(expression.operand, ColumnRef):
+        # Callers that care about BETWEEN should use as_column_range instead.
+        return None
+    return None
+
+
+def as_column_range(
+    expression: Expression,
+) -> Optional[Tuple[str, Optional[object], Optional[object], bool, bool]]:
+    """Normalize a range-shaped predicate on a single column.
+
+    Returns ``(column, low, high, low_inclusive, high_inclusive)`` for
+    comparisons with constants and BETWEEN, or None.
+    """
+    if isinstance(expression, Between):
+        if isinstance(expression.operand, ColumnRef) and isinstance(
+            expression.low, Literal
+        ) and isinstance(expression.high, Literal):
+            return (
+                expression.operand.name,
+                expression.low.value,
+                expression.high.value,
+                True,
+                True,
+            )
+        return None
+    simple = as_column_constant(expression)
+    if simple is None:
+        return None
+    column, op, value = simple
+    if op == "=":
+        return column, value, value, True, True
+    if op == "<":
+        return column, None, value, True, False
+    if op == "<=":
+        return column, None, value, True, True
+    if op == ">":
+        return column, value, None, False, True
+    if op == ">=":
+        return column, value, None, True, True
+    return None

@@ -1,0 +1,86 @@
+"""GetNext instrumentation: the observable side of the work model.
+
+The paper models the execution of a query as a sequence of ``getnext`` calls
+across all operators of the plan (§2.2).  :class:`ExecutionMonitor` *is* that
+sequence: every counted operator reports each row-returning ``get_next`` call
+("a tick"), and observers — progress estimators, trace recorders — are
+invoked on a configurable cadence.
+
+Only calls that return a row are counted; the final end-of-stream call is
+free.  Which operators count at all is an operator-level property (e.g. the
+inner index lookups of an index-nested-loops join are not plan operators and
+therefore never tick; see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+Observer = Callable[["ExecutionMonitor"], None]
+
+
+class ExecutionMonitor:
+    """Counts getnext calls per operator and drives tick observers."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+        self._labels: Dict[int, str] = {}
+        self.total_ticks = 0
+        self._observers: List[Tuple[int, Observer]] = []
+
+    # -- operator registration -------------------------------------------------
+
+    def register(self, operator_id: int, label: str) -> None:
+        """Declare a counted operator before execution begins."""
+        self._counts.setdefault(operator_id, 0)
+        self._labels[operator_id] = label
+
+    # -- ticking ----------------------------------------------------------------
+
+    def record(self, operator_id: int) -> None:
+        """One counted getnext call returned a row on ``operator_id``."""
+        self._counts[operator_id] = self._counts.get(operator_id, 0) + 1
+        self.total_ticks += 1
+        for every, observer in self._observers:
+            if self.total_ticks % every == 0:
+                observer(self)
+
+    def notify_now(self) -> None:
+        """Force all observers to run (used at pipeline/plan boundaries)."""
+        for _, observer in self._observers:
+            observer(self)
+
+    # -- observers ---------------------------------------------------------------
+
+    def add_observer(self, observer: Observer, every: int = 1) -> None:
+        """Invoke ``observer(self)`` after every ``every``-th tick."""
+        if every < 1:
+            raise ValueError("observer cadence must be >= 1")
+        self._observers.append((every, observer))
+
+    def clear_observers(self) -> None:
+        self._observers = []
+
+    # -- inspection ----------------------------------------------------------------
+
+    def count_for(self, operator_id: int) -> int:
+        """Getnext calls recorded so far for one operator."""
+        return self._counts.get(operator_id, 0)
+
+    def counts(self) -> Dict[int, int]:
+        """A snapshot of all per-operator counts."""
+        return dict(self._counts)
+
+    def label_for(self, operator_id: int) -> str:
+        return self._labels.get(operator_id, "op#%d" % (operator_id,))
+
+    def reset(self) -> None:
+        """Zero all counters (observers are kept)."""
+        self._counts = {key: 0 for key in self._counts}
+        self.total_ticks = 0
+
+    def __repr__(self) -> str:
+        return "ExecutionMonitor(%d ticks over %d operators)" % (
+            self.total_ticks,
+            len(self._counts),
+        )

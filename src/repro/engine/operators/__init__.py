@@ -1,0 +1,61 @@
+"""Physical operators of the Volcano-style execution engine."""
+
+from repro.engine.operators.aggregate import (
+    AggregateKind,
+    AggregateSpec,
+    HashAggregate,
+    StreamAggregate,
+    agg_avg,
+    agg_max,
+    agg_min,
+    agg_sum,
+    count,
+    count_star,
+)
+from repro.engine.operators.base import (
+    BinaryOperator,
+    ExecutionContext,
+    LeafOperator,
+    Operator,
+    UnaryOperator,
+)
+from repro.engine.operators.filter import Filter
+from repro.engine.operators.hash_join import HashJoin
+from repro.engine.operators.index_nested_loops import IndexNestedLoopsJoin
+from repro.engine.operators.index_seek import IndexSeek
+from repro.engine.operators.merge_join import MergeJoin
+from repro.engine.operators.misc import Distinct, Limit, UnionAll
+from repro.engine.operators.nested_loops import NestedLoopsJoin
+from repro.engine.operators.project import Project
+from repro.engine.operators.scan import RowSource, TableScan
+from repro.engine.operators.shuffle_scan import RandomOrderScan
+from repro.engine.operators.sort import Sort, SortKey
+from repro.engine.operators.topn import TopN
+
+__all__ = [
+    "AggregateKind",
+    "AggregateSpec",
+    "BinaryOperator",
+    "Distinct",
+    "ExecutionContext",
+    "Filter",
+    "HashAggregate",
+    "HashJoin",
+    "IndexNestedLoopsJoin",
+    "IndexSeek",
+    "LeafOperator",
+    "Limit",
+    "MergeJoin",
+    "NestedLoopsJoin",
+    "Operator",
+    "Project",
+    "RandomOrderScan",
+    "RowSource",
+    "Sort",
+    "SortKey",
+    "StreamAggregate",
+    "TableScan",
+    "TopN",
+    "UnaryOperator",
+    "UnionAll",
+]

@@ -1,0 +1,114 @@
+"""Physical plans: a thin wrapper over an operator tree plus inspection tools.
+
+A :class:`Plan` names an operator tree and provides the structural queries
+the progress layer needs (leaves, blocking nodes, nested-iteration nodes,
+scan-based classification per §5.4 of the paper) and a textual EXPLAIN.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Type, TypeVar
+
+from repro.engine.operators.base import LeafOperator, Operator
+from repro.engine.operators.scan import RowSource, TableScan
+from repro.errors import PlanError
+
+O = TypeVar("O", bound=Operator)
+
+
+class Plan:
+    """A named, validated physical plan."""
+
+    def __init__(self, root: Operator, name: str = "query") -> None:
+        root.validate()
+        self.root = root
+        self.name = name
+
+    # -- structure -------------------------------------------------------------
+
+    def operators(self) -> Iterator[Operator]:
+        return self.root.walk()
+
+    def leaves(self) -> List[LeafOperator]:
+        return [op for op in self.operators() if isinstance(op, LeafOperator)]
+
+    def scanned_leaves(self) -> List[Operator]:
+        """Leaves guaranteed to be scanned exactly once — the paper's ``L_s``.
+
+        A table scan / row source qualifies unless it sits (a) under the
+        inner side of a ⋈NL (it is rescanned per outer row) or (b) under a
+        LIMIT with no intervening blocking operator (it may be cut off
+        mid-scan).  Blocking operators — sort, hash-γ, a hash join's build
+        side — always drain their input, so they restore the guarantee.
+        """
+        from repro.engine.operators.aggregate import HashAggregate
+        from repro.engine.operators.hash_join import HashJoin
+        from repro.engine.operators.misc import Limit
+        from repro.engine.operators.nested_loops import NestedLoopsJoin
+        from repro.engine.operators.sort import Sort
+        from repro.engine.operators.topn import TopN
+
+        scanned: List[Operator] = []
+
+        def visit(node: Operator, once: bool) -> None:
+            if isinstance(node, (TableScan, RowSource)):
+                if once:
+                    scanned.append(node)
+                return
+            for i, child in enumerate(node.children):
+                child_once = once
+                if isinstance(node, NestedLoopsJoin) and i == 1:
+                    child_once = False  # rescanned per outer row
+                elif isinstance(node, Limit):
+                    child_once = False  # may be cut off mid-scan
+                elif isinstance(node, (Sort, HashAggregate, TopN)):
+                    child_once = True  # blocking: always drained
+                elif isinstance(node, HashJoin) and i == 0:
+                    child_once = True  # build side: always drained
+                visit(child, child_once)
+
+        visit(self.root, True)
+        return scanned
+
+    def find(self, operator_type: Type[O]) -> List[O]:
+        return [op for op in self.operators() if isinstance(op, operator_type)]
+
+    def internal_node_count(self) -> int:
+        """Number of non-leaf operators (the ``m`` of Property 6)."""
+        return sum(1 for op in self.operators() if op.children)
+
+    def is_scan_based(self) -> bool:
+        """§5.4: no ⋈NL, no ⋈INL, no index-seek anywhere in the tree."""
+        return not any(op.is_nested_iteration for op in self.operators())
+
+    def is_linear(self) -> bool:
+        """True when every internal operator is linear (Property 6 setting)."""
+        return all(op.is_linear for op in self.operators() if op.children)
+
+    def blocking_operators(self) -> List[Operator]:
+        return [op for op in self.operators() if op.is_blocking]
+
+    # -- explain ----------------------------------------------------------------
+
+    def explain(self) -> str:
+        """Indented textual rendering of the operator tree."""
+        lines: List[str] = []
+
+        def render(node: Operator, depth: int) -> None:
+            marks = []
+            if node.is_blocking:
+                marks.append("blocking")
+            if node.is_nested_iteration:
+                marks.append("nested-iteration")
+            if node.children and not node.is_linear:
+                marks.append("non-linear")
+            suffix = "  [%s]" % (", ".join(marks),) if marks else ""
+            lines.append("%s%s%s" % ("  " * depth, node.describe(), suffix))
+            for child in node.children:
+                render(child, depth + 1)
+
+        render(self.root, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return "Plan(%s)" % (self.name,)

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro engine.
+
+Every error raised on purpose by this package derives from :class:`ReproError`
+so that callers can distinguish engine failures from programming mistakes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed, or a column reference cannot be resolved."""
+
+
+class CatalogError(ReproError):
+    """A catalog object (table, index, statistic) is missing or duplicated."""
+
+
+class StatisticsError(ReproError):
+    """A statistic cannot be built or queried."""
+
+
+class ExpressionError(ReproError):
+    """An expression is malformed or cannot be evaluated."""
+
+
+class PlanError(ReproError):
+    """A physical plan is structurally invalid."""
+
+
+class ExecutionError(ReproError):
+    """A runtime failure while executing a plan."""
+
+
+class ParseError(ReproError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class PlanningError(ReproError):
+    """The logical query could not be translated into a physical plan."""
+
+
+class ProgressError(ReproError):
+    """A progress estimator was used incorrectly."""

@@ -1,0 +1,27 @@
+"""SQL front end: lexer, parser and the heuristic planner."""
+
+from repro.sql.ast import (
+    AggregateCall,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    TableRef,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.parser import parse
+from repro.sql.planner import Planner, plan_query, run_query
+
+__all__ = [
+    "AggregateCall",
+    "OrderItem",
+    "Planner",
+    "SelectItem",
+    "SelectStatement",
+    "TableRef",
+    "Token",
+    "TokenType",
+    "parse",
+    "plan_query",
+    "run_query",
+    "tokenize",
+]

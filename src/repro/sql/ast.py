@@ -1,0 +1,138 @@
+"""SQL AST nodes for the supported subset.
+
+Scalar expressions reuse the engine's :mod:`repro.engine.expressions` tree
+directly; the only SQL-specific expression node is :class:`AggregateCall`,
+which the planner replaces before anything is ever bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.engine.expressions import Expression
+from repro.engine.operators.aggregate import AggregateKind
+from repro.errors import ExpressionError
+
+
+class AggregateCall(Expression):
+    """``COUNT(*) / COUNT / SUM / AVG / MIN / MAX`` inside a query.
+
+    Not evaluable per-row: the planner rewrites every occurrence into a
+    reference to a γ operator's output column.
+    """
+
+    def __init__(self, kind: AggregateKind, argument: Optional[Expression]) -> None:
+        if kind is not AggregateKind.COUNT_STAR and argument is None:
+            raise ExpressionError("%s needs an argument" % (kind.value,))
+        self.kind = kind
+        self.argument = argument
+
+    def bind(self, schema):
+        raise ExpressionError(
+            "aggregate %s must be planned before evaluation" % (self.kind.value,)
+        )
+
+    def references(self) -> Tuple[str, ...]:
+        if self.argument is None:
+            return ()
+        return self.argument.references()
+
+    def __repr__(self) -> str:
+        return "%s(%r)" % (self.kind.value, self.argument)
+
+
+def contains_aggregate(expression: Expression) -> bool:
+    """True if any :class:`AggregateCall` occurs in the expression tree."""
+    if isinstance(expression, AggregateCall):
+        return True
+    for attribute in ("left", "right", "operand", "low", "high", "default"):
+        child = getattr(expression, attribute, None)
+        if isinstance(child, Expression) and contains_aggregate(child):
+            return True
+    for attribute in ("operands",):
+        children = getattr(expression, attribute, None)
+        if children:
+            if any(contains_aggregate(child) for child in children):
+                return True
+    branches = getattr(expression, "branches", None)
+    if branches:
+        for condition, value in branches:
+            if contains_aggregate(condition) or contains_aggregate(value):
+                return True
+    return False
+
+
+def collect_aggregates(expression: Expression, out: List[AggregateCall]) -> None:
+    """Append every AggregateCall in the tree to ``out`` (pre-order)."""
+    if isinstance(expression, AggregateCall):
+        out.append(expression)
+        return
+    for attribute in ("left", "right", "operand", "low", "high", "default"):
+        child = getattr(expression, attribute, None)
+        if isinstance(child, Expression):
+            collect_aggregates(child, out)
+    children = getattr(expression, "operands", None)
+    if children:
+        for child in children:
+            collect_aggregates(child, out)
+    branches = getattr(expression, "branches", None)
+    if branches:
+        for condition, value in branches:
+            collect_aggregates(condition, out)
+            collect_aggregates(value, out)
+
+
+@dataclass
+class SelectItem:
+    """One output column: an expression and an optional alias."""
+
+    expression: Expression
+    alias: Optional[str] = None
+
+
+@dataclass
+class TableRef:
+    """A FROM-clause table with an optional alias."""
+
+    table: str
+    alias: Optional[str] = None
+
+    @property
+    def effective_alias(self) -> str:
+        return self.alias or self.table
+
+
+@dataclass
+class OrderItem:
+    """One ORDER BY term."""
+
+    expression: Expression
+    descending: bool = False
+
+
+@dataclass
+class SelectStatement:
+    """The supported SELECT shape.
+
+    Explicit ``JOIN ... ON`` clauses are folded by the parser into
+    ``tables`` plus ``where`` conjuncts — the planner re-derives joins from
+    equality predicates, as a textbook System-R-style planner would.
+    """
+
+    items: List[SelectItem] = field(default_factory=list)
+    distinct: bool = False
+    tables: List[TableRef] = field(default_factory=list)
+    where: Optional[Expression] = None
+    group_by: List[Expression] = field(default_factory=list)
+    having: Optional[Expression] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: int = 0
+
+    def has_aggregates(self) -> bool:
+        if self.group_by:
+            return True
+        if any(contains_aggregate(item.expression) for item in self.items):
+            return True
+        return self.having is not None and contains_aggregate(self.having)

@@ -1,0 +1,113 @@
+"""SQL lexer: a small hand-written tokenizer for the supported subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "select", "distinct", "from", "where", "group", "by", "having", "order",
+    "limit", "offset", "as", "and", "or", "not", "between", "in", "like",
+    "is", "null", "asc", "desc", "case", "when", "then", "else", "end",
+    "join", "inner", "on", "count", "sum", "avg", "min", "max", "union",
+    "all", "true", "false",
+}
+
+SYMBOLS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", "+", "-",
+           "*", "/", "%", ".")
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def is_symbol(self, *symbols: str) -> bool:
+        return self.type is TokenType.SYMBOL and self.value in symbols
+
+    def __repr__(self) -> str:
+        return "Token(%s, %r)" % (self.type.value, self.value)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text``; raises :class:`ParseError` on illegal characters."""
+    tokens: List[Token] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i : i + 2] == "--":
+            end = text.find("\n", i)
+            i = length if end == -1 else end + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < length and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, lowered, start))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, start))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < length and text[i + 1].isdigit()):
+            start = i
+            saw_dot = False
+            while i < length and (text[i].isdigit() or (text[i] == "." and not saw_dot)):
+                if text[i] == ".":
+                    # Only part of the number when followed by a digit.
+                    if i + 1 >= length or not text[i + 1].isdigit():
+                        break
+                    saw_dot = True
+                i += 1
+            tokens.append(Token(TokenType.NUMBER, text[start:i], start))
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            chunks: List[str] = []
+            while True:
+                if i >= length:
+                    raise ParseError("unterminated string literal", start)
+                if text[i] == "'":
+                    if text[i : i + 2] == "''":  # escaped quote
+                        chunks.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                chunks.append(text[i])
+                i += 1
+            tokens.append(Token(TokenType.STRING, "".join(chunks), start))
+            continue
+        matched = False
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, i):
+                tokens.append(Token(TokenType.SYMBOL, symbol, i))
+                i += len(symbol)
+                matched = True
+                break
+        if not matched:
+            raise ParseError("unexpected character %r" % (ch,), i)
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens

@@ -1,0 +1,391 @@
+"""Recursive-descent parser for the supported SQL subset.
+
+Grammar (roughly)::
+
+    select    := SELECT [DISTINCT] items FROM source (, source | JOIN source ON expr)*
+                 [WHERE expr] [GROUP BY expr (, expr)*] [HAVING expr]
+                 [ORDER BY term (, term)*] [LIMIT n [OFFSET n]]
+    expr      := or_expr
+    or_expr   := and_expr (OR and_expr)*
+    and_expr  := not_expr (AND not_expr)*
+    not_expr  := NOT not_expr | predicate
+    predicate := additive [comparison | BETWEEN | IN | LIKE | IS [NOT] NULL]
+    additive  := multiplicative ((+|-) multiplicative)*
+    multiplicative := unary ((*|/|%) unary)*
+    unary     := - unary | primary
+    primary   := literal | column | aggregate | CASE ... END | ( expr )
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.engine.expressions import (
+    And,
+    Arithmetic,
+    Between,
+    Case,
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+)
+from repro.engine.operators.aggregate import AggregateKind
+from repro.errors import ParseError
+from repro.sql.ast import (
+    AggregateCall,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    TableRef,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+
+_AGGREGATE_KEYWORDS = {
+    "count": AggregateKind.COUNT,
+    "sum": AggregateKind.SUM,
+    "avg": AggregateKind.AVG,
+    "min": AggregateKind.MIN,
+    "max": AggregateKind.MAX,
+}
+
+
+def parse(sql: str) -> SelectStatement:
+    """Parse one SELECT statement."""
+    return _Parser(tokenize(sql)).parse_select(top_level=True)
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    # -- token plumbing ----------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._position]
+        if token.type is not TokenType.END:
+            self._position += 1
+        return token
+
+    def _expect_keyword(self, name: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(name):
+            raise ParseError("expected %s, got %r" % (name.upper(), token.value),
+                             token.position)
+        return self._advance()
+
+    def _expect_symbol(self, symbol: str) -> Token:
+        token = self._peek()
+        if not token.is_symbol(symbol):
+            raise ParseError("expected %r, got %r" % (symbol, token.value),
+                             token.position)
+        return self._advance()
+
+    def _accept_keyword(self, *names: str) -> Optional[Token]:
+        if self._peek().is_keyword(*names):
+            return self._advance()
+        return None
+
+    def _accept_symbol(self, *symbols: str) -> Optional[Token]:
+        if self._peek().is_symbol(*symbols):
+            return self._advance()
+        return None
+
+    # -- statement --------------------------------------------------------------
+
+    def parse_select(self, top_level: bool = False) -> SelectStatement:
+        self._expect_keyword("select")
+        statement = SelectStatement()
+        statement.distinct = self._accept_keyword("distinct") is not None
+        statement.items = self._parse_select_items()
+        self._expect_keyword("from")
+        self._parse_from(statement)
+        if self._accept_keyword("where"):
+            condition = self.parse_expression()
+            # JOIN ... ON conditions may already be folded into `where`.
+            statement.where = (
+                condition
+                if statement.where is None
+                else And(statement.where, condition)
+            )
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            statement.group_by.append(self.parse_expression())
+            while self._accept_symbol(","):
+                statement.group_by.append(self.parse_expression())
+        if self._accept_keyword("having"):
+            statement.having = self.parse_expression()
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            statement.order_by.append(self._parse_order_item())
+            while self._accept_symbol(","):
+                statement.order_by.append(self._parse_order_item())
+        if self._accept_keyword("limit"):
+            statement.limit = self._parse_integer()
+            if self._accept_keyword("offset"):
+                statement.offset = self._parse_integer()
+        if top_level:
+            trailing = self._peek()
+            if trailing.type is not TokenType.END:
+                raise ParseError(
+                    "unexpected trailing input %r" % (trailing.value,),
+                    trailing.position,
+                )
+        return statement
+
+    def _parse_select_items(self) -> List[SelectItem]:
+        items = [self._parse_select_item()]
+        while self._accept_symbol(","):
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> SelectItem:
+        if self._accept_symbol("*"):
+            return SelectItem(ColumnRef("*"))
+        expression = self.parse_expression()
+        alias: Optional[str] = None
+        if self._accept_keyword("as"):
+            alias = self._parse_identifier()
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._advance().value
+        return SelectItem(expression, alias)
+
+    def _parse_from(self, statement: SelectStatement) -> None:
+        statement.tables.append(self._parse_table_ref())
+        while True:
+            if self._accept_symbol(","):
+                statement.tables.append(self._parse_table_ref())
+                continue
+            joined = self._accept_keyword("join")
+            if joined is None and self._accept_keyword("inner"):
+                self._expect_keyword("join")
+                joined = True
+            if joined:
+                statement.tables.append(self._parse_table_ref())
+                self._expect_keyword("on")
+                condition = self.parse_expression()
+                statement.where = (
+                    condition
+                    if statement.where is None
+                    else And(statement.where, condition)
+                )
+                continue
+            break
+
+    def _parse_table_ref(self) -> TableRef:
+        name = self._parse_identifier()
+        alias: Optional[str] = None
+        if self._accept_keyword("as"):
+            alias = self._parse_identifier()
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._advance().value
+        return TableRef(name, alias)
+
+    def _parse_order_item(self) -> OrderItem:
+        expression = self.parse_expression()
+        descending = False
+        if self._accept_keyword("desc"):
+            descending = True
+        else:
+            self._accept_keyword("asc")
+        return OrderItem(expression, descending)
+
+    def _parse_identifier(self) -> str:
+        token = self._peek()
+        if token.type is not TokenType.IDENTIFIER:
+            raise ParseError("expected identifier, got %r" % (token.value,),
+                             token.position)
+        return self._advance().value
+
+    def _parse_integer(self) -> int:
+        token = self._peek()
+        if token.type is not TokenType.NUMBER or "." in token.value:
+            raise ParseError("expected integer, got %r" % (token.value,),
+                             token.position)
+        self._advance()
+        return int(token.value)
+
+    # -- expressions --------------------------------------------------------------
+
+    def parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        left = self._parse_and()
+        operands = [left]
+        while self._accept_keyword("or"):
+            operands.append(self._parse_and())
+        return operands[0] if len(operands) == 1 else Or(*operands)
+
+    def _parse_and(self) -> Expression:
+        operands = [self._parse_not()]
+        while self._accept_keyword("and"):
+            operands.append(self._parse_not())
+        return operands[0] if len(operands) == 1 else And(*operands)
+
+    def _parse_not(self) -> Expression:
+        if self._accept_keyword("not"):
+            return Not(self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expression:
+        left = self._parse_additive()
+        token = self._peek()
+        if token.is_symbol("=", "<>", "!=", "<", "<=", ">", ">="):
+            self._advance()
+            op = "<>" if token.value == "!=" else token.value
+            return Comparison(op, left, self._parse_additive())
+        if token.is_keyword("between"):
+            self._advance()
+            low = self._parse_additive()
+            self._expect_keyword("and")
+            high = self._parse_additive()
+            return Between(left, low, high)
+        negated = False
+        if token.is_keyword("not"):
+            # lookahead for NOT IN / NOT LIKE / NOT BETWEEN
+            next_token = self._tokens[self._position + 1]
+            if next_token.is_keyword("in", "like", "between"):
+                self._advance()
+                negated = True
+                token = self._peek()
+        if token.is_keyword("in"):
+            self._advance()
+            self._expect_symbol("(")
+            values = [self._parse_literal_value()]
+            while self._accept_symbol(","):
+                values.append(self._parse_literal_value())
+            self._expect_symbol(")")
+            expression: Expression = InList(left, values)
+            return Not(expression) if negated else expression
+        if token.is_keyword("like"):
+            self._advance()
+            pattern = self._peek()
+            if pattern.type is not TokenType.STRING:
+                raise ParseError("LIKE needs a string pattern", pattern.position)
+            self._advance()
+            expression = Like(left, pattern.value)
+            return Not(expression) if negated else expression
+        if token.is_keyword("between") and negated:
+            self._advance()
+            low = self._parse_additive()
+            self._expect_keyword("and")
+            high = self._parse_additive()
+            return Not(Between(left, low, high))
+        if token.is_keyword("is"):
+            self._advance()
+            is_negated = self._accept_keyword("not") is not None
+            self._expect_keyword("null")
+            return IsNull(left, negated=is_negated)
+        return left
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._accept_symbol("+", "-")
+            if token is None:
+                return left
+            left = Arithmetic(token.value, left, self._parse_multiplicative())
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_unary()
+        while True:
+            token = self._accept_symbol("*", "/", "%")
+            if token is None:
+                return left
+            left = Arithmetic(token.value, left, self._parse_unary())
+
+    def _parse_unary(self) -> Expression:
+        if self._accept_symbol("-"):
+            operand = self._parse_unary()
+            if isinstance(operand, Literal) and isinstance(operand.value, (int, float)):
+                return Literal(-operand.value)
+            return Arithmetic("-", Literal(0), operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return Literal(float(token.value) if "." in token.value else int(token.value))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Literal(token.value)
+        if token.is_keyword("null"):
+            self._advance()
+            return Literal(None)
+        if token.is_keyword("true"):
+            self._advance()
+            return Literal(True)
+        if token.is_keyword("false"):
+            self._advance()
+            return Literal(False)
+        if token.is_keyword("case"):
+            return self._parse_case()
+        if token.is_keyword("count"):
+            self._advance()
+            self._expect_symbol("(")
+            if self._accept_symbol("*"):
+                self._expect_symbol(")")
+                return AggregateCall(AggregateKind.COUNT_STAR, None)
+            argument = self.parse_expression()
+            self._expect_symbol(")")
+            return AggregateCall(AggregateKind.COUNT, argument)
+        if token.is_keyword("sum", "avg", "min", "max"):
+            self._advance()
+            self._expect_symbol("(")
+            argument = self.parse_expression()
+            self._expect_symbol(")")
+            return AggregateCall(_AGGREGATE_KEYWORDS[token.value], argument)
+        if token.is_symbol("("):
+            self._advance()
+            inner = self.parse_expression()
+            self._expect_symbol(")")
+            return inner
+        if token.type is TokenType.IDENTIFIER:
+            return self._parse_column()
+        raise ParseError("unexpected token %r" % (token.value,), token.position)
+
+    def _parse_column(self) -> ColumnRef:
+        name = self._parse_identifier()
+        if self._accept_symbol("."):
+            name = "%s.%s" % (name, self._parse_identifier())
+        return ColumnRef(name)
+
+    def _parse_case(self) -> Expression:
+        self._expect_keyword("case")
+        branches = []
+        while self._accept_keyword("when"):
+            condition = self.parse_expression()
+            self._expect_keyword("then")
+            value = self.parse_expression()
+            branches.append((condition, value))
+        default: Optional[Expression] = None
+        if self._accept_keyword("else"):
+            default = self.parse_expression()
+        self._expect_keyword("end")
+        if not branches:
+            raise ParseError("CASE needs at least one WHEN", self._peek().position)
+        return Case(branches, default)
+
+    def _parse_literal_value(self) -> object:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return float(token.value) if "." in token.value else int(token.value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return token.value
+        if token.is_keyword("null"):
+            self._advance()
+            return None
+        raise ParseError("expected literal in IN list", token.position)

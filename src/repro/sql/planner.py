@@ -1,0 +1,471 @@
+"""Heuristic SQL planner: AST → physical operator tree.
+
+A deliberately classical pipeline:
+
+1. one :class:`TableScan` per FROM entry, with single-table WHERE conjuncts
+   pushed down as filters;
+2. greedy join ordering from the smallest estimated input, following
+   equality-join edges; per join the planner picks ⋈INL when the inner side
+   has an index and the outer is estimated much smaller, otherwise ⋈hash
+   (smaller side builds); disconnected tables fall back to ⋈NL;
+3. joins are marked *linear* when a statistic shows one join column is
+   (near-)unique — the key/FK case §5.1 uses to tighten upper bounds;
+4. γ for GROUP BY/aggregates, HAVING as a filter above it, then projection,
+   DISTINCT, ORDER BY and LIMIT.
+
+Estimates come from :class:`repro.stats.estimate.CardinalityEstimator`; they
+carry no guarantees, which is the point — the progress layer must survive
+their errors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.expressions import (
+    ColumnRef,
+    Expression,
+    conjoin,
+    conjuncts,
+    as_column_equality,
+)
+from repro.engine.operators.aggregate import AggregateSpec, HashAggregate
+from repro.engine.operators.base import Operator
+from repro.engine.operators.filter import Filter
+from repro.engine.operators.hash_join import HashJoin
+from repro.engine.operators.index_nested_loops import IndexNestedLoopsJoin
+from repro.engine.operators.misc import Distinct, Limit
+from repro.engine.operators.nested_loops import NestedLoopsJoin
+from repro.engine.operators.project import Project
+from repro.engine.operators.scan import TableScan
+from repro.engine.operators.sort import Sort, SortKey
+from repro.engine.operators.topn import TopN
+from repro.engine.plan import Plan
+from repro.errors import PlanningError, SchemaError
+from repro.sql.ast import (
+    AggregateCall,
+    SelectItem,
+    SelectStatement,
+    collect_aggregates,
+    contains_aggregate,
+)
+from repro.sql.parser import parse
+from repro.stats.base import ColumnStatistic
+from repro.stats.estimate import CardinalityEstimator
+from repro.storage.catalog import Catalog
+
+#: prefer ⋈INL when the estimated outer input is this much smaller than the
+#: indexed inner table
+INL_OUTER_FRACTION = 0.25
+#: a column is treated as a key when its distinct estimate covers this much
+#: of the rows
+UNIQUENESS_THRESHOLD = 0.95
+
+
+class Planner:
+    """Translates parsed SELECT statements into physical plans."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self.estimator = CardinalityEstimator(catalog)
+
+    # -- public ------------------------------------------------------------------
+
+    def plan(self, statement: SelectStatement, name: str = "query") -> Plan:
+        base_inputs = self._build_inputs(statement)
+        where_parts = conjuncts(statement.where) if statement.where is not None else []
+        single, join_edges, residual = self._classify_predicates(
+            where_parts, base_inputs
+        )
+        inputs = {
+            alias: self._apply_filters(scan, single.get(alias, []))
+            for alias, scan in base_inputs.items()
+        }
+        root = self._join_inputs(inputs, join_edges, residual)
+        root = self._apply_remaining(root, residual)
+        root = self._aggregate_and_project(root, statement)
+        if statement.distinct:
+            root = Distinct(root)
+        root = self._order_and_limit(root, statement)
+        return Plan(root, name)
+
+    # -- FROM --------------------------------------------------------------------
+
+    def _build_inputs(self, statement: SelectStatement) -> Dict[str, TableScan]:
+        if not statement.tables:
+            raise PlanningError("query has no FROM clause tables")
+        inputs: Dict[str, TableScan] = {}
+        for ref in statement.tables:
+            if not self.catalog.has_table(ref.table):
+                raise PlanningError("unknown table %r" % (ref.table,))
+            alias = ref.effective_alias
+            if alias in inputs:
+                raise PlanningError("duplicate table alias %r" % (alias,))
+            inputs[alias] = TableScan(self.catalog.table(ref.table), alias)
+        return inputs
+
+    # -- predicate classification -----------------------------------------------------
+
+    def _classify_predicates(
+        self,
+        parts: Sequence[Expression],
+        inputs: Dict[str, TableScan],
+    ) -> Tuple[Dict[str, List[Expression]], List[Tuple[str, str, str, str, Expression]],
+               List[Expression]]:
+        """Split conjuncts into per-table filters, join edges and residuals.
+
+        A join edge is ``(left_alias, left_column, right_alias, right_column,
+        expression)``.
+        """
+        single: Dict[str, List[Expression]] = {}
+        edges: List[Tuple[str, str, str, str, Expression]] = []
+        residual: List[Expression] = []
+        for part in parts:
+            equality = as_column_equality(part)
+            if equality is not None:
+                left_owner = self._owner_of(equality[0], inputs)
+                right_owner = self._owner_of(equality[1], inputs)
+                if (
+                    left_owner is not None
+                    and right_owner is not None
+                    and left_owner != right_owner
+                ):
+                    edges.append(
+                        (left_owner, equality[0], right_owner, equality[1], part)
+                    )
+                    continue
+            owners = {self._owner_of(name, inputs) for name in part.references()}
+            owners.discard(None)
+            if len(owners) == 1:
+                single.setdefault(owners.pop(), []).append(part)
+            else:
+                residual.append(part)
+        return single, edges, residual
+
+    def _owner_of(self, column: str, inputs: Dict[str, TableScan]) -> Optional[str]:
+        matches = [
+            alias
+            for alias, scan in inputs.items()
+            if scan.schema.has_column(column)
+        ]
+        if len(matches) == 1:
+            return matches[0]
+        return None
+
+    @staticmethod
+    def _apply_filters(scan: TableScan, predicates: List[Expression]) -> Operator:
+        if not predicates:
+            return scan
+        return Filter(scan, conjoin(predicates))
+
+    # -- joins --------------------------------------------------------------------------
+
+    def _join_inputs(
+        self,
+        inputs: Dict[str, Operator],
+        edges: List[Tuple[str, str, str, str, Expression]],
+        residual: List[Expression],
+    ) -> Operator:
+        remaining = dict(inputs)
+        if len(remaining) == 1:
+            return next(iter(remaining.values()))
+
+        sizes = {
+            alias: self._estimate(operator) for alias, operator in remaining.items()
+        }
+        # Start from the smallest estimated input.
+        current_alias = min(sizes, key=lambda alias: sizes[alias])
+        current = remaining.pop(current_alias)
+        joined_aliases = {current_alias}
+        current_size = sizes[current_alias]
+
+        while remaining:
+            edge = self._pick_edge(edges, joined_aliases, remaining, sizes)
+            if edge is None:
+                # No connecting predicate: cross join with the smallest rest.
+                next_alias = min(remaining, key=lambda alias: sizes[alias])
+                current = NestedLoopsJoin(current, remaining.pop(next_alias))
+                joined_aliases.add(next_alias)
+                current_size *= max(1.0, sizes[next_alias])
+                continue
+            left_alias, left_column, right_alias, right_column, _ = edge
+            if left_alias in joined_aliases:
+                inner_alias, outer_column, inner_column = (
+                    right_alias, left_column, right_column,
+                )
+            else:
+                inner_alias, outer_column, inner_column = (
+                    left_alias, right_column, left_column,
+                )
+            inner = remaining.pop(inner_alias)
+            linear = self._is_linear_join(outer_column, inner_alias, inner_column)
+            current = self._make_join(
+                current, current_size, inner, sizes[inner_alias],
+                outer_column, inner_alias, inner_column, linear,
+            )
+            joined_aliases.add(inner_alias)
+            current_size = self._estimate(current)
+            edges = [e for e in edges if e is not edge]
+        return current
+
+    def _pick_edge(self, edges, joined_aliases, remaining, sizes):
+        """The edge joining the joined set to the smallest new table."""
+        candidates = []
+        for edge in edges:
+            left_alias, _, right_alias, _, _ = edge
+            if left_alias in joined_aliases and right_alias in remaining:
+                candidates.append((sizes[right_alias], edge))
+            elif right_alias in joined_aliases and left_alias in remaining:
+                candidates.append((sizes[left_alias], edge))
+        if not candidates:
+            return None
+        return min(candidates, key=lambda pair: pair[0])[1]
+
+    def _make_join(
+        self,
+        outer: Operator,
+        outer_size: float,
+        inner: Operator,
+        inner_size: float,
+        outer_column: str,
+        inner_alias: str,
+        inner_column: str,
+        linear: bool,
+    ) -> Operator:
+        inner_table_name = self._base_table_of(inner)
+        bare_inner = inner_column.split(".")[-1]
+        index = (
+            self.catalog.any_index(inner_table_name, bare_inner)
+            if inner_table_name is not None
+            else None
+        )
+        inner_is_bare_scan = isinstance(inner, TableScan)
+        if (
+            index is not None
+            and inner_is_bare_scan
+            and outer_size <= INL_OUTER_FRACTION * inner_size
+        ):
+            return IndexNestedLoopsJoin(
+                outer,
+                index,
+                ColumnRef(outer_column),
+                inner_alias=inner_alias,
+                linear=linear,
+            )
+        # Hash join: build on the smaller estimated side.
+        if outer_size <= inner_size:
+            return HashJoin(
+                outer, inner, ColumnRef(outer_column), ColumnRef(inner_column),
+                linear=linear,
+            )
+        return HashJoin(
+            inner, outer, ColumnRef(inner_column), ColumnRef(outer_column),
+            linear=linear,
+        )
+
+    def _base_table_of(self, operator: Operator) -> Optional[str]:
+        if isinstance(operator, TableScan):
+            return operator.table.name
+        if isinstance(operator, Filter):
+            return self._base_table_of(operator.child)
+        return None
+
+    def _is_linear_join(
+        self, outer_column: str, inner_alias: str, inner_column: str
+    ) -> bool:
+        """Linear when either join column is (estimated) unique."""
+        for column in (outer_column, inner_column):
+            statistic = self._column_statistic(column)
+            if statistic is None or statistic.row_count == 0:
+                continue
+            if statistic.estimate_distinct() >= UNIQUENESS_THRESHOLD * statistic.row_count:
+                return True
+        return False
+
+    def _column_statistic(self, column: str) -> Optional[ColumnStatistic]:
+        qualifier, _, bare = column.rpartition(".")
+        candidates = []
+        if qualifier and self.catalog.has_table(qualifier):
+            candidates.append((qualifier, bare))
+        else:
+            bare = column.split(".")[-1]
+            for table in self.catalog.tables():
+                if table.schema.has_column(bare):
+                    candidates.append((table.name, bare))
+        if len(candidates) == 1:
+            statistic = self.catalog.statistic(*candidates[0])
+            if isinstance(statistic, ColumnStatistic):
+                return statistic
+        return None
+
+    def _estimate(self, operator: Operator) -> float:
+        estimates: Dict[int, float] = {}
+        self.estimator._estimate_node(operator, estimates)
+        return estimates[operator.operator_id]
+
+    def _apply_remaining(
+        self, root: Operator, residual: List[Expression]
+    ) -> Operator:
+        applicable = [part for part in residual if not contains_aggregate(part)]
+        if not applicable:
+            return root
+        return Filter(root, conjoin(applicable))
+
+    # -- aggregation and projection -----------------------------------------------------
+
+    def _aggregate_and_project(
+        self, root: Operator, statement: SelectStatement
+    ) -> Operator:
+        items = self._expand_star(root, statement.items)
+        if not statement.has_aggregates():
+            outputs = [
+                (self._output_name(item, i), item.expression)
+                for i, item in enumerate(items)
+            ]
+            return Project(root, outputs)
+
+        group_outputs: List[Tuple[str, Expression]] = []
+        group_names: Dict[str, str] = {}
+        for i, expression in enumerate(statement.group_by):
+            name = (
+                expression.name.split(".")[-1]
+                if isinstance(expression, ColumnRef)
+                else "group_%d" % (i,)
+            )
+            if name in group_names.values():
+                name = "group_%d" % (i,)
+            group_outputs.append((name, expression))
+            group_names[repr(expression)] = name
+
+        aggregate_calls: List[AggregateCall] = []
+        for item in items:
+            collect_aggregates(item.expression, aggregate_calls)
+        if statement.having is not None:
+            collect_aggregates(statement.having, aggregate_calls)
+
+        specs: List[AggregateSpec] = []
+        call_names: Dict[str, str] = {}
+        for call in aggregate_calls:
+            key = repr(call)
+            if key in call_names:
+                continue
+            name = "agg_%d" % (len(specs),)
+            call_names[key] = name
+            specs.append(AggregateSpec(call.kind, call.argument, name))
+
+        aggregate = HashAggregate(root, group_outputs, specs)
+
+        def rewrite(expression: Expression) -> Expression:
+            return _rewrite_post_aggregate(expression, group_names, call_names)
+
+        post: Operator = aggregate
+        if statement.having is not None:
+            post = Filter(post, rewrite(statement.having))
+        outputs = [
+            (self._output_name(item, i), rewrite(item.expression))
+            for i, item in enumerate(items)
+        ]
+        return Project(post, outputs)
+
+    def _expand_star(
+        self, root: Operator, items: Sequence[SelectItem]
+    ) -> List[SelectItem]:
+        expanded: List[SelectItem] = []
+        for item in items:
+            if isinstance(item.expression, ColumnRef) and item.expression.name == "*":
+                for name in root.schema.qualified_names():
+                    expanded.append(SelectItem(ColumnRef(name)))
+            else:
+                expanded.append(item)
+        return expanded
+
+    @staticmethod
+    def _output_name(item: SelectItem, position: int) -> str:
+        if item.alias:
+            return item.alias
+        if isinstance(item.expression, ColumnRef):
+            return item.expression.name.split(".")[-1]
+        if isinstance(item.expression, AggregateCall):
+            return item.expression.kind.value.replace("(*)", "")
+        return "col_%d" % (position,)
+
+    # -- order / limit -------------------------------------------------------------------
+
+    def _order_and_limit(self, root: Operator, statement: SelectStatement) -> Operator:
+        if statement.order_by:
+            keys = []
+            for order_item in statement.order_by:
+                expression = order_item.expression
+                # Rewrite to the projected output column when possible.
+                if isinstance(expression, ColumnRef):
+                    bare = expression.name.split(".")[-1]
+                    if root.schema.has_column(bare):
+                        expression = ColumnRef(bare)
+                    elif not root.schema.has_column(expression.name):
+                        raise PlanningError(
+                            "ORDER BY column %r not in output" % (expression.name,)
+                        )
+                keys.append(SortKey(expression, order_item.descending))
+            if statement.limit is not None and statement.offset == 0:
+                # ORDER BY + LIMIT without OFFSET: fuse into Top-N.
+                return TopN(root, keys, statement.limit)
+            root = Sort(root, keys)
+        if statement.limit is not None:
+            root = Limit(root, statement.limit, statement.offset)
+        return root
+
+
+def _rewrite_post_aggregate(
+    expression: Expression,
+    group_names: Dict[str, str],
+    call_names: Dict[str, str],
+) -> Expression:
+    """Replace aggregate calls / group expressions with γ-output columns."""
+    key = repr(expression)
+    if isinstance(expression, AggregateCall):
+        return ColumnRef(call_names[key])
+    if key in group_names:
+        return ColumnRef(group_names[key])
+    if isinstance(expression, ColumnRef):
+        raise PlanningError(
+            "column %r must appear in GROUP BY or inside an aggregate"
+            % (expression.name,)
+        )
+    clone = expression
+    import copy
+
+    clone = copy.copy(expression)
+    for attribute in ("left", "right", "operand", "low", "high", "default"):
+        child = getattr(clone, attribute, None)
+        if isinstance(child, Expression):
+            setattr(
+                clone, attribute, _rewrite_post_aggregate(child, group_names, call_names)
+            )
+    operands = getattr(clone, "operands", None)
+    if operands:
+        clone.operands = tuple(
+            _rewrite_post_aggregate(operand, group_names, call_names)
+            for operand in operands
+        )
+    branches = getattr(clone, "branches", None)
+    if branches:
+        clone.branches = tuple(
+            (
+                _rewrite_post_aggregate(condition, group_names, call_names),
+                _rewrite_post_aggregate(value, group_names, call_names),
+            )
+            for condition, value in branches
+        )
+    return clone
+
+
+def plan_query(sql: str, catalog: Catalog, name: str = "query") -> Plan:
+    """Parse and plan ``sql`` against ``catalog``."""
+    return Planner(catalog).plan(parse(sql), name)
+
+
+def run_query(sql: str, catalog: Catalog):
+    """Parse, plan and execute ``sql``; returns the result rows."""
+    from repro.engine.executor import execute
+
+    return execute(plan_query(sql, catalog)).rows

@@ -1,0 +1,32 @@
+"""Single-relation statistics: histograms, samples, and estimation."""
+
+from repro.stats.base import (
+    ColumnStatistic,
+    StatisticsGenerator,
+    statistics_equal,
+    verify_lossy_pair,
+)
+from repro.stats.estimate import CardinalityEstimator
+from repro.stats.histogram import (
+    Bucket,
+    EquiDepthHistogramGenerator,
+    EquiWidthHistogramGenerator,
+    Histogram,
+)
+from repro.stats.manager import StatisticsManager
+from repro.stats.sample import ReservoirSampleGenerator, SampleStatistic
+
+__all__ = [
+    "Bucket",
+    "CardinalityEstimator",
+    "ColumnStatistic",
+    "EquiDepthHistogramGenerator",
+    "EquiWidthHistogramGenerator",
+    "Histogram",
+    "ReservoirSampleGenerator",
+    "SampleStatistic",
+    "StatisticsGenerator",
+    "StatisticsManager",
+    "statistics_equal",
+    "verify_lossy_pair",
+]

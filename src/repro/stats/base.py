@@ -1,0 +1,129 @@
+"""Single-relation statistics: the abstract interface and the lossiness notion.
+
+The paper's framework (§2.3) allows the progress estimator to consult
+*single-relation statistics* built independently per relation.  Crucially,
+all statistics considered are **lossy**: for any sufficiently large relation
+one can change a single tuple's value without changing the statistic.  The
+lower-bound construction (Theorem 1) rests exactly on this property, so this
+module makes lossiness a first-class, testable notion
+(:func:`verify_lossy_pair`).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import StatisticsError
+
+
+class ColumnStatistic(abc.ABC):
+    """A synopsis of one column of one relation.
+
+    Implementations must answer the estimation questions the engine asks
+    (equality and range selectivity, distinct-value count) *without* access
+    to the underlying relation.
+    """
+
+    @property
+    @abc.abstractmethod
+    def row_count(self) -> int:
+        """Number of rows the statistic was built over."""
+
+    @abc.abstractmethod
+    def estimate_equality(self, value: object) -> float:
+        """Estimated number of rows whose column equals ``value``."""
+
+    @abc.abstractmethod
+    def estimate_range(
+        self,
+        low: Optional[object],
+        high: Optional[object],
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> float:
+        """Estimated number of rows whose column lies in the range."""
+
+    @abc.abstractmethod
+    def estimate_distinct(self) -> float:
+        """Estimated number of distinct values in the column."""
+
+    def selectivity_equality(self, value: object) -> float:
+        """Equality selectivity as a fraction of the rows."""
+        if self.row_count == 0:
+            return 0.0
+        return min(1.0, self.estimate_equality(value) / self.row_count)
+
+    def selectivity_range(
+        self,
+        low: Optional[object],
+        high: Optional[object],
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> float:
+        """Range selectivity as a fraction of the rows."""
+        if self.row_count == 0:
+            return 0.0
+        estimate = self.estimate_range(low, high, low_inclusive, high_inclusive)
+        return min(1.0, estimate / self.row_count)
+
+
+class StatisticsGenerator(abc.ABC):
+    """Builds a :class:`ColumnStatistic` from a column's values."""
+
+    @abc.abstractmethod
+    def build(self, values: Sequence[object]) -> ColumnStatistic:
+        """Construct the synopsis over ``values``."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Human-readable generator name (used in catalog listings)."""
+
+
+def statistics_equal(a: ColumnStatistic, b: ColumnStatistic, probes: Sequence[object]) -> bool:
+    """Observational equality of two statistics over a set of probe values.
+
+    Two synopses are indistinguishable to an estimator iff every question it
+    can ask returns the same answer; we approximate that with equality and
+    one-sided range probes at each probe value plus the distinct count.
+    """
+    if a.row_count != b.row_count:
+        return False
+    if abs(a.estimate_distinct() - b.estimate_distinct()) > 1e-9:
+        return False
+    for probe in probes:
+        if abs(a.estimate_equality(probe) - b.estimate_equality(probe)) > 1e-9:
+            return False
+        if abs(a.estimate_range(None, probe) - b.estimate_range(None, probe)) > 1e-9:
+            return False
+        if abs(a.estimate_range(probe, None) - b.estimate_range(probe, None)) > 1e-9:
+            return False
+    return True
+
+
+def verify_lossy_pair(
+    generator: StatisticsGenerator,
+    values: Sequence[object],
+    position: int,
+    replacement: object,
+    probes: Sequence[object],
+) -> Tuple[ColumnStatistic, ColumnStatistic, bool]:
+    """Check the lossiness witness used by Theorem 1.
+
+    Builds the statistic over ``values`` and over the same values with the
+    element at ``position`` replaced by ``replacement``, and reports whether
+    the two statistics are observationally equal over ``probes``.
+    Returns ``(stat, stat_after_change, indistinguishable)``.
+    """
+    if not 0 <= position < len(values):
+        raise StatisticsError("position %d out of range" % (position,))
+    changed: List[object] = list(values)
+    changed[position] = replacement
+    original_stat = generator.build(values)
+    changed_stat = generator.build(changed)
+    return (
+        original_stat,
+        changed_stat,
+        statistics_equal(original_stat, changed_stat, probes),
+    )

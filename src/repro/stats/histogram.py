@@ -1,0 +1,239 @@
+"""Histogram statistics: equi-width and equi-depth single-column synopses.
+
+Histograms are the canonical *lossy* single-relation statistic the paper
+reasons about: values inside a bucket can move without changing the bucket
+counts.  Both variants answer equality and range estimation using the
+standard uniformity-within-bucket assumption, which is exactly the source of
+the skew-induced cardinality errors the paper leans on ("the errors in the
+cardinality estimates are off by orders of magnitude").
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import StatisticsError
+from repro.stats.base import ColumnStatistic, StatisticsGenerator
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One histogram bucket: half-open key range with aggregate counts.
+
+    ``low`` is inclusive; ``high`` is inclusive only for the last bucket
+    (tracked by the owning histogram).
+    """
+
+    low: object
+    high: object
+    count: int
+    distinct: int
+
+    def width_fraction(self, low: object, high: object) -> float:
+        """Fraction of this bucket's key span covered by [low, high]."""
+        try:
+            span = float(self.high) - float(self.low)  # type: ignore[arg-type]
+            if span <= 0:
+                return 1.0
+            lo = max(float(low), float(self.low))  # type: ignore[arg-type]
+            hi = min(float(high), float(self.high))  # type: ignore[arg-type]
+            if hi <= lo:
+                return 0.0
+            return (hi - lo) / span
+        except (TypeError, ValueError):
+            # Non-numeric keys: fall back to all-or-nothing coverage.
+            return 1.0
+
+
+class Histogram(ColumnStatistic):
+    """A bucketized synopsis with uniformity-within-bucket estimation."""
+
+    def __init__(self, buckets: Sequence[Bucket], null_count: int = 0) -> None:
+        self._buckets: Tuple[Bucket, ...] = tuple(buckets)
+        self._null_count = null_count
+        self._lows = [bucket.low for bucket in self._buckets]
+        self._row_count = sum(bucket.count for bucket in self._buckets) + null_count
+
+    # -- ColumnStatistic ------------------------------------------------------
+
+    @property
+    def row_count(self) -> int:
+        return self._row_count
+
+    @property
+    def buckets(self) -> Tuple[Bucket, ...]:
+        return self._buckets
+
+    @property
+    def null_count(self) -> int:
+        return self._null_count
+
+    def estimate_equality(self, value: object) -> float:
+        bucket = self._bucket_for(value)
+        if bucket is None or bucket.distinct == 0:
+            return 0.0
+        return bucket.count / bucket.distinct
+
+    def estimate_range(
+        self,
+        low: Optional[object],
+        high: Optional[object],
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> float:
+        if not self._buckets:
+            return 0.0
+        effective_low = self._buckets[0].low if low is None else low
+        effective_high = self._buckets[-1].high if high is None else high
+        try:
+            if float(effective_high) < float(effective_low):  # type: ignore[arg-type]
+                return 0.0
+        except (TypeError, ValueError):
+            if effective_high < effective_low:  # type: ignore[operator]
+                return 0.0
+        total = 0.0
+        for bucket in self._buckets:
+            total += bucket.count * bucket.width_fraction(effective_low, effective_high)
+        return total
+
+    def estimate_distinct(self) -> float:
+        return float(sum(bucket.distinct for bucket in self._buckets))
+
+    # -- range lower/upper bounds (used by repro.core.bounds) ----------------
+
+    def range_bounds(self, low: Optional[object], high: Optional[object]) -> Tuple[int, int]:
+        """Guaranteed (lower, upper) bounds on rows with key in [low, high].
+
+        Buckets *entirely inside* the range contribute their full count to
+        the lower bound; buckets that merely intersect it contribute to the
+        upper bound.  This is how §5.1 tightens index-range-scan bounds from
+        "appropriate bucket boundaries in histograms".
+        """
+        lower = 0
+        upper = self._null_count * 0  # nulls never match a range predicate
+        for bucket in self._buckets:
+            intersects = (low is None or not self._less(bucket.high, low)) and (
+                high is None or not self._less(high, bucket.low)
+            )
+            contained = (low is None or not self._less(bucket.low, low)) and (
+                high is None or not self._less(high, bucket.high)
+            )
+            if contained:
+                lower += bucket.count
+            if intersects:
+                upper += bucket.count
+        return lower, upper
+
+    @staticmethod
+    def _less(a: object, b: object) -> bool:
+        try:
+            return a < b  # type: ignore[operator]
+        except TypeError:
+            return str(a) < str(b)
+
+    def _bucket_for(self, value: object) -> Optional[Bucket]:
+        if not self._buckets or value is None:
+            return None
+        if self._less(value, self._buckets[0].low):
+            return None
+        if self._less(self._buckets[-1].high, value):
+            return None
+        position = bisect.bisect_right(self._lows, value) - 1
+        position = max(0, position)
+        bucket = self._buckets[position]
+        if self._less(bucket.high, value):
+            return None
+        return bucket
+
+    def __repr__(self) -> str:
+        return "Histogram(%d buckets, %d rows)" % (len(self._buckets), self._row_count)
+
+
+def _clean_sorted(values: Sequence[object]) -> Tuple[List[object], int]:
+    present = [value for value in values if value is not None]
+    present.sort()
+    return present, len(values) - len(present)
+
+
+class EquiWidthHistogramGenerator(StatisticsGenerator):
+    """Buckets of (approximately) equal key-range width.
+
+    Only defined for numeric columns; for non-numeric data use the
+    equi-depth generator.
+    """
+
+    def __init__(self, bucket_count: int = 20) -> None:
+        if bucket_count < 1:
+            raise StatisticsError("bucket_count must be >= 1")
+        self.bucket_count = bucket_count
+
+    @property
+    def name(self) -> str:
+        return "equi-width(%d)" % (self.bucket_count,)
+
+    def build(self, values: Sequence[object]) -> Histogram:
+        present, null_count = _clean_sorted(values)
+        if not present:
+            return Histogram([], null_count)
+        try:
+            low = float(present[0])  # type: ignore[arg-type]
+            high = float(present[-1])  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            raise StatisticsError("equi-width histograms need numeric values") from None
+        if high == low:
+            bucket = Bucket(present[0], present[-1], len(present), len(set(present)))
+            return Histogram([bucket], null_count)
+        width = (high - low) / self.bucket_count
+        buckets: List[Bucket] = []
+        start = 0
+        for i in range(self.bucket_count):
+            bucket_high = high if i == self.bucket_count - 1 else low + width * (i + 1)
+            end = start
+            while end < len(present) and (
+                float(present[end]) < bucket_high  # type: ignore[arg-type]
+                or i == self.bucket_count - 1
+            ):
+                end += 1
+            chunk = present[start:end]
+            if chunk:
+                buckets.append(
+                    Bucket(low + width * i, bucket_high, len(chunk), len(set(chunk)))
+                )
+            start = end
+        return Histogram(buckets, null_count)
+
+
+class EquiDepthHistogramGenerator(StatisticsGenerator):
+    """Buckets holding (approximately) equal numbers of rows.
+
+    Works for any totally ordered value domain, including strings/dates.
+    """
+
+    def __init__(self, bucket_count: int = 20) -> None:
+        if bucket_count < 1:
+            raise StatisticsError("bucket_count must be >= 1")
+        self.bucket_count = bucket_count
+
+    @property
+    def name(self) -> str:
+        return "equi-depth(%d)" % (self.bucket_count,)
+
+    def build(self, values: Sequence[object]) -> Histogram:
+        present, null_count = _clean_sorted(values)
+        if not present:
+            return Histogram([], null_count)
+        depth = max(1, math.ceil(len(present) / self.bucket_count))
+        buckets: List[Bucket] = []
+        start = 0
+        while start < len(present):
+            end = min(start + depth, len(present))
+            # Never split a run of equal keys across buckets; extend instead.
+            while end < len(present) and present[end] == present[end - 1]:
+                end += 1
+            chunk = present[start:end]
+            buckets.append(Bucket(chunk[0], chunk[-1], len(chunk), len(set(chunk))))
+            start = end
+        return Histogram(buckets, null_count)

@@ -1,0 +1,54 @@
+"""Statistics manager: builds and registers synopses for catalog tables.
+
+This is the moral equivalent of ``UPDATE STATISTICS``/``ANALYZE``: it runs a
+single-relation statistics generator over each requested column and records
+the result in the catalog, where the planner and the progress estimators can
+find it.  Per the paper's framework, only *single-relation* statistics exist;
+nothing here captures cross-table correlation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.errors import StatisticsError
+from repro.stats.base import ColumnStatistic, StatisticsGenerator
+from repro.stats.histogram import EquiDepthHistogramGenerator
+from repro.storage.catalog import Catalog
+
+
+class StatisticsManager:
+    """Builds per-column statistics for tables registered in a catalog."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        generator: Optional[StatisticsGenerator] = None,
+    ) -> None:
+        self.catalog = catalog
+        self.generator = generator or EquiDepthHistogramGenerator()
+
+    def analyze_column(self, table_name: str, column: str) -> ColumnStatistic:
+        """Build (or rebuild) a statistic on one column and register it."""
+        table = self.catalog.table(table_name)
+        if not table.schema.has_column(column):
+            raise StatisticsError(
+                "table %r has no column %r to analyze" % (table_name, column)
+            )
+        statistic = self.generator.build(table.column_values(column))
+        self.catalog.set_statistic(table_name, column, statistic)
+        return statistic
+
+    def analyze_table(self, table_name: str) -> Dict[str, ColumnStatistic]:
+        """Build statistics on every column of ``table_name``."""
+        table = self.catalog.table(table_name)
+        return {
+            column.name: self.analyze_column(table_name, column.name)
+            for column in table.schema
+        }
+
+    def analyze_all(self, tables: Optional[Iterable[str]] = None) -> None:
+        """Build statistics on every column of every (or the given) tables."""
+        names = list(tables) if tables is not None else self.catalog.table_names()
+        for name in names:
+            self.analyze_table(name)

@@ -1,0 +1,106 @@
+"""Pre-computed sample statistics (the paper's *randomized* generator class).
+
+The paper's framework covers both deterministic generators (histograms) and
+randomized ones (pre-computed samples); its impossibility results hold for
+either.  :class:`SampleStatistic` answers the standard estimation questions
+by scaling sample frequencies, which makes it lossy in the paper's sense with
+high probability: a single changed tuple is usually not sampled.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import List, Optional, Sequence
+
+from repro.errors import StatisticsError
+from repro.stats.base import ColumnStatistic, StatisticsGenerator
+
+
+class SampleStatistic(ColumnStatistic):
+    """A uniform sample of a column plus the true row count."""
+
+    def __init__(self, sample: Sequence[object], row_count: int) -> None:
+        if row_count < len(sample):
+            raise StatisticsError("row_count smaller than sample size")
+        self._sample: List[object] = [v for v in sample if v is not None]
+        self._row_count = row_count
+        self._counts = Counter(self._sample)
+        self._sorted = sorted(self._sample)
+
+    @property
+    def row_count(self) -> int:
+        return self._row_count
+
+    @property
+    def sample_size(self) -> int:
+        return len(self._sample)
+
+    def _scale(self) -> float:
+        if not self._sample:
+            return 0.0
+        return self._row_count / len(self._sample)
+
+    def estimate_equality(self, value: object) -> float:
+        return self._counts.get(value, 0) * self._scale()
+
+    def estimate_range(
+        self,
+        low: Optional[object],
+        high: Optional[object],
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> float:
+        matched = 0
+        for value in self._sorted:
+            if low is not None:
+                if low_inclusive and value < low:  # type: ignore[operator]
+                    continue
+                if not low_inclusive and value <= low:  # type: ignore[operator]
+                    continue
+            if high is not None:
+                if high_inclusive and value > high:  # type: ignore[operator]
+                    continue
+                if not high_inclusive and value >= high:  # type: ignore[operator]
+                    continue
+            matched += 1
+        return matched * self._scale()
+
+    def estimate_distinct(self) -> float:
+        # Naive scale-up estimator; adequate for planning purposes here.
+        if not self._sample:
+            return 0.0
+        unique = len(self._counts)
+        if unique == len(self._sample):
+            # Looks like a (near-)unique column: assume all rows distinct.
+            return float(self._row_count)
+        return float(unique)
+
+    def __repr__(self) -> str:
+        return "SampleStatistic(%d of %d rows)" % (len(self._sample), self._row_count)
+
+
+class ReservoirSampleGenerator(StatisticsGenerator):
+    """Classic reservoir sampling with a fixed seed for reproducibility."""
+
+    def __init__(self, sample_size: int = 100, seed: int = 0) -> None:
+        if sample_size < 1:
+            raise StatisticsError("sample_size must be >= 1")
+        self.sample_size = sample_size
+        self.seed = seed
+
+    @property
+    def name(self) -> str:
+        return "reservoir(%d)" % (self.sample_size,)
+
+    def build(self, values: Sequence[object]) -> SampleStatistic:
+        rng = random.Random(self.seed)
+        reservoir: List[object] = []
+        for i, value in enumerate(values):
+            if i < self.sample_size:
+                reservoir.append(value)
+            else:
+                j = rng.randint(0, i)
+                if j < self.sample_size:
+                    reservoir[j] = value
+        return SampleStatistic(reservoir, len(values))

@@ -1,0 +1,29 @@
+"""Storage substrate: schemas, heap tables, indexes and the catalog."""
+
+from repro.storage.catalog import Catalog
+from repro.storage.index import HashIndex, SortedIndex
+from repro.storage.schema import (
+    Column,
+    ColumnType,
+    Schema,
+    columns,
+    format_name,
+    schema_of,
+    split_name,
+)
+from repro.storage.table import Row, Table
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnType",
+    "HashIndex",
+    "Row",
+    "Schema",
+    "SortedIndex",
+    "Table",
+    "columns",
+    "format_name",
+    "schema_of",
+    "split_name",
+]

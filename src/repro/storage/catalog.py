@@ -1,0 +1,136 @@
+"""The catalog: the registry of tables, indexes and statistics.
+
+The catalog plays the role of a database's system tables: the planner asks it
+for access paths, the statistics layer stores per-table synopses in it, and
+the progress-estimation layer reads *exact* base-table cardinalities from it
+(the paper assumes base cardinalities are "accurately available from the
+database catalogs").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import CatalogError
+from repro.storage.index import HashIndex, SortedIndex
+from repro.storage.table import Table
+
+
+class Catalog:
+    """Registry of tables, secondary indexes, and single-relation statistics."""
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+        self._hash_indexes: Dict[Tuple[str, str], HashIndex] = {}
+        self._sorted_indexes: Dict[Tuple[str, str], SortedIndex] = {}
+        # Statistics are stored per (table, column); values are objects from
+        # repro.stats (kept untyped here to avoid a storage->stats dependency).
+        self._statistics: Dict[Tuple[str, str], object] = {}
+
+    # -- tables ---------------------------------------------------------------
+
+    def add_table(self, table: Table, replace: bool = False) -> Table:
+        if table.name in self._tables and not replace:
+            raise CatalogError("table %r already registered" % (table.name,))
+        if replace:
+            self._drop_dependents(table.name)
+        self._tables[table.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError("no table %r in catalog" % (name,)) from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def tables(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def table_names(self) -> List[str]:
+        return list(self._tables)
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise CatalogError("no table %r in catalog" % (name,))
+        del self._tables[name]
+        self._drop_dependents(name)
+
+    def cardinality(self, name: str) -> int:
+        """Exact base-table cardinality, as a real catalog would know it."""
+        return len(self.table(name))
+
+    def _drop_dependents(self, table_name: str) -> None:
+        for key in [k for k in self._hash_indexes if k[0] == table_name]:
+            del self._hash_indexes[key]
+        for key in [k for k in self._sorted_indexes if k[0] == table_name]:
+            del self._sorted_indexes[key]
+        for key in [k for k in self._statistics if k[0] == table_name]:
+            del self._statistics[key]
+
+    # -- indexes --------------------------------------------------------------
+
+    def create_hash_index(self, table_name: str, column: str) -> HashIndex:
+        table = self.table(table_name)
+        key = (table_name, column)
+        if key in self._hash_indexes:
+            raise CatalogError("hash index on %s.%s already exists" % key)
+        index = HashIndex("hx_%s_%s" % key, table, column)
+        self._hash_indexes[key] = index
+        return index
+
+    def create_sorted_index(self, table_name: str, column: str) -> SortedIndex:
+        table = self.table(table_name)
+        key = (table_name, column)
+        if key in self._sorted_indexes:
+            raise CatalogError("sorted index on %s.%s already exists" % key)
+        index = SortedIndex("sx_%s_%s" % key, table, column)
+        self._sorted_indexes[key] = index
+        return index
+
+    def hash_index(self, table_name: str, column: str) -> Optional[HashIndex]:
+        return self._hash_indexes.get((table_name, column))
+
+    def sorted_index(self, table_name: str, column: str) -> Optional[SortedIndex]:
+        return self._sorted_indexes.get((table_name, column))
+
+    def any_index(self, table_name: str, column: str):
+        """Prefer a hash index for equality; fall back to a sorted index."""
+        return self.hash_index(table_name, column) or self.sorted_index(
+            table_name, column
+        )
+
+    def indexed_columns(self, table_name: str) -> List[str]:
+        """Columns of ``table_name`` that have any index."""
+        found = {
+            column
+            for (t, column) in list(self._hash_indexes) + list(self._sorted_indexes)
+            if t == table_name
+        }
+        return sorted(found)
+
+    # -- statistics -----------------------------------------------------------
+
+    def set_statistic(self, table_name: str, column: str, statistic: object) -> None:
+        self.table(table_name)  # existence check
+        self._statistics[(table_name, column)] = statistic
+
+    def statistic(self, table_name: str, column: str) -> Optional[object]:
+        return self._statistics.get((table_name, column))
+
+    def statistics_for(self, table_name: str) -> Dict[str, object]:
+        return {
+            column: stat
+            for (t, column), stat in self._statistics.items()
+            if t == table_name
+        }
+
+    def __repr__(self) -> str:
+        return "Catalog(%s: %d tables, %d indexes)" % (
+            self.name,
+            len(self._tables),
+            len(self._hash_indexes) + len(self._sorted_indexes),
+        )

@@ -1,0 +1,155 @@
+"""Secondary indexes over heap tables.
+
+Two access structures are provided:
+
+* :class:`HashIndex` — equality lookups only; backs ``⋈INL`` on equality
+  predicates and hash-based duplicate detection.
+* :class:`SortedIndex` — a sorted-array index (a stand-in for a B-tree) that
+  supports equality and range lookups and ordered full scans; backs
+  ``index-seek`` leaves and sorted access paths.
+
+Both return *rows of the base table* in a deterministic order (heap position
+order for hash indexes, key order then heap position for sorted indexes), so
+experiments are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import CatalogError
+from repro.storage.table import Row, Table
+
+
+class HashIndex:
+    """Equality index mapping a key column's value to base-table positions."""
+
+    def __init__(self, name: str, table: Table, column: str) -> None:
+        self.name = name
+        self.table = table
+        self.column = column
+        self._position = table.schema.index_of(column)
+        self._buckets: Dict[object, List[int]] = {}
+        for i, row in enumerate(table.rows):
+            self._buckets.setdefault(row[self._position], []).append(i)
+
+    def lookup(self, key: object) -> List[Row]:
+        """All base rows whose key column equals ``key`` (heap order)."""
+        return [self.table[i] for i in self._buckets.get(key, [])]
+
+    def lookup_positions(self, key: object) -> List[int]:
+        return list(self._buckets.get(key, []))
+
+    def count(self, key: object) -> int:
+        """Number of matches without materializing them."""
+        return len(self._buckets.get(key, []))
+
+    def distinct_keys(self) -> int:
+        return len(self._buckets)
+
+    def __repr__(self) -> str:
+        return "HashIndex(%s on %s.%s)" % (self.name, self.table.name, self.column)
+
+
+class SortedIndex:
+    """Sorted-array index supporting equality, range and ordered scans.
+
+    Keys must be mutually comparable (the engine's type system guarantees
+    this per column).  ``None`` keys are excluded from the index, matching
+    the usual SQL semantics where NULL never matches a seek predicate.
+    """
+
+    def __init__(self, name: str, table: Table, column: str) -> None:
+        self.name = name
+        self.table = table
+        self.column = column
+        self._position = table.schema.index_of(column)
+        entries = [
+            (row[self._position], i)
+            for i, row in enumerate(table.rows)
+            if row[self._position] is not None
+        ]
+        entries.sort()
+        self._keys: List[object] = [key for key, _ in entries]
+        self._positions: List[int] = [pos for _, pos in entries]
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def lookup(self, key: object) -> List[Row]:
+        """All base rows with key exactly ``key``, in key/heap order."""
+        if key is None:
+            return []  # NULL never matches an index seek
+        lo = bisect.bisect_left(self._keys, key)
+        hi = bisect.bisect_right(self._keys, key)
+        return [self.table[self._positions[i]] for i in range(lo, hi)]
+
+    def count(self, key: object) -> int:
+        if key is None:
+            return 0
+        lo = bisect.bisect_left(self._keys, key)
+        hi = bisect.bisect_right(self._keys, key)
+        return hi - lo
+
+    def range_scan(
+        self,
+        low: Optional[object] = None,
+        high: Optional[object] = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[Row]:
+        """Yield rows with key in the given range, in key order."""
+        lo, hi = self._range_bounds(low, high, low_inclusive, high_inclusive)
+        for i in range(lo, hi):
+            yield self.table[self._positions[i]]
+
+    def range_count(
+        self,
+        low: Optional[object] = None,
+        high: Optional[object] = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> int:
+        """Exact number of rows in a key range (no materialization)."""
+        lo, hi = self._range_bounds(low, high, low_inclusive, high_inclusive)
+        return max(0, hi - lo)
+
+    def full_scan(self) -> Iterator[Row]:
+        """Yield every indexed row in key order."""
+        for position in self._positions:
+            yield self.table[position]
+
+    def min_key(self) -> object:
+        if not self._keys:
+            raise CatalogError("index %s is empty" % (self.name,))
+        return self._keys[0]
+
+    def max_key(self) -> object:
+        if not self._keys:
+            raise CatalogError("index %s is empty" % (self.name,))
+        return self._keys[-1]
+
+    def _range_bounds(
+        self,
+        low: Optional[object],
+        high: Optional[object],
+        low_inclusive: bool,
+        high_inclusive: bool,
+    ) -> Tuple[int, int]:
+        if low is None:
+            lo = 0
+        elif low_inclusive:
+            lo = bisect.bisect_left(self._keys, low)
+        else:
+            lo = bisect.bisect_right(self._keys, low)
+        if high is None:
+            hi = len(self._keys)
+        elif high_inclusive:
+            hi = bisect.bisect_right(self._keys, high)
+        else:
+            hi = bisect.bisect_left(self._keys, high)
+        return lo, hi
+
+    def __repr__(self) -> str:
+        return "SortedIndex(%s on %s.%s)" % (self.name, self.table.name, self.column)

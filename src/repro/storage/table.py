@@ -1,0 +1,115 @@
+"""Heap tables: in-memory relations with a deterministic row order.
+
+Row order matters in this package: the paper's worst-case arguments hinge on
+*where* in the scan order an "offending" tuple appears, so tables preserve
+insertion order exactly and provide explicit reordering helpers
+(:meth:`Table.reordered`, :meth:`Table.shuffled`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.storage.schema import Schema
+
+Row = Tuple[object, ...]
+
+
+class Table:
+    """An in-memory relation: a schema plus an ordered list of rows.
+
+    Tables are append-only after construction; analyses that need a different
+    scan order build a new table via :meth:`reordered` or :meth:`shuffled`
+    (cheap: rows are shared, only the order list is new).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        rows: Optional[Iterable[Sequence[object]]] = None,
+        validate: bool = True,
+    ) -> None:
+        if not name:
+            raise SchemaError("table name must be non-empty")
+        self.name = name
+        self.schema = schema
+        self._rows: List[Row] = []
+        if rows is not None:
+            self.insert_many(rows, validate=validate)
+
+    # -- mutation -------------------------------------------------------------
+
+    def insert(self, row: Sequence[object], validate: bool = True) -> None:
+        """Append one row (validated against the schema by default)."""
+        if validate:
+            self.schema.validate_row(row)
+        self._rows.append(tuple(row))
+
+    def insert_many(self, rows: Iterable[Sequence[object]], validate: bool = True) -> None:
+        """Append many rows; validation can be disabled for bulk loads."""
+        for row in rows:
+            self.insert(row, validate=validate)
+
+    # -- access ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __getitem__(self, position: int) -> Row:
+        return self._rows[position]
+
+    @property
+    def rows(self) -> Sequence[Row]:
+        """The rows, in scan order.  Do not mutate."""
+        return self._rows
+
+    def cardinality(self) -> int:
+        return len(self._rows)
+
+    def column_values(self, name: str) -> List[object]:
+        """All values of one column, in scan order."""
+        position = self.schema.index_of(name)
+        return [row[position] for row in self._rows]
+
+    # -- reordering -----------------------------------------------------------
+
+    def reordered(
+        self,
+        key: Callable[[Row], object],
+        reverse: bool = False,
+        name: Optional[str] = None,
+    ) -> "Table":
+        """A new table with the same rows sorted by ``key``."""
+        ordered = sorted(self._rows, key=key, reverse=reverse)
+        return self._with_rows(ordered, name)
+
+    def shuffled(self, seed: int, name: Optional[str] = None) -> "Table":
+        """A new table with the same rows in a seeded random order."""
+        rows = list(self._rows)
+        random.Random(seed).shuffle(rows)
+        return self._with_rows(rows, name)
+
+    def with_row_moved(self, source: int, destination: int, name: Optional[str] = None) -> "Table":
+        """A new table with the row at ``source`` moved to ``destination``.
+
+        This is the primitive used to build the paper's adversarial orders
+        ("the offending tuple appears after 90% of the relation").
+        """
+        rows = list(self._rows)
+        row = rows.pop(source)
+        rows.insert(destination, row)
+        return self._with_rows(rows, name)
+
+    def _with_rows(self, rows: List[Row], name: Optional[str]) -> "Table":
+        clone = Table(name or self.name, self.schema)
+        clone._rows = rows
+        return clone
+
+    def __repr__(self) -> str:
+        return "Table(%s, %d rows)" % (self.name, len(self._rows))

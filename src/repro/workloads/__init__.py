@@ -1,0 +1,47 @@
+"""Workload generators: zipfian joins, adversarial instances, mini TPC-H,
+and the synthetic SkyServer catalog."""
+
+from repro.workloads.adversarial import (
+    Example2Workload,
+    TwinInstances,
+    ZipfianJoinWorkload,
+    make_example2,
+    make_twin_instances,
+    make_zipfian_join,
+)
+from repro.workloads.skyserver import (
+    SKYSERVER_QUERIES,
+    SkyServerDatabase,
+    build_skyserver_query,
+    generate_skyserver,
+)
+from repro.workloads.tpch import (
+    QUERIES,
+    TpchDatabase,
+    all_queries,
+    build_query,
+    generate_tpch,
+)
+from repro.workloads.zipf import ZipfSampler, zipf_column, zipf_frequencies, zipf_weights
+
+__all__ = [
+    "Example2Workload",
+    "QUERIES",
+    "SKYSERVER_QUERIES",
+    "SkyServerDatabase",
+    "TpchDatabase",
+    "TwinInstances",
+    "ZipfSampler",
+    "ZipfianJoinWorkload",
+    "all_queries",
+    "build_query",
+    "build_skyserver_query",
+    "generate_skyserver",
+    "generate_tpch",
+    "make_example2",
+    "make_twin_instances",
+    "make_zipfian_join",
+    "zipf_column",
+    "zipf_frequencies",
+    "zipf_weights",
+]

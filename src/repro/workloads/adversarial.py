@@ -1,0 +1,269 @@
+"""The paper's synthetic join instances (Examples 1-3, Figures 4, 5, 7).
+
+Three families:
+
+* :func:`make_zipfian_join` — the §5.2/§5.3 experiment: ``R1(A)`` with
+  unique values joined (⋈INL through an index, or ⋈hash) against ``R2(B)``
+  whose join column is zipf-distributed.  The *order* of ``R1`` is the
+  experiment's knob: ``skew_first`` puts the high-fan-out tuples at the
+  start (Figure 4: dne under-estimates), ``skew_last`` at the end (Figure 5:
+  dne over-estimates), ``random`` shuffles.
+* :func:`make_example2` — Example 2 verbatim: one tuple passes the
+  selection and joins 10,000-fold; μ stays small, so pmax is tight while
+  dne can be wildly off.
+* :func:`make_twin_instances` — the Theorem 1 construction: two instances
+  differing in a single tuple (x ↔ y inside one histogram bucket) that no
+  lossy single-relation statistic can tell apart, while ``total(Q)``
+  differs by an arbitrary factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.engine.expressions import col, lit
+from repro.engine.operators.filter import Filter
+from repro.engine.operators.hash_join import HashJoin
+from repro.engine.operators.index_nested_loops import IndexNestedLoopsJoin
+from repro.engine.operators.merge_join import MergeJoin
+from repro.engine.operators.scan import TableScan
+from repro.engine.operators.sort import Sort, SortKey
+from repro.engine.plan import Plan
+from repro.errors import ReproError
+from repro.stats.base import statistics_equal
+from repro.stats.histogram import EquiDepthHistogramGenerator
+from repro.stats.manager import StatisticsManager
+from repro.storage.catalog import Catalog
+from repro.storage.schema import schema_of
+from repro.storage.table import Table
+from repro.workloads.zipf import zipf_frequencies
+
+ORDERS = ("skew_first", "skew_last", "random")
+
+
+@dataclass
+class ZipfianJoinWorkload:
+    """The R1 ⋈ R2 setup shared by Figures 4, 5, 7 and Table 1."""
+
+    catalog: Catalog
+    r1: Table
+    r2: Table
+    order: str
+    z: float
+    #: fan-out of each R1 value, by value (value v joins fanout[v] R2 rows)
+    fanout: List[int]
+
+    # -- plans ---------------------------------------------------------------------
+
+    def inl_plan(self, skip_top_ranks: int = 0, name: Optional[str] = None) -> Plan:
+        """scan(R1) [→ σ] → ⋈INL with the index on R2.B.
+
+        ``skip_top_ranks > 0`` adds the Figure 7 filter that removes the
+        high-skew tuples (values 1..k are the k highest fan-outs).
+        """
+        outer = TableScan(self.r1)
+        if skip_top_ranks > 0:
+            outer = Filter(outer, col("r1.a") > lit(skip_top_ranks))
+        index = self.catalog.hash_index("r2", "b")
+        assert index is not None
+        join = IndexNestedLoopsJoin(
+            outer, index, col("r1.a"), linear=True
+        )
+        return Plan(join, name or "zipf-inl-%s" % (self.order,))
+
+    def hash_plan(self, skip_top_ranks: int = 0, name: Optional[str] = None) -> Plan:
+        """⋈hash with R1 as the build side — the Table 1 scan-based variant."""
+        build = TableScan(self.r1)
+        if skip_top_ranks > 0:
+            build = Filter(build, col("r1.a") > lit(skip_top_ranks))
+        probe = TableScan(self.r2)
+        join = HashJoin(build, probe, col("r1.a"), col("r2.b"), linear=True)
+        return Plan(join, name or "zipf-hash-%s" % (self.order,))
+
+    def merge_plan(self, name: Optional[str] = None) -> Plan:
+        """sort-sort-⋈merge — the other scan-based plan of §5.4."""
+        left = Sort(TableScan(self.r1), [SortKey(col("r1.a"))])
+        right = Sort(TableScan(self.r2), [SortKey(col("r2.b"))])
+        join = MergeJoin(left, right, col("r1.a"), col("r2.b"), linear=True)
+        return Plan(join, name or "zipf-merge-%s" % (self.order,))
+
+
+def make_zipfian_join(
+    n: int = 20000,
+    z: float = 2.0,
+    order: str = "skew_last",
+    seed: int = 7,
+    distinct_fraction: float = 1.0,
+) -> ZipfianJoinWorkload:
+    """Build the zipfian join instance at scale ``n`` rows per relation.
+
+    ``R1.a`` holds each value 1..n exactly once; ``R2.b`` holds ``n`` values
+    zipf(z)-distributed over ranks 1..⌈n·distinct_fraction⌉ (value = rank,
+    so value 1 has the highest fan-out).  ``order`` fixes R1's storage order
+    by fan-out; R2's order is rank-sorted (irrelevant: it is only accessed
+    through the index or scanned whole).
+    """
+    if order not in ORDERS:
+        raise ReproError("order must be one of %s" % (ORDERS,))
+    distinct = max(1, int(n * distinct_fraction))
+    frequencies = zipf_frequencies(n, distinct, z)
+
+    fanout = [0] * (n + 1)
+    r2_rows: List[Tuple[int]] = []
+    for rank, frequency in enumerate(frequencies, start=1):
+        fanout[rank] = frequency
+        r2_rows.extend([(rank,)] * frequency)
+
+    r1_values = list(range(1, n + 1))
+    if order == "skew_first":
+        r1_values.sort(key=lambda value: fanout[value], reverse=True)
+    elif order == "skew_last":
+        r1_values.sort(key=lambda value: fanout[value])
+    else:
+        import random as _random
+
+        _random.Random(seed).shuffle(r1_values)
+
+    catalog = Catalog()
+    r1 = Table("r1", schema_of("r1", "a:int"), [(value,) for value in r1_values])
+    r2 = Table("r2", schema_of("r2", "b:int"), r2_rows)
+    catalog.add_table(r1)
+    catalog.add_table(r2)
+    catalog.create_hash_index("r2", "b")
+    StatisticsManager(catalog).analyze_all()
+    return ZipfianJoinWorkload(catalog, r1, r2, order, z, fanout)
+
+
+@dataclass
+class Example2Workload:
+    """Example 2: selection keeps one tuple, which joins ``matches``-fold."""
+
+    catalog: Catalog
+    r1: Table
+    r2: Table
+    selected_value: int
+    matches: int
+
+    def inl_plan(self, name: str = "example2") -> Plan:
+        index = self.catalog.hash_index("r2", "b")
+        assert index is not None
+        outer = Filter(TableScan(self.r1), col("r1.a") == lit(self.selected_value))
+        join = IndexNestedLoopsJoin(outer, index, col("r1.a"), linear=True)
+        return Plan(join, name)
+
+    @property
+    def expected_total(self) -> int:
+        """|R1| + 1 + matches, as computed in the paper."""
+        return len(self.r1) + 1 + self.matches
+
+
+def make_example2(
+    n: int = 100000, matches: int = 10000, selected_position: int = 0
+) -> Example2Workload:
+    """Example 2 at parameterizable scale (paper: n=100,000, matches=10,000)."""
+    if not 0 <= selected_position < n:
+        raise ReproError("selected_position out of range")
+    selected_value = 1
+    r1_values = [selected_value + 1 + i for i in range(n)]
+    r1_values[selected_position] = selected_value
+    catalog = Catalog()
+    r1 = Table("r1", schema_of("r1", "a:int"), [(v,) for v in r1_values])
+    r2 = Table(
+        "r2",
+        schema_of("r2", "b:int"),
+        [(selected_value,)] * matches + [(-i - 1,) for i in range(n - matches)],
+    )
+    catalog.add_table(r1)
+    catalog.add_table(r2)
+    catalog.create_hash_index("r2", "b")
+    StatisticsManager(catalog).analyze_all()
+    return Example2Workload(catalog, r1, r2, selected_value, matches)
+
+
+@dataclass
+class TwinInstances:
+    """The Theorem 1 pair: statistically indistinguishable, work apart."""
+
+    catalog_x: Catalog  # instance R11 (tuple t has value x: joins nothing)
+    catalog_y: Catalog  # instance R12 (tuple t has value y: joins all of R2)
+    x: float
+    y: float
+    position: int  # index of t in R1's scan order
+    r2_size: int
+
+    def plan_x(self) -> Plan:
+        return self._plan(self.catalog_x, "twin-x")
+
+    def plan_y(self) -> Plan:
+        return self._plan(self.catalog_y, "twin-y")
+
+    @staticmethod
+    def _plan(catalog: Catalog, name: str) -> Plan:
+        index = catalog.hash_index("r2", "b")
+        assert index is not None
+        join = IndexNestedLoopsJoin(
+            TableScan(catalog.table("r1")), index, col("r1.a"), linear=True
+        )
+        return Plan(join, name)
+
+
+def make_twin_instances(
+    n: int = 10000,
+    f1: float = 0.1,
+    f2: float = 0.9,
+    buckets: int = 20,
+) -> TwinInstances:
+    """Construct the Theorem 1 instances.
+
+    R1 holds values 1..n (scan order = value order) except that the tuple at
+    fraction ``f2`` of the scan holds ``x`` (instance R11) or ``y`` (R12),
+    where x and y sit strictly inside one histogram bucket so the equi-depth
+    statistics of the two instances are identical.  R2 holds
+    ``(f2/f1 - 1)·n`` rows, all with value ``y``.
+
+    The resulting totals: total(plan_x) = n, total(plan_y) = n·f2/f1 —
+    indistinguishable until the offending tuple is read.
+    """
+    if not 0 < f1 < f2 < 1:
+        raise ReproError("need 0 < f1 < f2 < 1")
+    position = int(n * f2)
+    # x and y straddle an integer strictly inside the first histogram bucket
+    # (depth/2 keeps them away from bucket boundaries), so the sorted
+    # multiset changes in exactly one interior slot and bucket boundaries,
+    # counts and distinct counts all stay identical.
+    depth = max(3, -(-n // buckets))
+    anchor = depth // 2
+    x = anchor + 0.25
+    y = anchor + 0.75
+    values: List[float] = [float(v) for v in range(1, n + 1)]
+    values_x = list(values)
+    values_y = list(values)
+    values_x[position] = x
+    values_y[position] = y
+
+    generator = EquiDepthHistogramGenerator(buckets)
+    stat_x = generator.build(values_x)
+    stat_y = generator.build(values_y)
+    probes = [float(v) for v in range(0, n + 2, max(1, n // 50))] + [x, y]
+    if not statistics_equal(stat_x, stat_y, probes):
+        raise ReproError(
+            "twin construction failed: histograms distinguish x from y"
+        )
+
+    r2_size = int((f2 / f1 - 1.0) * n)
+
+    def build_catalog(r1_values: List[float]) -> Catalog:
+        catalog = Catalog()
+        r1 = Table("r1", schema_of("r1", "a:float"), [(v,) for v in r1_values])
+        r2 = Table("r2", schema_of("r2", "b:float"), [(y,)] * r2_size)
+        catalog.add_table(r1)
+        catalog.add_table(r2)
+        catalog.create_hash_index("r2", "b")
+        manager = StatisticsManager(catalog, generator)
+        manager.analyze_all()
+        return catalog
+
+    return TwinInstances(
+        build_catalog(values_x), build_catalog(values_y), x, y, position, r2_size
+    )

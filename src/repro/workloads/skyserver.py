@@ -1,0 +1,263 @@
+"""A synthetic SkyServer-like astronomical workload (Table 3's data set).
+
+The paper's second μ study uses the personal edition of the SDSS SkyServer
+database [4] with its suite of 35 sample queries, reporting μ for the seven
+long-running ones (queries 3, 6, 14, 18, 22, 28, 32).  The real database is
+not redistributable, so this module generates a synthetic sky catalog with
+the same *structural* properties the μ measurement depends on: one very
+large photometric table scanned by every long query, a much smaller
+spectroscopic table, and a pair table for neighborhood self-joins, with
+query shapes mirroring the SDSS samples (color-cut scans, photo-spectro
+joins, neighbor searches).  μ stays small because these queries scan a lot
+and emit little — exactly the paper's point about ad-hoc decision support.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.engine.expressions import And, Between, InList, col, lit
+from repro.engine.operators.aggregate import (
+    HashAggregate,
+    agg_avg,
+    agg_max,
+    agg_min,
+    agg_sum,
+    count_star,
+)
+from repro.engine.operators.filter import Filter
+from repro.engine.operators.hash_join import HashJoin
+from repro.engine.operators.misc import Distinct, Limit
+from repro.engine.operators.project import Project
+from repro.engine.operators.scan import TableScan
+from repro.engine.operators.sort import Sort, SortKey
+from repro.engine.operators.topn import TopN
+from repro.engine.plan import Plan
+from repro.stats.manager import StatisticsManager
+from repro.storage.catalog import Catalog
+from repro.storage.schema import schema_of
+from repro.storage.table import Table
+
+#: SDSS object types: star / galaxy / sky / unknown
+OBJ_TYPES = (3, 6, 8, 0)
+SPEC_CLASSES = ("STAR", "GALAXY", "QSO")
+
+
+@dataclass
+class SkyServerDatabase:
+    """The synthetic sky catalog."""
+
+    catalog: Catalog
+    scale: int
+    seed: int
+
+    def table(self, name: str) -> Table:
+        return self.catalog.table(name)
+
+
+def generate_skyserver(scale: int = 6000, seed: int = 11) -> SkyServerDatabase:
+    """Generate photoobj (``scale`` rows), specobj (~10%), neighbors (~50%)."""
+    rng = random.Random(seed)
+    catalog = Catalog("skyserver(scale=%d)" % (scale,))
+
+    photo_rows: List[tuple] = []
+    for objid in range(1, scale + 1):
+        ra = rng.uniform(0.0, 360.0)
+        dec = rng.uniform(-90.0, 90.0)
+        base = rng.uniform(14.0, 24.0)
+        # Correlated magnitudes with per-band scatter (realistic color cuts).
+        u, g, r, i, z = (round(base + rng.gauss(0, 0.8), 3) for _ in range(5))
+        photo_rows.append(
+            (
+                objid,
+                round(ra, 5),
+                round(dec, 5),
+                rng.choice(OBJ_TYPES),
+                u, g, r, i, z,
+                rng.randrange(0, 4),  # status
+                rng.randrange(0, 1 << 8),  # flags
+            )
+        )
+    photoobj = Table(
+        "photoobj",
+        schema_of(
+            "photoobj",
+            "objid:int", "ra:float", "dec:float", "type:int",
+            "u:float", "g:float", "r:float", "i:float", "z:float",
+            "status:int", "flags:int",
+        ),
+        photo_rows,
+        validate=False,
+    )
+
+    spec_rows: List[tuple] = []
+    spec_count = max(1, scale // 10)
+    spec_targets = rng.sample(range(1, scale + 1), spec_count)
+    for specid, objid in enumerate(sorted(spec_targets), start=1):
+        spec_rows.append(
+            (
+                specid,
+                objid,
+                rng.choice(SPEC_CLASSES),
+                round(abs(rng.gauss(0.1, 0.2)), 4),  # redshift
+                rng.randrange(266, 3000),  # plate
+            )
+        )
+    specobj = Table(
+        "specobj",
+        schema_of(
+            "specobj",
+            "specobjid:int", "bestobjid:int", "class:str",
+            "redshift:float", "plate:int",
+        ),
+        spec_rows,
+        validate=False,
+    )
+
+    neighbor_rows: List[tuple] = []
+    for _ in range(scale // 2):
+        a = rng.randrange(1, scale + 1)
+        b = rng.randrange(1, scale + 1)
+        if a != b:
+            neighbor_rows.append((a, b, round(rng.uniform(0.0, 0.5), 4)))
+    neighbors = Table(
+        "neighbors",
+        schema_of("neighbors", "objid:int", "neighborobjid:int", "distance:float"),
+        neighbor_rows,
+        validate=False,
+    )
+
+    for table in (photoobj, specobj, neighbors):
+        catalog.add_table(table)
+    catalog.create_hash_index("photoobj", "objid")
+    catalog.create_hash_index("specobj", "bestobjid")
+    catalog.create_hash_index("neighbors", "objid")
+    StatisticsManager(catalog).analyze_all()
+    return SkyServerDatabase(catalog, scale, seed)
+
+
+# -- the seven long-running query shapes of Table 3 -----------------------------
+
+
+def _photo(db: SkyServerDatabase) -> TableScan:
+    return TableScan(db.table("photoobj"))
+
+
+def sx3(db: SkyServerDatabase) -> Plan:
+    """SX3: color-cut galaxy search — one selective scan + tiny output."""
+    filtered = Filter(
+        _photo(db),
+        And(
+            col("type") == lit(6),
+            col("u") - col("g") < lit(0.4),
+            col("g") - col("r") < lit(0.7),
+        ),
+    )
+    projected = Project(
+        filtered, [("objid", col("objid")), ("ra", col("ra")), ("dec", col("dec"))]
+    )
+    return Plan(projected, "sky-q3")
+
+
+def sx6(db: SkyServerDatabase) -> Plan:
+    """SX6: photo-spectro join for one spectral class."""
+    spec = Filter(TableScan(db.table("specobj")), col("class") == lit("GALAXY"))
+    join = HashJoin(
+        spec, _photo(db), col("bestobjid"), col("objid"), linear=True
+    )
+    aggregated = HashAggregate(
+        join,
+        [("type", col("type"))],
+        [count_star("n"), agg_avg(col("redshift"), "avg_z")],
+    )
+    return Plan(Sort(aggregated, [SortKey(col("type"))]), "sky-q6")
+
+
+def sx14(db: SkyServerDatabase) -> Plan:
+    """SX14: magnitude histogram over the full photometric table."""
+    bucketed = Project(
+        _photo(db),
+        [("rbin", (col("r") - (col("r") % lit(1.0)))), ("g", col("g"))],
+    )
+    aggregated = HashAggregate(
+        bucketed,
+        [("rbin", col("rbin"))],
+        [count_star("n"), agg_avg(col("g"), "avg_g")],
+    )
+    return Plan(Sort(aggregated, [SortKey(col("rbin"))]), "sky-q14")
+
+
+def sx18(db: SkyServerDatabase) -> Plan:
+    """SX18: neighbor self-join — pairs of close objects of given types."""
+    near = Filter(
+        TableScan(db.table("neighbors")), col("distance") < lit(0.05)
+    )
+    join = HashJoin(near, _photo(db), col("objid"), col("objid"), linear=True)
+    filtered = Filter(join, col("type") == lit(3))
+    deduped = Distinct(Project(filtered, [("objid", col("neighborobjid"))]))
+    return Plan(deduped, "sky-q18")
+
+
+def sx22(db: SkyServerDatabase) -> Plan:
+    """SX22: joint photo+spec statistics per plate."""
+    join = HashJoin(
+        TableScan(db.table("specobj")), _photo(db),
+        col("bestobjid"), col("objid"), linear=True,
+    )
+    bright = Filter(join, col("r") < lit(21.0))
+    aggregated = HashAggregate(
+        bright,
+        [("plate", col("plate"))],
+        [count_star("n"), agg_min(col("redshift"), "min_z"),
+         agg_max(col("redshift"), "max_z")],
+    )
+    return Plan(
+        TopN(aggregated, [SortKey(col("n"), descending=True)], 50), "sky-q22"
+    )
+
+
+def sx28(db: SkyServerDatabase) -> Plan:
+    """SX28: sky-region scan with flag mask and scalar aggregation."""
+    filtered = Filter(
+        _photo(db),
+        And(
+            Between(col("ra"), lit(120.0), lit(240.0)),
+            Between(col("dec"), lit(-10.0), lit(50.0)),
+            InList(col("status"), [1, 2]),
+        ),
+    )
+    aggregated = HashAggregate(
+        filtered,
+        [],
+        [count_star("n"), agg_sum(col("r"), "sum_r"), agg_avg(col("i"), "avg_i")],
+    )
+    return Plan(aggregated, "sky-q28")
+
+
+def sx32(db: SkyServerDatabase) -> Plan:
+    """SX32: per-type color statistics over everything (scan + wide γ)."""
+    aggregated = HashAggregate(
+        _photo(db),
+        [("type", col("type"))],
+        [
+            count_star("n"),
+            agg_avg(col("u") - col("g"), "avg_ug"),
+            agg_avg(col("g") - col("r"), "avg_gr"),
+            agg_avg(col("r") - col("i"), "avg_ri"),
+            agg_avg(col("i") - col("z"), "avg_iz"),
+        ],
+    )
+    return Plan(Sort(aggregated, [SortKey(col("type"))]), "sky-q32")
+
+
+#: Table 3's seven long-running queries, keyed by their SDSS sample number.
+SKYSERVER_QUERIES: Dict[int, Callable[[SkyServerDatabase], Plan]] = {
+    3: sx3, 6: sx6, 14: sx14, 18: sx18, 22: sx22, 28: sx28, 32: sx32,
+}
+
+
+def build_skyserver_query(db: SkyServerDatabase, number: int) -> Plan:
+    return SKYSERVER_QUERIES[number](db)

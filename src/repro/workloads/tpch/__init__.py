@@ -1,0 +1,15 @@
+"""Miniature skewed TPC-H: schemas, data generator and the 22 query plans."""
+
+from repro.workloads.tpch.dbgen import TpchDatabase, generate_tpch
+from repro.workloads.tpch.queries import QUERIES, all_queries, build_query
+from repro.workloads.tpch.schema import SF1_CARDINALITIES, tpch_schemas
+
+__all__ = [
+    "QUERIES",
+    "SF1_CARDINALITIES",
+    "TpchDatabase",
+    "all_queries",
+    "build_query",
+    "generate_tpch",
+    "tpch_schemas",
+]

@@ -1,0 +1,246 @@
+"""A miniature skewed TPC-H data generator.
+
+Stands in for the 1 GB database the paper built with the Microsoft Research
+skewed-dbgen tool [18]: cardinalities follow TPC-H SF-1 scaled by ``scale``,
+and a zipf parameter ``skew`` (the paper uses z=2) skews the foreign-key
+choices and several value columns.  Everything is seeded and deterministic.
+
+The skew matters twice in the paper: it makes optimizer cardinality
+estimates badly wrong (§7), and it creates high-variance per-tuple work for
+index-lookup joins (§5).
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.stats.manager import StatisticsManager
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+from repro.workloads.tpch.schema import (
+    BRANDS,
+    CONTAINERS,
+    MKT_SEGMENTS,
+    NATIONS,
+    ORDER_PRIORITIES,
+    REGIONS,
+    RETURN_FLAGS,
+    SF1_CARDINALITIES,
+    SHIP_MODES,
+    TYPES,
+    tpch_schemas,
+)
+from repro.workloads.zipf import ZipfSampler
+
+_BASE_DATE = datetime.date(1992, 1, 1)
+_DATE_SPAN_DAYS = (datetime.date(1998, 12, 31) - _BASE_DATE).days
+
+
+def _date(day: int) -> str:
+    return (_BASE_DATE + datetime.timedelta(days=day)).isoformat()
+
+
+@dataclass
+class TpchDatabase:
+    """The generated catalog plus generation parameters."""
+
+    catalog: Catalog
+    scale: float
+    skew: float
+    seed: int
+
+    def table(self, name: str) -> Table:
+        return self.catalog.table(name)
+
+    def cardinalities(self) -> Dict[str, int]:
+        return {name: len(self.catalog.table(name)) for name in SF1_CARDINALITIES}
+
+
+def generate_tpch(
+    scale: float = 0.001,
+    skew: float = 2.0,
+    seed: int = 42,
+    build_statistics: bool = True,
+    build_indexes: bool = True,
+) -> TpchDatabase:
+    """Generate the eight TPC-H tables at ``scale`` with zipf ``skew``.
+
+    ``scale=0.001`` yields ~150 customers / 1500 orders / ~6000 lineitems —
+    enough structure for every benchmark query while keeping runs fast.
+    """
+    rng = random.Random(seed)
+    schemas = tpch_schemas()
+    counts = {
+        name: max(minimum, int(round(sf1 * scale)))
+        for (name, sf1), minimum in zip(
+            SF1_CARDINALITIES.items(), (5, 25, 5, 20, 20, 40, 50, 150)
+        )
+    }
+    catalog = Catalog(name="tpch(scale=%g,z=%g)" % (scale, skew))
+
+    # -- region / nation --------------------------------------------------------
+    region_rows = [(i, REGIONS[i]) for i in range(counts["region"])]
+    nation_rows = [
+        (i, NATIONS[i % len(NATIONS)], i % counts["region"])
+        for i in range(counts["nation"])
+    ]
+
+    # -- supplier -----------------------------------------------------------------
+    supplier_rows = []
+    for i in range(counts["supplier"]):
+        supplier_rows.append(
+            (
+                i + 1,
+                "Supplier#%09d" % (i + 1,),
+                rng.randrange(counts["nation"]),
+                round(rng.uniform(-999.99, 9999.99), 2),
+                "supplier comment %d" % (i,),
+            )
+        )
+
+    # -- customer -----------------------------------------------------------------
+    customer_rows = []
+    for i in range(counts["customer"]):
+        nation = rng.randrange(counts["nation"])
+        customer_rows.append(
+            (
+                i + 1,
+                "Customer#%09d" % (i + 1,),
+                nation,
+                round(rng.uniform(-999.99, 9999.99), 2),
+                rng.choice(MKT_SEGMENTS),
+                "%02d-%03d-%03d-%04d"
+                % (10 + nation, rng.randrange(1000), rng.randrange(1000),
+                   rng.randrange(10000)),
+            )
+        )
+
+    # -- part ------------------------------------------------------------------------
+    part_rows = []
+    for i in range(counts["part"]):
+        part_rows.append(
+            (
+                i + 1,
+                "part name %d" % (i,),
+                "Manufacturer#%d" % (i % 5 + 1,),
+                rng.choice(BRANDS),
+                rng.choice(TYPES),
+                rng.randrange(1, 51),
+                rng.choice(CONTAINERS),
+                round(900.0 + (i % 1000) + i / 10.0, 2),
+            )
+        )
+
+    # -- partsupp (each part supplied by up to 4 suppliers) ----------------------------
+    partsupp_rows = []
+    per_part = max(1, counts["partsupp"] // counts["part"])
+    for part_key in range(1, counts["part"] + 1):
+        for j in range(per_part):
+            supp_key = (part_key + j * (counts["supplier"] // per_part + 1)) % counts[
+                "supplier"
+            ] + 1
+            partsupp_rows.append(
+                (
+                    part_key,
+                    supp_key,
+                    rng.randrange(1, 10000),
+                    round(rng.uniform(1.0, 1000.0), 2),
+                )
+            )
+
+    # -- orders (customer FK is zipf-skewed) --------------------------------------------
+    customer_sampler = ZipfSampler(counts["customer"], skew, seed=seed + 1)
+    orders_rows = []
+    order_dates: List[int] = []
+    for i in range(counts["orders"]):
+        day = rng.randrange(_DATE_SPAN_DAYS - 200)
+        order_dates.append(day)
+        orders_rows.append(
+            (
+                i + 1,
+                customer_sampler.sample(),
+                rng.choice("OFP"),
+                0.0,  # patched below from the lineitems
+                _date(day),
+                rng.choice(ORDER_PRIORITIES),
+                0,
+            )
+        )
+
+    # -- lineitem (part/supplier FKs zipf-skewed; ~4 lines per order) --------------------
+    part_sampler = ZipfSampler(counts["part"], skew, seed=seed + 2)
+    supplier_sampler = ZipfSampler(counts["supplier"], skew, seed=seed + 3)
+    lineitem_rows = []
+    totals = [0.0] * counts["orders"]
+    lines_left = counts["lineitem"]
+    order_index = 0
+    while lines_left > 0 and order_index < counts["orders"]:
+        lines = min(lines_left, rng.randrange(1, 8))
+        if order_index == counts["orders"] - 1:
+            lines = lines_left
+        order_day = order_dates[order_index]
+        for line_number in range(1, lines + 1):
+            quantity = float(rng.randrange(1, 51))
+            price = round(quantity * rng.uniform(900.0, 1100.0), 2)
+            discount = round(rng.randrange(0, 11) / 100.0, 2)
+            tax = round(rng.randrange(0, 9) / 100.0, 2)
+            ship_day = min(order_day + rng.randrange(1, 122), _DATE_SPAN_DAYS)
+            commit_day = min(order_day + rng.randrange(30, 91), _DATE_SPAN_DAYS)
+            receipt_day = min(ship_day + rng.randrange(1, 31), _DATE_SPAN_DAYS)
+            lineitem_rows.append(
+                (
+                    order_index + 1,
+                    part_sampler.sample(),
+                    supplier_sampler.sample(),
+                    line_number,
+                    quantity,
+                    price,
+                    discount,
+                    tax,
+                    rng.choice(RETURN_FLAGS),
+                    "O" if ship_day > _DATE_SPAN_DAYS - 900 else "F",
+                    _date(ship_day),
+                    _date(commit_day),
+                    _date(receipt_day),
+                    rng.choice(SHIP_MODES),
+                )
+            )
+            totals[order_index] += price
+        lines_left -= lines
+        order_index += 1
+    orders_rows = [
+        row[:3] + (round(totals[i], 2),) + row[4:]
+        for i, row in enumerate(orders_rows)
+    ]
+
+    data = {
+        "region": region_rows,
+        "nation": nation_rows,
+        "supplier": supplier_rows,
+        "customer": customer_rows,
+        "part": part_rows,
+        "partsupp": partsupp_rows,
+        "orders": orders_rows,
+        "lineitem": lineitem_rows,
+    }
+    for name, rows in data.items():
+        catalog.add_table(Table(name, schemas[name], rows, validate=False))
+
+    if build_indexes:
+        catalog.create_hash_index("region", "r_regionkey")
+        catalog.create_hash_index("nation", "n_nationkey")
+        catalog.create_hash_index("supplier", "s_suppkey")
+        catalog.create_hash_index("customer", "c_custkey")
+        catalog.create_hash_index("part", "p_partkey")
+        catalog.create_hash_index("orders", "o_orderkey")
+        catalog.create_hash_index("partsupp", "ps_partkey")
+        catalog.create_hash_index("lineitem", "l_orderkey")
+        catalog.create_sorted_index("lineitem", "l_shipdate")
+        catalog.create_sorted_index("orders", "o_orderdate")
+
+    if build_statistics:
+        StatisticsManager(catalog).analyze_all()
+    return TpchDatabase(catalog, scale, skew, seed)

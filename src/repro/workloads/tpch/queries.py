@@ -1,0 +1,605 @@
+"""Physical plans for the TPC-H benchmark queries (Q1-Q22).
+
+These are *structural* reproductions: each plan touches the same tables,
+applies the same class of predicates, and has the same operator skeleton
+(filters → joins → aggregation → sort) as the official query, simplified
+where the engine lacks a feature (correlated subqueries become join +
+aggregate combinations, EXISTS becomes distinct-semijoins, string functions
+become LIKE predicates).  What the paper measures about them — the μ value,
+the pipeline structure, the bound behavior — depends exactly on this
+skeleton, not on SQL minutiae.
+
+Most plans are scan-based (hash joins; the common TPC-H case the paper
+notes); Q12/Q15/Q18 include index-nested-loops joins so the suite also
+exercises nested iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.expressions import (
+    And,
+    Between,
+    Case,
+    IsNull,
+    Expression,
+    InList,
+    Like,
+    Not,
+    Or,
+    col,
+    lit,
+)
+from repro.engine.operators.aggregate import (
+    AggregateSpec,
+    HashAggregate,
+    agg_avg,
+    agg_max,
+    agg_min,
+    agg_sum,
+    count,
+    count_star,
+)
+from repro.engine.operators.base import Operator
+from repro.engine.operators.filter import Filter
+from repro.engine.operators.hash_join import HashJoin
+from repro.engine.operators.index_nested_loops import IndexNestedLoopsJoin
+from repro.engine.operators.misc import Distinct, Limit
+from repro.engine.operators.project import Project
+from repro.engine.operators.scan import TableScan
+from repro.engine.operators.sort import Sort, SortKey
+from repro.engine.operators.topn import TopN
+from repro.engine.plan import Plan
+from repro.workloads.tpch.dbgen import TpchDatabase
+
+QueryBuilder = Callable[[TpchDatabase], Plan]
+
+
+# -- small plan-building vocabulary -------------------------------------------
+
+
+def _scan(db: TpchDatabase, table: str, alias: Optional[str] = None) -> TableScan:
+    return TableScan(db.table(table), alias)
+
+
+def _hj(
+    build: Operator,
+    probe: Operator,
+    build_key: str,
+    probe_key: str,
+    linear: bool = True,
+) -> HashJoin:
+    return HashJoin(build, probe, col(build_key), col(probe_key), linear=linear)
+
+
+def _inl(
+    db: TpchDatabase,
+    outer: Operator,
+    inner_table: str,
+    inner_column: str,
+    outer_key: str,
+    linear: bool = True,
+    alias: Optional[str] = None,
+) -> IndexNestedLoopsJoin:
+    index = db.catalog.hash_index(inner_table, inner_column)
+    if index is None:
+        raise ValueError("no index on %s.%s" % (inner_table, inner_column))
+    return IndexNestedLoopsJoin(
+        outer, index, col(outer_key), inner_alias=alias, linear=linear
+    )
+
+
+def _agg(
+    child: Operator,
+    by: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+) -> HashAggregate:
+    # Qualified grouping columns keep their qualifier in the output name
+    # (n1.n_name → n1_n_name) so twin aliases stay distinguishable.
+    group = [(name.replace(".", "_") if "." in name else name, col(name))
+             for name in by]
+    return HashAggregate(child, group, list(aggregates))
+
+
+def _sort(child: Operator, *keys: Tuple[str, bool]) -> Sort:
+    return Sort(child, [SortKey(col(name), descending) for name, descending in keys])
+
+
+def _topn(child: Operator, limit: int, *keys: Tuple[str, bool]) -> TopN:
+    return TopN(
+        child,
+        [SortKey(col(name), descending) for name, descending in keys],
+        limit,
+    )
+
+
+def _revenue() -> Expression:
+    return col("l_extendedprice") * (lit(1.0) - col("l_discount"))
+
+
+# -- the queries -----------------------------------------------------------------
+
+
+def q1(db: TpchDatabase) -> Plan:
+    """Pricing summary report: one big scan + filter + γ + tiny sort."""
+    filtered = Filter(
+        _scan(db, "lineitem"), col("l_shipdate") <= lit("1998-09-01")
+    )
+    aggregated = _agg(
+        filtered,
+        ["l_returnflag", "l_linestatus"],
+        [
+            agg_sum(col("l_quantity"), "sum_qty"),
+            agg_sum(col("l_extendedprice"), "sum_base_price"),
+            agg_sum(_revenue(), "sum_disc_price"),
+            agg_sum(_revenue() * (lit(1.0) + col("l_tax")), "sum_charge"),
+            agg_avg(col("l_quantity"), "avg_qty"),
+            agg_avg(col("l_extendedprice"), "avg_price"),
+            agg_avg(col("l_discount"), "avg_disc"),
+            count_star("count_order"),
+        ],
+    )
+    return Plan(
+        _sort(aggregated, ("l_returnflag", False), ("l_linestatus", False)), "tpch-q1"
+    )
+
+
+def q2(db: TpchDatabase) -> Plan:
+    """Minimum-cost supplier: part/partsupp/supplier/nation/region joins."""
+    part = Filter(
+        _scan(db, "part"),
+        And(col("p_size") == lit(15), Like(col("p_type"), "%BRASS")),
+    )
+    join = _hj(part, _scan(db, "partsupp"), "p_partkey", "ps_partkey")
+    join = _hj(_scan(db, "supplier"), join, "s_suppkey", "ps_suppkey")
+    join = _hj(_scan(db, "nation"), join, "n_nationkey", "s_nationkey")
+    region = Filter(_scan(db, "region"), col("r_name") == lit("EUROPE"))
+    join = _hj(region, join, "r_regionkey", "n_regionkey")
+    aggregated = _agg(
+        join,
+        ["p_partkey", "s_name", "n_name", "s_acctbal"],
+        [agg_min(col("ps_supplycost"), "min_cost")],
+    )
+    top = _topn(aggregated, 100, ("s_acctbal", True), ("s_name", False))
+    return Plan(top, "tpch-q2")
+
+
+def q3(db: TpchDatabase) -> Plan:
+    """Shipping priority: the classic 3-way join + γ + top-10."""
+    customer = Filter(
+        _scan(db, "customer"), col("c_mktsegment") == lit("BUILDING")
+    )
+    orders = Filter(_scan(db, "orders"), col("o_orderdate") < lit("1995-03-15"))
+    join = _hj(customer, orders, "c_custkey", "o_custkey")
+    lineitem = Filter(_scan(db, "lineitem"), col("l_shipdate") > lit("1995-03-15"))
+    join = _hj(join, lineitem, "o_orderkey", "l_orderkey")
+    aggregated = _agg(
+        join,
+        ["l_orderkey", "o_orderdate", "o_shippriority"],
+        [agg_sum(_revenue(), "revenue")],
+    )
+    return Plan(_topn(aggregated, 10, ("revenue", True)), "tpch-q3")
+
+
+def q4(db: TpchDatabase) -> Plan:
+    """Order priority checking: EXISTS via index semijoin.
+
+    Driven from the (selective) orders side with index lookups into
+    lineitem — the plan shape behind the paper's tiny μ = 1.003: almost all
+    work is the orders scan, the index probes are invisible to the GetNext
+    model, and only the first matching late line per order is kept.
+    """
+    orders = Filter(
+        _scan(db, "orders"),
+        Between(col("o_orderdate"), lit("1993-07-01"), lit("1993-09-30")),
+    )
+    join = _inl(db, orders, "lineitem", "l_orderkey", "o_orderkey",
+                linear=False)
+    late = Filter(join, col("l_commitdate") < col("l_receiptdate"))
+    semi = Distinct(
+        Project(late, [("o_orderkey", col("o_orderkey")),
+                       ("o_orderpriority", col("o_orderpriority"))])
+    )
+    aggregated = _agg(semi, ["o_orderpriority"], [count_star("order_count")])
+    return Plan(_sort(aggregated, ("o_orderpriority", False)), "tpch-q4")
+
+
+def q5(db: TpchDatabase) -> Plan:
+    """Local supplier volume: 6-way join restricted to one region."""
+    region = Filter(_scan(db, "region"), col("r_name") == lit("ASIA"))
+    nation = _hj(region, _scan(db, "nation"), "r_regionkey", "n_regionkey")
+    supplier = _hj(nation, _scan(db, "supplier"), "n_nationkey", "s_nationkey")
+    lineitem = _hj(supplier, _scan(db, "lineitem"), "s_suppkey", "l_suppkey",
+                   linear=False)
+    orders = Filter(
+        _scan(db, "orders"),
+        Between(col("o_orderdate"), lit("1994-01-01"), lit("1994-12-31")),
+    )
+    join = _hj(orders, lineitem, "o_orderkey", "l_orderkey")
+    join = _hj(_scan(db, "customer"), join, "c_custkey", "o_custkey")
+    join = Filter(join, col("c_nationkey") == col("s_nationkey"))
+    aggregated = _agg(join, ["n_name"], [agg_sum(_revenue(), "revenue")])
+    return Plan(_sort(aggregated, ("revenue", True)), "tpch-q5")
+
+
+def q6(db: TpchDatabase) -> Plan:
+    """Forecasting revenue change: a single selective scan + scalar γ."""
+    filtered = Filter(
+        _scan(db, "lineitem"),
+        And(
+            Between(col("l_shipdate"), lit("1994-01-01"), lit("1994-12-31")),
+            Between(col("l_discount"), lit(0.05), lit(0.07)),
+            col("l_quantity") < lit(24.0),
+        ),
+    )
+    aggregated = HashAggregate(
+        filtered, [], [agg_sum(col("l_extendedprice") * col("l_discount"), "revenue")]
+    )
+    return Plan(aggregated, "tpch-q6")
+
+
+def q7(db: TpchDatabase) -> Plan:
+    """Volume shipping between two nations."""
+    n1 = Filter(_scan(db, "nation", "n1"), InList(col("n1.n_name"),
+                                                  ["FRANCE", "GERMANY"]))
+    supplier = _hj(n1, _scan(db, "supplier"), "n1.n_nationkey", "s_nationkey")
+    lineitem = Filter(
+        _scan(db, "lineitem"),
+        Between(col("l_shipdate"), lit("1995-01-01"), lit("1996-12-31")),
+    )
+    join = _hj(supplier, lineitem, "s_suppkey", "l_suppkey", linear=False)
+    orders = _hj(_scan(db, "orders"), join, "o_orderkey", "l_orderkey")
+    customer = _hj(_scan(db, "customer"), orders, "c_custkey", "o_custkey")
+    n2 = Filter(_scan(db, "nation", "n2"), InList(col("n2.n_name"),
+                                                  ["FRANCE", "GERMANY"]))
+    join = _hj(n2, customer, "n2.n_nationkey", "c_nationkey")
+    join = Filter(join, Not(col("n1.n_name") == col("n2.n_name")))
+    aggregated = _agg(
+        join, ["n1.n_name", "n2.n_name"], [agg_sum(_revenue(), "revenue")]
+    )
+    return Plan(_sort(aggregated, ("revenue", True)), "tpch-q7")
+
+
+def q8(db: TpchDatabase) -> Plan:
+    """National market share."""
+    region = Filter(_scan(db, "region"), col("r_name") == lit("AMERICA"))
+    nation = _hj(region, _scan(db, "nation", "n1"), "r_regionkey", "n1.n_regionkey")
+    customer = _hj(nation, _scan(db, "customer"), "n1.n_nationkey", "c_nationkey")
+    orders = Filter(
+        _scan(db, "orders"),
+        Between(col("o_orderdate"), lit("1995-01-01"), lit("1996-12-31")),
+    )
+    join = _hj(customer, orders, "c_custkey", "o_custkey")
+    join = _hj(join, _scan(db, "lineitem"), "o_orderkey", "l_orderkey")
+    part = Filter(_scan(db, "part"), Like(col("p_type"), "ECONOMY%"))
+    join = _hj(part, join, "p_partkey", "l_partkey")
+    supplier = _hj(_scan(db, "supplier"), join, "s_suppkey", "l_suppkey")
+    n2 = _hj(_scan(db, "nation", "n2"), supplier, "n2.n_nationkey", "s_nationkey")
+    aggregated = _agg(n2, ["n2.n_name"], [agg_sum(_revenue(), "volume")])
+    return Plan(_sort(aggregated, ("volume", True)), "tpch-q8")
+
+
+def q9(db: TpchDatabase) -> Plan:
+    """Product-type profit measure."""
+    part = Filter(_scan(db, "part"), Like(col("p_name"), "%1%"))
+    join = _hj(part, _scan(db, "lineitem"), "p_partkey", "l_partkey")
+    join = _hj(_scan(db, "supplier"), join, "s_suppkey", "l_suppkey")
+    join = Filter(
+        _hj(_scan(db, "partsupp"), join, "ps_partkey", "l_partkey", linear=False),
+        col("ps_suppkey") == col("l_suppkey"),
+    )
+    join = _hj(_scan(db, "orders"), join, "o_orderkey", "l_orderkey")
+    join = _hj(_scan(db, "nation"), join, "n_nationkey", "s_nationkey")
+    profit = _revenue() - col("ps_supplycost") * col("l_quantity")
+    aggregated = _agg(join, ["n_name"], [agg_sum(profit, "sum_profit")])
+    return Plan(_sort(aggregated, ("n_name", False)), "tpch-q9")
+
+
+def q10(db: TpchDatabase) -> Plan:
+    """Returned-item reporting."""
+    orders = Filter(
+        _scan(db, "orders"),
+        Between(col("o_orderdate"), lit("1993-10-01"), lit("1993-12-31")),
+    )
+    join = _hj(orders, Filter(_scan(db, "lineitem"),
+                              col("l_returnflag") == lit("R")),
+               "o_orderkey", "l_orderkey")
+    join = _hj(_scan(db, "customer"), join, "c_custkey", "o_custkey")
+    join = _hj(_scan(db, "nation"), join, "n_nationkey", "c_nationkey")
+    aggregated = _agg(
+        join,
+        ["c_custkey", "c_name", "c_acctbal", "n_name", "c_phone"],
+        [agg_sum(_revenue(), "revenue")],
+    )
+    return Plan(_topn(aggregated, 20, ("revenue", True)), "tpch-q10")
+
+
+def q11(db: TpchDatabase) -> Plan:
+    """Important stock identification."""
+    nation = Filter(_scan(db, "nation"), col("n_name") == lit("GERMANY"))
+    supplier = _hj(nation, _scan(db, "supplier"), "n_nationkey", "s_nationkey")
+    join = _hj(supplier, _scan(db, "partsupp"), "s_suppkey", "ps_suppkey",
+               linear=False)
+    value = col("ps_supplycost") * col("ps_availqty")
+    aggregated = _agg(join, ["ps_partkey"], [agg_sum(value, "value")])
+    filtered = Filter(aggregated, col("value") > lit(100.0))
+    return Plan(_sort(filtered, ("value", True)), "tpch-q11")
+
+
+def q12(db: TpchDatabase) -> Plan:
+    """Shipping modes and order priority — uses ⋈INL into orders."""
+    lineitem = Filter(
+        _scan(db, "lineitem"),
+        And(
+            InList(col("l_shipmode"), ["MAIL", "SHIP"]),
+            col("l_commitdate") < col("l_receiptdate"),
+            col("l_shipdate") < col("l_commitdate"),
+            Between(col("l_receiptdate"), lit("1994-01-01"), lit("1994-12-31")),
+        ),
+    )
+    join = _inl(db, lineitem, "orders", "o_orderkey", "l_orderkey")
+    high = Case(
+        [(InList(col("o_orderpriority"), ["1-URGENT", "2-HIGH"]), lit(1))], lit(0)
+    )
+    low = Case(
+        [(InList(col("o_orderpriority"), ["1-URGENT", "2-HIGH"]), lit(0))], lit(1)
+    )
+    aggregated = _agg(
+        join,
+        ["l_shipmode"],
+        [agg_sum(high, "high_line_count"), agg_sum(low, "low_line_count")],
+    )
+    return Plan(_sort(aggregated, ("l_shipmode", False)), "tpch-q12")
+
+
+def q13(db: TpchDatabase) -> Plan:
+    """Customer distribution — the benchmark's LEFT OUTER JOIN query.
+
+    Customers with no orders must appear with count 0, so the per-customer
+    census is outer-joined to customer (probe side preserved) and NULL
+    counts are folded to zero before the final histogram.
+    """
+    per_customer = _agg(_scan(db, "orders"), ["o_custkey"], [count_star("c_count")])
+    join = HashJoin(
+        per_customer,
+        _scan(db, "customer"),
+        col("o_custkey"),
+        col("c_custkey"),
+        linear=True,
+        preserve_probe=True,
+    )
+    folded = Project(
+        join,
+        [("c_count", Case([(IsNull(col("c_count")), lit(0))], col("c_count")))],
+    )
+    distribution = _agg(folded, ["c_count"], [count_star("custdist")])
+    return Plan(_sort(distribution, ("custdist", True), ("c_count", True)),
+                "tpch-q13")
+
+
+def q14(db: TpchDatabase) -> Plan:
+    """Promotion effect."""
+    lineitem = Filter(
+        _scan(db, "lineitem"),
+        Between(col("l_shipdate"), lit("1995-09-01"), lit("1995-09-30")),
+    )
+    join = _hj(_scan(db, "part"), lineitem, "p_partkey", "l_partkey")
+    promo = Case([(Like(col("p_type"), "PROMO%"), _revenue())], lit(0.0))
+    aggregated = HashAggregate(
+        join,
+        [],
+        [agg_sum(promo, "promo_revenue"), agg_sum(_revenue(), "total_revenue")],
+    )
+    return Plan(aggregated, "tpch-q14")
+
+
+def q15(db: TpchDatabase) -> Plan:
+    """Top supplier — revenue view then an index lookup into supplier."""
+    lineitem = Filter(
+        _scan(db, "lineitem"),
+        Between(col("l_shipdate"), lit("1996-01-01"), lit("1996-03-31")),
+    )
+    revenue = _agg(lineitem, ["l_suppkey"], [agg_sum(_revenue(), "total_revenue")])
+    top = Limit(_sort(revenue, ("total_revenue", True)), 1)
+    join = _inl(db, top, "supplier", "s_suppkey", "l_suppkey")
+    return Plan(join, "tpch-q15")
+
+
+def q16(db: TpchDatabase) -> Plan:
+    """Parts/supplier relationship counts."""
+    part = Filter(
+        _scan(db, "part"),
+        And(
+            Not(col("p_brand") == lit("Brand#45")),
+            Not(Like(col("p_type"), "MEDIUM POLISHED%")),
+            InList(col("p_size"), [3, 9, 14, 19, 23, 36, 45, 49]),
+        ),
+    )
+    join = _hj(part, _scan(db, "partsupp"), "p_partkey", "ps_partkey")
+    deduped = Distinct(
+        Project(
+            join,
+            [
+                ("p_brand", col("p_brand")),
+                ("p_type", col("p_type")),
+                ("p_size", col("p_size")),
+                ("ps_suppkey", col("ps_suppkey")),
+            ],
+        )
+    )
+    aggregated = _agg(
+        deduped, ["p_brand", "p_type", "p_size"], [count_star("supplier_cnt")]
+    )
+    return Plan(
+        _sort(aggregated, ("supplier_cnt", True), ("p_brand", False)), "tpch-q16"
+    )
+
+
+def q17(db: TpchDatabase) -> Plan:
+    """Small-quantity-order revenue."""
+    part = Filter(
+        _scan(db, "part"),
+        And(col("p_brand") == lit("Brand#23"),
+            col("p_container") == lit("MED BAG")),
+    )
+    join = _hj(part, _scan(db, "lineitem"), "p_partkey", "l_partkey")
+    per_part = _agg(
+        join,
+        ["p_partkey"],
+        [agg_avg(col("l_quantity"), "avg_qty"),
+         agg_sum(col("l_extendedprice"), "sum_price")],
+    )
+    cheap = Filter(per_part, col("avg_qty") < lit(25.0))
+    aggregated = HashAggregate(
+        cheap, [], [agg_sum(col("sum_price"), "avg_yearly")]
+    )
+    return Plan(aggregated, "tpch-q17")
+
+
+def q18(db: TpchDatabase) -> Plan:
+    """Large-volume customers — the suite's second-highest-μ query.
+
+    The classic sort-based shape: lineitem is sorted (its rows tick a
+    second time as the sort re-emits them) and stream-aggregated per order,
+    the heavy orders are looked up back into orders/customer, and the
+    matching lines are re-fetched.  Work per input tuple is high (paper:
+    μ = 2.771; structurally ≈ 2.3 here) because the big relation flows
+    through multiple counted operators.
+    """
+    from repro.engine.operators.aggregate import StreamAggregate
+
+    sorted_lines = Sort(_scan(db, "lineitem"), [SortKey(col("l_orderkey"))])
+    per_order = StreamAggregate(
+        sorted_lines,
+        [("l_orderkey", col("l_orderkey"))],
+        [agg_sum(col("l_quantity"), "sum_qty")],
+    )
+    big = Filter(per_order, col("sum_qty") > lit(250.0))
+    join = _inl(db, big, "orders", "o_orderkey", "l_orderkey")
+    join = _inl(db, join, "customer", "c_custkey", "o_custkey")
+    join = _inl(db, join, "lineitem", "l_orderkey", "o_orderkey", linear=False,
+                alias="l2")
+    aggregated = _agg(
+        join,
+        ["c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice"],
+        [agg_sum(col("l2.l_quantity"), "total_qty")],
+    )
+    return Plan(
+        _topn(aggregated, 100, ("o_totalprice", True), ("o_orderdate", False)),
+        "tpch-q18",
+    )
+
+
+def q19(db: TpchDatabase) -> Plan:
+    """Discounted revenue with OR-of-brackets residual predicate."""
+    join = HashJoin(
+        _scan(db, "part"),
+        _scan(db, "lineitem"),
+        col("p_partkey"),
+        col("l_partkey"),
+        residual=Or(
+            And(col("p_brand") == lit("Brand#12"),
+                Between(col("l_quantity"), lit(1.0), lit(11.0))),
+            And(col("p_brand") == lit("Brand#23"),
+                Between(col("l_quantity"), lit(10.0), lit(20.0))),
+            And(col("p_brand") == lit("Brand#34"),
+                Between(col("l_quantity"), lit(20.0), lit(30.0))),
+        ),
+        linear=True,
+    )
+    aggregated = HashAggregate(join, [], [agg_sum(_revenue(), "revenue")])
+    return Plan(aggregated, "tpch-q19")
+
+
+def q20(db: TpchDatabase) -> Plan:
+    """Potential part promotion."""
+    shipped = Filter(
+        _scan(db, "lineitem"),
+        Between(col("l_shipdate"), lit("1994-01-01"), lit("1994-12-31")),
+    )
+    per_ps = _agg(
+        shipped, ["l_partkey", "l_suppkey"], [agg_sum(col("l_quantity"), "qty")]
+    )
+    part = Filter(_scan(db, "part"), Like(col("p_name"), "part name 1%"))
+    join = _hj(part, _scan(db, "partsupp"), "p_partkey", "ps_partkey")
+    join = Filter(
+        _hj(per_ps, join, "l_partkey", "ps_partkey", linear=False),
+        And(col("l_suppkey") == col("ps_suppkey"),
+            col("ps_availqty") > col("qty") * lit(0.5)),
+    )
+    join = _hj(_scan(db, "supplier"), join, "s_suppkey", "ps_suppkey")
+    nation = Filter(_scan(db, "nation"), col("n_name") == lit("CANADA"))
+    join = _hj(nation, join, "n_nationkey", "s_nationkey")
+    deduped = Distinct(Project(join, [("s_name", col("s_name"))]))
+    return Plan(_sort(deduped, ("s_name", False)), "tpch-q20")
+
+
+def q21(db: TpchDatabase) -> Plan:
+    """Suppliers who kept orders waiting — the paper's Figure 6 query.
+
+    Multi-pipeline: lineitem is scanned twice (once for the per-order
+    supplier census, once for the late lines), with several hash joins and
+    aggregations stacked above — the bound refinement visibly tightens as
+    pipelines complete.
+    """
+    # Census: how many distinct suppliers served each order?
+    census = _agg(
+        Distinct(
+            Project(
+                _scan(db, "lineitem", "lc"),
+                [("lc_orderkey", col("lc.l_orderkey")),
+                 ("lc_suppkey", col("lc.l_suppkey"))],
+            )
+        ),
+        ["lc_orderkey"],
+        [count_star("supplier_count")],
+    )
+    multi = Filter(census, col("supplier_count") > lit(1))
+    # Late lines from failed orders.
+    late = Filter(
+        _scan(db, "lineitem"), col("l_receiptdate") > col("l_commitdate")
+    )
+    orders = Filter(_scan(db, "orders"), col("o_orderstatus") == lit("F"))
+    join = _hj(orders, late, "o_orderkey", "l_orderkey")
+    join = _hj(multi, join, "lc_orderkey", "l_orderkey", linear=False)
+    join = _hj(_scan(db, "supplier"), join, "s_suppkey", "l_suppkey")
+    nation = Filter(_scan(db, "nation"), col("n_name") == lit("SAUDI ARABIA"))
+    join = _hj(nation, join, "n_nationkey", "s_nationkey")
+    aggregated = _agg(join, ["s_name"], [count_star("numwait")])
+    return Plan(
+        _topn(aggregated, 100, ("numwait", True), ("s_name", False)),
+        "tpch-q21",
+    )
+
+
+def q22(db: TpchDatabase) -> Plan:
+    """Global sales opportunity (anti-join approximated via census filter)."""
+    per_customer = _agg(
+        _scan(db, "orders"), ["o_custkey"], [count_star("order_count")]
+    )
+    customer = Filter(_scan(db, "customer"), col("c_acctbal") > lit(0.0))
+    join = _hj(per_customer, customer, "o_custkey", "c_custkey")
+    quiet = Filter(join, col("order_count") <= lit(2))
+    aggregated = _agg(
+        quiet, ["c_nationkey"],
+        [count_star("numcust"), agg_sum(col("c_acctbal"), "totacctbal")],
+    )
+    return Plan(_sort(aggregated, ("c_nationkey", False)), "tpch-q22")
+
+
+#: registry used by benchmarks and examples
+QUERIES: Dict[int, QueryBuilder] = {
+    1: q1, 2: q2, 3: q3, 4: q4, 5: q5, 6: q6, 7: q7, 8: q8, 9: q9, 10: q10,
+    11: q11, 12: q12, 13: q13, 14: q14, 15: q15, 16: q16, 17: q17, 18: q18,
+    19: q19, 20: q20, 21: q21, 22: q22,
+}
+
+
+def build_query(db: TpchDatabase, number: int) -> Plan:
+    """Build TPC-H query ``number`` against ``db``."""
+    return QUERIES[number](db)
+
+
+def all_queries(db: TpchDatabase) -> List[Plan]:
+    return [builder(db) for builder in QUERIES.values()]

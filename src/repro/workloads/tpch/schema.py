@@ -1,0 +1,117 @@
+"""TPC-H table schemas (the columns the benchmark queries actually touch).
+
+Dates are ISO-8601 strings (they compare lexicographically, which is all the
+engine needs).  Schemas are qualified by their table name, exactly as the
+scans will re-qualify them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.storage.schema import Schema, schema_of
+
+#: TPC-H scale-factor-1 base cardinalities, scaled down by ``scale``
+SF1_CARDINALITIES = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10000,
+    "customer": 150000,
+    "part": 200000,
+    "partsupp": 800000,
+    "orders": 1500000,
+    "lineitem": 6000000,
+}
+
+
+def tpch_schemas() -> Dict[str, Schema]:
+    """All eight table schemas, keyed by table name."""
+    return {
+        "region": schema_of("region", "r_regionkey:int", "r_name:str"),
+        "nation": schema_of(
+            "nation", "n_nationkey:int", "n_name:str", "n_regionkey:int"
+        ),
+        "supplier": schema_of(
+            "supplier",
+            "s_suppkey:int",
+            "s_name:str",
+            "s_nationkey:int",
+            "s_acctbal:float",
+            "s_comment:str",
+        ),
+        "customer": schema_of(
+            "customer",
+            "c_custkey:int",
+            "c_name:str",
+            "c_nationkey:int",
+            "c_acctbal:float",
+            "c_mktsegment:str",
+            "c_phone:str",
+        ),
+        "part": schema_of(
+            "part",
+            "p_partkey:int",
+            "p_name:str",
+            "p_mfgr:str",
+            "p_brand:str",
+            "p_type:str",
+            "p_size:int",
+            "p_container:str",
+            "p_retailprice:float",
+        ),
+        "partsupp": schema_of(
+            "partsupp",
+            "ps_partkey:int",
+            "ps_suppkey:int",
+            "ps_availqty:int",
+            "ps_supplycost:float",
+        ),
+        "orders": schema_of(
+            "orders",
+            "o_orderkey:int",
+            "o_custkey:int",
+            "o_orderstatus:str",
+            "o_totalprice:float",
+            "o_orderdate:date",
+            "o_orderpriority:str",
+            "o_shippriority:int",
+        ),
+        "lineitem": schema_of(
+            "lineitem",
+            "l_orderkey:int",
+            "l_partkey:int",
+            "l_suppkey:int",
+            "l_linenumber:int",
+            "l_quantity:float",
+            "l_extendedprice:float",
+            "l_discount:float",
+            "l_tax:float",
+            "l_returnflag:str",
+            "l_linestatus:str",
+            "l_shipdate:date",
+            "l_commitdate:date",
+            "l_receiptdate:date",
+            "l_shipmode:str",
+        ),
+    }
+
+
+MKT_SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY")
+ORDER_PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW")
+SHIP_MODES = ("AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK")
+RETURN_FLAGS = ("A", "N", "R")
+CONTAINERS = ("JUMBO BOX", "LG CASE", "MED BAG", "SM PKG", "WRAP JAR")
+BRANDS = tuple("Brand#%d%d" % (i, j) for i in range(1, 6) for j in range(1, 6))
+TYPES = tuple(
+    "%s %s %s" % (a, b, c)
+    for a in ("ECONOMY", "LARGE", "MEDIUM", "PROMO", "SMALL", "STANDARD")
+    for b in ("ANODIZED", "BRUSHED", "BURNISHED", "PLATED", "POLISHED")
+    for c in ("BRASS", "COPPER", "NICKEL", "STEEL", "TIN")
+)
+NATIONS = (
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN",
+    "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+)
+REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")

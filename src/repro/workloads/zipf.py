@@ -1,0 +1,99 @@
+"""Zipfian data generation.
+
+The paper's synthetic experiments join a unique-valued column against a
+zipf(z=2)-distributed column ("known to be common in real data sets" [16]);
+the skewed TPC-H generator [18] likewise zipf-distributes attribute values.
+This module provides an exact, seeded zipf sampler over ranked keys.
+
+With parameter ``z``, the frequency of the key of rank ``r`` (1-based) is
+proportional to ``1 / r**z``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import List, Optional, Sequence
+
+from repro.errors import ReproError
+
+
+def zipf_weights(distinct: int, z: float) -> List[float]:
+    """Unnormalized zipf weights for ranks 1..distinct."""
+    if distinct < 1:
+        raise ReproError("zipf needs at least one distinct value")
+    if z < 0:
+        raise ReproError("zipf parameter must be non-negative")
+    return [1.0 / (rank ** z) for rank in range(1, distinct + 1)]
+
+
+def zipf_frequencies(total: int, distinct: int, z: float) -> List[int]:
+    """Integer frequencies for ranks 1..distinct summing exactly to ``total``.
+
+    Uses largest-remainder rounding so the output is deterministic and the
+    rank-frequency shape is exact (no sampling noise) — the generator the
+    experiments use when they need a *specific* fan-out profile.
+    """
+    if total < 0:
+        raise ReproError("total must be non-negative")
+    weights = zipf_weights(distinct, z)
+    norm = sum(weights)
+    raw = [total * weight / norm for weight in weights]
+    floors = [int(value) for value in raw]
+    shortfall = total - sum(floors)
+    remainders = sorted(
+        range(distinct), key=lambda i: raw[i] - floors[i], reverse=True
+    )
+    for i in remainders[:shortfall]:
+        floors[i] += 1
+    return floors
+
+
+class ZipfSampler:
+    """Seeded random sampling of ranks 1..distinct with zipf(z) weights."""
+
+    def __init__(self, distinct: int, z: float, seed: int = 0) -> None:
+        weights = zipf_weights(distinct, z)
+        self._cumulative = list(itertools.accumulate(weights))
+        self._total = self._cumulative[-1]
+        self._rng = random.Random(seed)
+        self.distinct = distinct
+        self.z = z
+
+    def sample(self) -> int:
+        """One rank in [1, distinct]."""
+        point = self._rng.random() * self._total
+        return bisect.bisect_left(self._cumulative, point) + 1
+
+    def sample_many(self, count: int) -> List[int]:
+        return [self.sample() for _ in range(count)]
+
+
+def zipf_column(
+    total: int,
+    distinct: int,
+    z: float,
+    seed: Optional[int] = None,
+    values: Optional[Sequence[object]] = None,
+) -> List[object]:
+    """A column of ``total`` values with a zipfian rank-frequency profile.
+
+    With ``seed`` given the column is sampled (noisy frequencies, shuffled
+    order); without it the exact frequency profile is laid out rank by rank.
+    ``values[r-1]`` supplies the actual value for rank r (defaults to the
+    rank itself).
+    """
+    if values is not None and len(values) < distinct:
+        raise ReproError("need a value for each of the %d ranks" % (distinct,))
+
+    def value_of(rank: int) -> object:
+        return values[rank - 1] if values is not None else rank
+
+    if seed is not None:
+        sampler = ZipfSampler(distinct, z, seed)
+        return [value_of(rank) for rank in sampler.sample_many(total)]
+    column: List[object] = []
+    for rank, frequency in enumerate(zipf_frequencies(total, distinct, z), start=1):
+        column.extend([value_of(rank)] * frequency)
+    return column

@@ -1,0 +1,101 @@
+"""Unit coverage for every experiment function at tiny scale.
+
+The integration suite asserts paper shapes at moderate sizes; these tests
+just pin the data contracts (keys, monotonicity, soundness) so a refactor
+of an experiment cannot silently change what the benchmark suite consumes.
+"""
+
+import pytest
+
+from repro.bench import (
+    ablation_bytes_model,
+    ablation_feedback,
+    ablation_hybrid,
+    ablation_lower_bound,
+    ablation_predictive_orders,
+    ablation_scan_based,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    table1,
+    table2,
+    table3,
+)
+
+
+class TestFigureContracts:
+    def test_figure3_keys(self):
+        result = figure3(scale=0.0003)
+        assert {"series", "mu", "max_abs_error", "avg_abs_error"} <= set(result)
+        assert list(result["series"]) == ["dne"]
+
+    def test_figure4_series_monotone_x(self):
+        result = figure4(n=800)
+        xs = [x for x, _ in result["series"]["dne"]]
+        assert xs == sorted(xs)
+
+    def test_figure5_keys(self):
+        result = figure5(n=800)
+        assert set(result["series"]) == {"dne", "safe"}
+
+    def test_figure6_series_positive(self):
+        result = figure6(scale=0.0003)
+        assert all(err >= 1.0 for _, err in result["series"]["pmax ratio error"])
+
+    def test_figure7_final_error_recorded(self):
+        result = figure7(n=800)
+        assert result["safe_final_error"] >= 0.0
+
+
+class TestTableContracts:
+    def test_table1_rows(self):
+        rows = table1(n=800)
+        assert [row.estimator for row in rows] == ["dne", "pmax", "safe"]
+        for row in rows:
+            assert 0 <= row.avg_err_inl <= row.max_err_inl <= 1
+
+    def test_table2_subset(self):
+        values = table2(scale=0.0003, queries=[1, 6])
+        assert set(values) == {1, 6}
+
+    def test_table3_keys(self):
+        values = table3(scale=500)
+        assert set(values) == {3, 6, 14, 18, 22, 28, 32}
+
+
+class TestAblationContracts:
+    def test_lower_bound_keys(self):
+        result = ablation_lower_bound(n=800)
+        assert result["optimal_bound"] == pytest.approx(3.0, rel=0.05)
+        assert set(result["forced_ratio_error"]) == {"dne", "pmax", "safe"}
+
+    def test_predictive_orders_counts(self):
+        result = ablation_predictive_orders(trials=50, n=100)
+        assert result["predictive"] <= result["trials"] == 50
+
+    def test_scan_based_rows(self):
+        rows = ablation_scan_based(table_counts=(2,), rows_per_table=200)
+        assert rows[0]["m"] == 2
+        assert rows[0]["mu"] <= rows[0]["mu_bound"]
+
+    def test_hybrid_scenarios(self):
+        results = ablation_hybrid(n=800)
+        assert set(results) == {
+            "inl-skew_first", "inl-skew_last", "hash-skew_last",
+            "inl-good-case",
+        }
+
+    def test_bytes_model_grid(self):
+        results = ablation_bytes_model(n=800)
+        assert set(results) == {
+            "getnext/inl", "getnext/hash", "bytes/inl", "bytes/hash",
+        }
+
+    def test_feedback_phases(self):
+        results = ablation_feedback(n=800)
+        assert set(results) == {
+            "first-run", "repeat-run", "data-changed-twins",
+        }
+        assert results["repeat-run"]["feedback"] < 0.02

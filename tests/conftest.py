@@ -1,0 +1,48 @@
+"""Shared fixtures: small catalogs and session-scoped workload databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stats import StatisticsManager
+from repro.storage import Catalog, Table, schema_of
+
+
+@pytest.fixture
+def hr_catalog() -> Catalog:
+    """A small employees/departments catalog with stats and indexes."""
+    catalog = Catalog("hr")
+    catalog.add_table(
+        Table(
+            "emp",
+            schema_of("emp", "id:int", "dept:int", "salary:float", "name:str"),
+            [(i, i % 5, 1000.0 + 10 * i, "e%d" % (i,)) for i in range(100)],
+        )
+    )
+    catalog.add_table(
+        Table(
+            "dept",
+            schema_of("dept", "did:int", "dname:str"),
+            [(i, "d%d" % (i,)) for i in range(5)],
+        )
+    )
+    catalog.create_hash_index("dept", "did")
+    catalog.create_sorted_index("emp", "salary")
+    StatisticsManager(catalog).analyze_all()
+    return catalog
+
+
+@pytest.fixture(scope="session")
+def tpch_db():
+    """A tiny skewed TPC-H database, shared across the session."""
+    from repro.workloads import generate_tpch
+
+    return generate_tpch(scale=0.0005, skew=2.0, seed=42)
+
+
+@pytest.fixture(scope="session")
+def sky_db():
+    """A small synthetic SkyServer catalog, shared across the session."""
+    from repro.workloads import generate_skyserver
+
+    return generate_skyserver(scale=1500, seed=11)

@@ -1,0 +1,110 @@
+"""Trace analysis helpers: convergence, area-under-error, bias, breakdown."""
+
+import pytest
+
+from repro.core import ProgressTrace, TraceSample, run_with_estimators, standard_toolkit
+from repro.core.analysis import (
+    area_under_error,
+    bias,
+    convergence_point,
+    guarantee_width,
+    pipeline_breakdown,
+)
+from repro.workloads import make_zipfian_join
+
+
+def make_trace(points):
+    trace = ProgressTrace(total=100)
+    for i, (actual, estimate) in enumerate(points):
+        trace.samples.append(
+            TraceSample(curr=i, actual=actual, estimates={"e": estimate},
+                        lower_bound=50, upper_bound=200)
+        )
+    return trace
+
+
+class TestConvergencePoint:
+    def test_immediate(self):
+        trace = make_trace([(0.1, 0.1), (0.5, 0.52), (0.9, 0.9)])
+        assert convergence_point(trace, "e") == 0.1
+
+    def test_late(self):
+        trace = make_trace([(0.1, 0.5), (0.5, 0.52), (0.9, 0.9)])
+        assert convergence_point(trace, "e") == 0.5
+
+    def test_relapse_resets(self):
+        trace = make_trace([(0.1, 0.1), (0.5, 0.9), (0.9, 0.9)])
+        assert convergence_point(trace, "e") == 0.9
+
+    def test_never(self):
+        trace = make_trace([(0.1, 0.5), (0.9, 0.2)])
+        assert convergence_point(trace, "e") is None
+
+
+class TestAreaAndBias:
+    def test_perfect_estimator(self):
+        trace = make_trace([(x / 10, x / 10) for x in range(11)])
+        assert area_under_error(trace, "e") == 0.0
+        assert bias(trace, "e") == 0.0
+
+    def test_constant_offset(self):
+        trace = make_trace([(x / 10, min(1.0, x / 10 + 0.1))
+                            for x in range(11)])
+        assert area_under_error(trace, "e") == pytest.approx(0.1, abs=0.02)
+        assert bias(trace, "e") == pytest.approx(0.1, abs=0.02)
+
+    def test_bias_sign_matches_figures(self):
+        """Figure 4 = under-estimation (bias < 0); Figure 5 = over (bias > 0)."""
+        first = make_zipfian_join(n=2000, order="skew_first")
+        report = run_with_estimators(first.inl_plan(), standard_toolkit(),
+                                     first.catalog)
+        assert bias(report.trace, "dne") < -0.05
+        last = make_zipfian_join(n=2000, order="skew_last")
+        report = run_with_estimators(last.inl_plan(), standard_toolkit(),
+                                     last.catalog)
+        assert bias(report.trace, "dne") > 0.05
+
+    def test_empty_trace(self):
+        trace = ProgressTrace(total=1)
+        assert area_under_error(trace, "e") == 0.0
+        assert bias(trace, "e") == 0.0
+
+
+class TestGuaranteeWidth:
+    def test_width_formula(self):
+        trace = make_trace([(0.5, 0.5)])
+        trace.samples[0] = TraceSample(curr=100, actual=0.5,
+                                       estimates={"e": 0.5},
+                                       lower_bound=200, upper_bound=400)
+        # low = 100/400 = 0.25, high = 100/200 = 0.5 -> width 0.25
+        assert guarantee_width(trace) == pytest.approx(0.25)
+
+    def test_tighter_for_scan_based_plans(self):
+        workload = make_zipfian_join(n=2000, order="skew_last")
+        inl = run_with_estimators(workload.inl_plan(), standard_toolkit(),
+                                  workload.catalog)
+        hashed = run_with_estimators(workload.hash_plan(), standard_toolkit(),
+                                     workload.catalog)
+        assert guarantee_width(hashed.trace) < guarantee_width(inl.trace)
+
+
+class TestPipelineBreakdown:
+    def test_shares_sum_to_one(self, tpch_db):
+        from repro.workloads import build_query
+
+        breakdown = pipeline_breakdown(build_query(tpch_db, 1))
+        assert sum(entry["share"] for entry in breakdown) == pytest.approx(1.0)
+
+    def test_q1_dominated_by_scan_pipeline(self, tpch_db):
+        from repro.workloads import build_query
+
+        breakdown = pipeline_breakdown(build_query(tpch_db, 1))
+        assert breakdown[0]["share"] > 0.95
+
+    def test_every_pipeline_reported(self, tpch_db):
+        from repro.workloads import build_query
+        from repro.core import decompose
+
+        plan = build_query(tpch_db, 21)
+        breakdown = pipeline_breakdown(plan)
+        assert len(breakdown) == len(decompose(plan))

@@ -1,0 +1,203 @@
+"""The estimator tool-kit: dne, pmax, safe, trivial, hybrids."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    BoundsTracker,
+    DneBoundedEstimator,
+    DneEstimator,
+    HybridMuEstimator,
+    HybridVarianceEstimator,
+    Observation,
+    PmaxEstimator,
+    SafeEstimator,
+    TrivialEstimator,
+    decompose,
+    full_toolkit,
+    run_with_estimators,
+    standard_toolkit,
+)
+from repro.core.bounds import BoundsSnapshot
+from repro.core.estimators.base import clamp_progress
+from repro.engine.expressions import col, lit
+from repro.engine.operators import Filter, TableScan
+from repro.engine.plan import Plan
+from repro.storage import Table, schema_of
+from repro.workloads import make_zipfian_join
+
+
+def observation(curr, lower, upper, pipelines=(), leaf_consumed=0):
+    return Observation(
+        curr=curr,
+        bounds=BoundsSnapshot(curr, lower, upper, {}),
+        pipelines=list(pipelines),
+        estimates=None,
+        leaf_input_consumed=leaf_consumed,
+    )
+
+
+class TestClamp:
+    def test_range(self):
+        assert clamp_progress(-0.5) == 0.0
+        assert clamp_progress(1.5) == 1.0
+        assert clamp_progress(0.25) == 0.25
+
+    def test_nan(self):
+        assert clamp_progress(float("nan")) == 0.0
+
+
+class TestPmax:
+    def test_formula(self):
+        assert PmaxEstimator().estimate(observation(50, 100, 400)) == 0.5
+
+    def test_zero_lower_bound(self):
+        assert PmaxEstimator().estimate(observation(0, 0, 100)) == 0.0
+
+    def test_interval_is_one_sided(self):
+        low, high = PmaxEstimator().interval(observation(50, 100, 200))
+        assert high == 0.5
+        assert low == 0.25
+
+
+class TestSafe:
+    def test_geometric_mean(self):
+        estimate = SafeEstimator().estimate(observation(50, 100, 400))
+        assert estimate == pytest.approx(50 / math.sqrt(100 * 400))
+
+    def test_interval(self):
+        low, high = SafeEstimator().interval(observation(50, 100, 400))
+        assert low == pytest.approx(0.125)
+        assert high == pytest.approx(0.5)
+
+    def test_guaranteed_ratio_error(self):
+        error = SafeEstimator().guaranteed_ratio_error(observation(1, 100, 400))
+        assert error == pytest.approx(2.0)
+
+    def test_degenerate_bounds(self):
+        assert SafeEstimator().estimate(observation(0, 0, 0)) == 0.0
+
+
+class TestTrivial:
+    def test_interval_is_unit(self):
+        trivial = TrivialEstimator()
+        assert trivial.interval(observation(5, 10, 20)) == (0.0, 1.0)
+        assert trivial.estimate(observation(5, 10, 20)) == 0.5
+
+
+class TestDne:
+    def test_single_pipeline_driver_fraction(self):
+        table = Table("t", schema_of("t", "a:int"), [(i,) for i in range(10)])
+        scan = TableScan(table)
+        plan = Plan(Filter(scan, col("a") > lit(100)))
+        pipelines = decompose(plan)
+        from repro.engine.operators import ExecutionContext
+
+        scan.open(ExecutionContext())
+        for _ in range(4):
+            scan.get_next()
+        obs = observation(4, 4, 20, pipelines)
+        assert DneEstimator().estimate(obs) == pytest.approx(0.4)
+        scan.close()
+
+    def test_empty_pipelines(self):
+        assert DneEstimator().estimate(observation(0, 0, 0)) == 0.0
+
+    def test_bounded_variant_clamps(self):
+        """dne+bounds never leaves [Curr/UB, Curr/LB]."""
+        workload = make_zipfian_join(n=1500, order="skew_last")
+        report = run_with_estimators(
+            workload.inl_plan(), [DneBoundedEstimator()], workload.catalog
+        )
+        for sample in report.trace.samples:
+            low = sample.curr / sample.upper_bound
+            high = sample.curr / sample.lower_bound
+            estimate = sample.estimates["dne+bounds"]
+            assert low - 1e-9 <= estimate <= min(1.0, high) + 1e-9
+
+
+class TestPaperGuarantees:
+    """Property 4 / Theorem 5 / safe's √(UB/LB) bound on real executions."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        workload = make_zipfian_join(n=2500, z=2.0, order="skew_last")
+        return run_with_estimators(
+            workload.inl_plan(), standard_toolkit(), workload.catalog
+        ), workload
+
+    def test_property4_pmax_upper_bounds_progress(self, report):
+        trace = report[0].trace
+        for sample in trace.samples:
+            assert sample.estimates["pmax"] >= sample.actual - 1e-9
+
+    def test_theorem5_pmax_within_mu(self, report):
+        progress_report, _ = report
+        mu = progress_report.mu
+        for sample in progress_report.trace.samples:
+            if sample.actual > 0:
+                assert sample.estimates["pmax"] <= mu * sample.actual + 1e-6
+
+    def test_safe_within_sqrt_ub_over_lb(self, report):
+        progress_report, _ = report
+        for sample in progress_report.trace.samples:
+            if sample.actual <= 0 or sample.lower_bound <= 0:
+                continue
+            bound = math.sqrt(sample.upper_bound / sample.lower_bound)
+            estimate = sample.estimates["safe"]
+            if estimate > 0:
+                ratio = max(estimate / sample.actual, sample.actual / estimate)
+                assert ratio <= bound * (1 + 1e-9)
+
+    def test_all_estimates_in_unit_interval(self, report):
+        progress_report, _ = report
+        for sample in progress_report.trace.samples:
+            for value in sample.estimates.values():
+                assert 0.0 <= value <= 1.0
+
+
+class TestHybrids:
+    def test_hybrid_mu_tracks_pmax_when_mu_small(self):
+        workload = make_zipfian_join(n=2000, order="skew_first")
+        report = run_with_estimators(
+            workload.inl_plan(),
+            [PmaxEstimator(), HybridMuEstimator(mu_threshold=3.0)],
+            workload.catalog,
+        )
+        # mu is 2 here; once the whale tuple's emission is past and the
+        # observed mu settles under the threshold, the hybrid follows pmax
+        late = [s for s in report.trace.samples if s.actual > 0.55]
+        for sample in late:
+            assert sample.estimates["hybrid-mu"] == pytest.approx(
+                sample.estimates["pmax"], abs=1e-9
+            )
+
+    def test_hybrid_var_prefers_dne_on_uniform_work(self):
+        table = Table("t", schema_of("t", "a:int"), [(i,) for i in range(4000)])
+        plan = Plan(Filter(TableScan(table), col("a") % lit(2) == lit(0)))
+        report = run_with_estimators(
+            plan, [DneEstimator(), HybridVarianceEstimator()], None
+        )
+        late = [s for s in report.trace.samples if s.actual > 0.5]
+        agree = [
+            s for s in late
+            if abs(s.estimates["hybrid-var"] - s.estimates["dne"]) < 1e-9
+        ]
+        assert len(agree) >= len(late) * 0.8
+
+    def test_hybrid_var_window_reset_on_prepare(self):
+        estimator = HybridVarianceEstimator(window=8)
+        estimator._samples.append((1, 1))
+        estimator.prepare(None)
+        assert len(estimator._samples) == 0
+
+
+class TestToolkits:
+    def test_standard(self):
+        names = [e.name for e in standard_toolkit()]
+        assert names == ["dne", "pmax", "safe"]
+
+    def test_full_has_unique_names(self):
+        names = [e.name for e in full_toolkit()]
+        assert len(names) == len(set(names))

@@ -1,0 +1,98 @@
+"""Remaining-time estimation (EtaEstimator) with a deterministic clock."""
+
+import pytest
+
+from repro.core import Observation, PmaxEstimator, SafeEstimator
+from repro.core.bounds import BoundsSnapshot
+from repro.core.eta import EtaEstimator
+from repro.errors import ProgressError
+
+
+def observation(curr, lower, upper):
+    return Observation(curr, BoundsSnapshot(curr, lower, upper, {}), [])
+
+
+class TestRate:
+    def test_no_rate_until_enough_observations(self):
+        eta = EtaEstimator(SafeEstimator())
+        eta.observe(10, 1.0)
+        assert eta.rate() is None
+
+    def test_rate_from_window(self):
+        eta = EtaEstimator(SafeEstimator())
+        eta.observe(0, 0.0)
+        eta.observe(100, 2.0)
+        assert eta.rate() == pytest.approx(50.0)
+
+    def test_window_slides(self):
+        eta = EtaEstimator(SafeEstimator(), window=2)
+        eta.observe(0, 0.0)
+        eta.observe(100, 2.0)   # 50/s
+        eta.observe(400, 3.0)   # window now (100@2, 400@3) -> 300/s
+        assert eta.rate() == pytest.approx(300.0)
+
+    def test_time_must_not_go_backwards(self):
+        eta = EtaEstimator(SafeEstimator())
+        eta.observe(0, 5.0)
+        with pytest.raises(ProgressError):
+            eta.observe(10, 4.0)
+
+    def test_stalled_work_gives_no_rate(self):
+        eta = EtaEstimator(SafeEstimator())
+        eta.observe(10, 0.0)
+        eta.observe(10, 5.0)
+        assert eta.rate() is None
+
+    def test_window_validation(self):
+        with pytest.raises(ProgressError):
+            EtaEstimator(SafeEstimator(), window=1)
+
+
+class TestReadings:
+    def test_no_rate_reading(self):
+        eta = EtaEstimator(SafeEstimator())
+        reading = eta.read(observation(50, 100, 400))
+        assert reading.seconds_remaining is None
+        assert reading.progress > 0
+
+    def test_point_estimate(self):
+        eta = EtaEstimator(PmaxEstimator())
+        eta.observe(0, 0.0)
+        eta.observe(50, 5.0)  # 10 ticks/s
+        # pmax = 50/100 = 0.5 -> total estimate 100 -> 50 ticks left -> 5 s
+        reading = eta.read(observation(50, 100, 400))
+        assert reading.ticks_per_second == pytest.approx(10.0)
+        assert reading.seconds_remaining == pytest.approx(5.0)
+
+    def test_sound_interval(self):
+        eta = EtaEstimator(PmaxEstimator())
+        eta.observe(0, 0.0)
+        eta.observe(50, 5.0)
+        reading = eta.read(observation(50, 100, 400))
+        low, high = reading.interval_seconds
+        # remaining work in [50, 350] ticks at 10/s
+        assert low == pytest.approx(5.0)
+        assert high == pytest.approx(35.0)
+
+    def test_interval_brackets_truth_on_real_run(self):
+        """Simulate 1 tick = 1 ms; the ETA interval must bracket the true
+        remaining time at every sample."""
+        from repro.core import run_with_estimators, standard_toolkit
+        from repro.workloads import make_zipfian_join
+
+        workload = make_zipfian_join(n=2000, order="skew_last")
+        report = run_with_estimators(
+            workload.inl_plan(), standard_toolkit(), workload.catalog
+        )
+        eta = EtaEstimator(SafeEstimator(), window=4)
+        tick_seconds = 0.001
+        for sample in report.trace.samples:
+            eta.observe(sample.curr, sample.curr * tick_seconds)
+            obs = observation(sample.curr, sample.lower_bound,
+                              sample.upper_bound)
+            reading = eta.read(obs)
+            if reading.ticks_per_second is None:
+                continue
+            true_remaining = (report.total - sample.curr) * tick_seconds
+            low, high = reading.interval_seconds
+            assert low - 1e-9 <= true_remaining <= high + 1e-9

@@ -1,0 +1,62 @@
+"""Trace/report export helpers."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core import run_with_estimators, standard_toolkit
+from repro.core.export import (
+    report_to_dict,
+    report_to_json,
+    trace_to_csv,
+    trace_to_rows,
+)
+from repro.engine.operators import TableScan
+from repro.engine.plan import Plan
+from repro.storage import Table, schema_of
+
+
+@pytest.fixture(scope="module")
+def report():
+    table = Table("t", schema_of("t", "a:int"), [(i,) for i in range(200)])
+    return run_with_estimators(Plan(TableScan(table), "export-test"),
+                               standard_toolkit(), target_samples=20)
+
+
+class TestTraceExport:
+    def test_rows_cover_samples(self, report):
+        rows = trace_to_rows(report.trace)
+        assert len(rows) == len(report.trace)
+        assert {"curr", "actual", "dne", "pmax", "safe"} <= set(rows[0])
+
+    def test_csv_round_trip(self, report):
+        text = trace_to_csv(report.trace)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == len(report.trace)
+        assert float(parsed[-1]["actual"]) == 1.0
+
+    def test_csv_writes_file(self, report, tmp_path):
+        path = tmp_path / "trace.csv"
+        trace_to_csv(report.trace, str(path))
+        assert path.exists()
+        assert path.read_text().startswith("curr,actual")
+
+
+class TestReportExport:
+    def test_dict_keys(self, report):
+        data = report_to_dict(report)
+        assert data["plan"] == "export-test"
+        assert data["total"] == 200
+        assert data["work_model"] == "getnext"
+        assert set(data["metrics"]) == {"dne", "pmax", "safe"}
+
+    def test_json_serializable(self, report):
+        parsed = json.loads(report_to_json(report))
+        assert parsed["samples"] == len(report.trace)
+
+    def test_json_writes_file(self, report, tmp_path):
+        path = tmp_path / "report.json"
+        report_to_json(report, str(path))
+        assert json.loads(path.read_text())["plan"] == "export-test"

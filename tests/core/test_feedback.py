@@ -1,0 +1,133 @@
+"""Inter-query feedback (§6.4): plan signatures, history, FeedbackEstimator."""
+
+import pytest
+
+from repro.core import (
+    FeedbackEstimator,
+    QueryHistory,
+    plan_signature,
+    run_with_estimators,
+)
+from repro.engine.expressions import col, lit
+from repro.engine.operators import Filter, TableScan
+from repro.engine.plan import Plan
+from repro.storage import Table, schema_of
+from repro.workloads import make_zipfian_join
+
+
+def make_plan(n=400, threshold=100, name="p"):
+    table = Table("t", schema_of("t", "a:int"), [(i,) for i in range(n)])
+    return Plan(Filter(TableScan(table), col("a") < lit(threshold)), name)
+
+
+class TestPlanSignature:
+    def test_same_structure_same_signature(self):
+        table = Table("t", schema_of("t", "a:int"), [(i,) for i in range(10)])
+        a = Plan(Filter(TableScan(table), col("a") < lit(5)))
+        b = Plan(Filter(TableScan(table), col("a") < lit(5)))
+        assert plan_signature(a) == plan_signature(b)
+
+    def test_different_predicate_different_signature(self):
+        table = Table("t", schema_of("t", "a:int"), [(i,) for i in range(10)])
+        a = Plan(Filter(TableScan(table), col("a") < lit(5)))
+        b = Plan(Filter(TableScan(table), col("a") < lit(6)))
+        assert plan_signature(a) != plan_signature(b)
+
+    def test_different_table_different_signature(self):
+        t1 = Table("t1", schema_of("t1", "a:int"), [(1,)])
+        t2 = Table("t2", schema_of("t2", "a:int"), [(1,)])
+        assert plan_signature(Plan(TableScan(t1))) != plan_signature(
+            Plan(TableScan(t2))
+        )
+
+
+class TestQueryHistory:
+    def test_record_and_lookup(self):
+        history = QueryHistory()
+        plan = make_plan()
+        assert history.expected_total(plan) is None
+        history.record(plan, 500)
+        assert history.expected_total(plan) == 500.0
+        assert len(history) == 1
+
+    def test_ewma(self):
+        history = QueryHistory(smoothing=0.5)
+        plan = make_plan()
+        history.record(plan, 100)
+        history.record(plan, 200)
+        assert history.expected_total(plan) == pytest.approx(150.0)
+
+    def test_smoothing_validated(self):
+        with pytest.raises(ValueError):
+            QueryHistory(smoothing=0.0)
+
+
+class TestFeedbackEstimator:
+    def test_near_exact_on_repeat_run(self):
+        history = QueryHistory()
+        plan = make_plan()
+        first = run_with_estimators(plan, [FeedbackEstimator(history)])
+        history.record(plan, first.total)
+        second = run_with_estimators(plan, [FeedbackEstimator(history)])
+        assert second.trace.max_abs_error("feedback") < 0.01
+
+    def test_falls_back_to_safe_without_history(self):
+        from repro.core import SafeEstimator
+
+        history = QueryHistory()
+        plan = make_plan()
+        report = run_with_estimators(
+            plan, [FeedbackEstimator(history), SafeEstimator()]
+        )
+        for sample in report.trace.samples:
+            assert sample.estimates["feedback"] == pytest.approx(
+                sample.estimates["safe"]
+            )
+
+    def test_clamped_by_bounds_when_history_stale(self):
+        """History from a cheap run + an expensive re-run: the estimate must
+        stay inside the sound interval (never above Curr/LB)."""
+        history = QueryHistory()
+        cheap = make_plan(n=400, threshold=0)      # total = 400
+        history.record(cheap, 400)
+        expensive = make_plan(n=400, threshold=400)  # total = 800, same shape?
+        # Note: same structure only if predicate literal matches; here it
+        # differs, so simulate staleness by recording the wrong total
+        # directly against the expensive plan's signature.
+        history.record(expensive, 500)
+        report = run_with_estimators(expensive, [FeedbackEstimator(history)])
+        for sample in report.trace.samples:
+            high = sample.curr / sample.lower_bound if sample.lower_bound else 1.0
+            assert sample.estimates["feedback"] <= min(1.0, high) + 1e-9
+
+    def test_outlived_history_retreats_to_safe(self):
+        from repro.core import SafeEstimator
+
+        history = QueryHistory()
+        plan = make_plan(n=400, threshold=400)  # total = 800
+        history.record(plan, 100)  # badly stale: run passes 100 quickly
+        report = run_with_estimators(
+            plan, [FeedbackEstimator(history), SafeEstimator()]
+        )
+        late = [s for s in report.trace.samples if s.curr > 100]
+        assert late
+        for sample in late:
+            assert sample.estimates["feedback"] == pytest.approx(
+                sample.estimates["safe"]
+            )
+
+    def test_beats_safe_on_adversarial_repeat(self):
+        """The §6.4 motivation: a remembered total defuses the worst case."""
+        workload = make_zipfian_join(n=2000, order="skew_last")
+        history = QueryHistory()
+        from repro.core import SafeEstimator
+
+        plan = workload.inl_plan()
+        first = run_with_estimators(plan, [SafeEstimator()], workload.catalog)
+        history.record(plan, first.total)
+        second = run_with_estimators(
+            workload.inl_plan(), [FeedbackEstimator(history), SafeEstimator()],
+            workload.catalog,
+        )
+        assert (second.trace.max_abs_error("feedback")
+                < second.trace.max_abs_error("safe") * 0.2)

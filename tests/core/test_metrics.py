@@ -1,0 +1,101 @@
+"""Accuracy metrics: ratio error, threshold requirement, trace summaries."""
+
+import pytest
+
+from repro.core import ProgressTrace, TraceSample, ratio_error
+
+
+def make_trace(points):
+    """points: list of (actual, estimate) for a single estimator 'e'."""
+    trace = ProgressTrace(total=100)
+    for i, (actual, estimate) in enumerate(points):
+        trace.samples.append(
+            TraceSample(curr=i, actual=actual, estimates={"e": estimate})
+        )
+    return trace
+
+
+class TestRatioError:
+    def test_exact(self):
+        assert ratio_error(0.5, 0.5) == 1.0
+
+    def test_symmetric(self):
+        assert ratio_error(0.2, 0.4) == ratio_error(0.4, 0.2) == 2.0
+
+    def test_zero_cases(self):
+        assert ratio_error(0.0, 0.0) == 1.0
+        assert ratio_error(0.0, 0.5) == float("inf")
+        assert ratio_error(0.5, 0.0) == float("inf")
+
+
+class TestTraceMetrics:
+    def test_abs_errors(self):
+        trace = make_trace([(0.2, 0.3), (0.5, 0.45), (0.9, 0.9)])
+        assert trace.max_abs_error("e") == pytest.approx(0.1)
+        assert trace.avg_abs_error("e") == pytest.approx(0.05)
+
+    def test_ratio_errors(self):
+        trace = make_trace([(0.2, 0.4), (0.5, 0.5)])
+        assert trace.max_ratio_error("e") == 2.0
+        assert trace.avg_ratio_error("e") == 1.5
+
+    def test_min_actual_filter(self):
+        trace = make_trace([(0.0, 0.5), (0.5, 0.5)])
+        assert trace.max_ratio_error("e", min_actual=0.01) == 1.0
+
+    def test_ratio_error_series(self):
+        trace = make_trace([(0.25, 0.5), (0.5, 0.5)])
+        series = trace.ratio_error_series("e")
+        assert series == [(0.25, 2.0), (0.5, 1.0)]
+
+    def test_ratio_error_after(self):
+        trace = make_trace([(0.1, 0.9), (0.6, 0.6), (0.8, 0.4)])
+        assert trace.ratio_error_after("e", 0.5) == 2.0
+
+    def test_series(self):
+        trace = make_trace([(0.1, 0.2)])
+        assert trace.series("e") == [(0.1, 0.2)]
+
+    def test_estimator_names(self):
+        trace = make_trace([(0.1, 0.2)])
+        assert trace.estimator_names() == ["e"]
+        assert ProgressTrace(total=1).estimator_names() == []
+
+    def test_summary_keys(self):
+        trace = make_trace([(0.5, 0.6)])
+        summary = trace.summary()
+        assert set(summary["e"]) == {
+            "max_abs_error", "avg_abs_error", "max_ratio_error",
+            "avg_ratio_error",
+        }
+
+    def test_empty_trace(self):
+        trace = ProgressTrace(total=10)
+        assert trace.max_abs_error("e") == 0.0
+        assert trace.max_ratio_error("e") == 1.0
+        assert len(trace) == 0
+
+
+class TestThresholdRequirement:
+    def test_satisfied(self):
+        trace = make_trace([(0.1, 0.2), (0.9, 0.8)])
+        assert trace.meets_threshold("e", tau=0.5, delta=0.05)
+
+    def test_violation_below(self):
+        # actual well below τ-δ but estimate above τ
+        trace = make_trace([(0.1, 0.8)])
+        violations = trace.threshold_violations("e", tau=0.5, delta=0.05)
+        assert len(violations) == 1
+
+    def test_violation_above(self):
+        trace = make_trace([(0.9, 0.2)])
+        assert not trace.meets_threshold("e", tau=0.5, delta=0.05)
+
+    def test_grey_area_tolerated(self):
+        # actual inside [τ-δ, τ+δ]: any answer is fine
+        trace = make_trace([(0.5, 0.99), (0.46, 0.01)])
+        assert trace.meets_threshold("e", tau=0.5, delta=0.05)
+
+    def test_boundary_is_exclusive(self):
+        trace = make_trace([(0.45, 0.99)])
+        assert trace.meets_threshold("e", tau=0.5, delta=0.05)

@@ -1,0 +1,159 @@
+"""The GetNext work model: total(Q), μ, driver work profiles."""
+
+import pytest
+
+from repro.core import (
+    DriverWorkProfile,
+    driver_work_profile,
+    mu,
+    progress_of,
+    scanned_input_cardinality,
+    total_work,
+)
+from repro.engine.expressions import col, lit
+from repro.engine.operators import Filter, HashJoin, IndexNestedLoopsJoin, TableScan
+from repro.engine.plan import Plan
+from repro.errors import ProgressError
+from repro.storage import HashIndex, Table, schema_of
+
+
+@pytest.fixture
+def tables():
+    r1 = Table("r1", schema_of("r1", "a:int"), [(i,) for i in range(100)])
+    r2 = Table("r2", schema_of("r2", "b:int"), [(i % 10,) for i in range(50)])
+    return r1, r2
+
+
+class TestTotalWork:
+    def test_scan_total_is_cardinality(self, tables):
+        r1, _ = tables
+        assert total_work(Plan(TableScan(r1))) == 100
+
+    def test_example2_calibration(self):
+        """total(Q) = |R1| + σ + join output, per the paper's Example 2."""
+        from repro.workloads import make_example2
+
+        workload = make_example2(n=2000, matches=300)
+        assert total_work(workload.inl_plan()) == 2000 + 1 + 300
+
+    def test_filter_total(self, tables):
+        r1, _ = tables
+        plan = Plan(Filter(TableScan(r1), col("a") < lit(10)))
+        assert total_work(plan) == 110
+
+
+class TestMu:
+    def test_mu_single_scan(self, tables):
+        r1, _ = tables
+        assert mu(Plan(TableScan(r1))) == 1.0
+
+    def test_mu_with_filter(self, tables):
+        r1, _ = tables
+        plan = Plan(Filter(TableScan(r1), col("a") < lit(50)))
+        assert mu(plan) == pytest.approx(1.5)
+
+    def test_mu_denominator_is_scanned_leaves(self, tables):
+        r1, r2 = tables
+        join = HashJoin(TableScan(r1), TableScan(r2), col("r1.a"), col("r2.b"))
+        plan = Plan(join)
+        assert scanned_input_cardinality(plan) == 150
+        expected_total = 150 + 5 * 10  # values 0..9 each join 5 r2-rows
+        assert total_work(plan) == expected_total
+        assert mu(plan) == pytest.approx(expected_total / 150)
+
+    def test_inl_inner_not_in_denominator(self, tables):
+        r1, r2 = tables
+        index = HashIndex("hx", r2, "b")
+        plan = Plan(IndexNestedLoopsJoin(TableScan(r1), index, col("r1.a")))
+        assert scanned_input_cardinality(plan) == 100
+
+    def test_mu_with_precomputed_total(self, tables):
+        r1, _ = tables
+        plan = Plan(TableScan(r1))
+        assert mu(plan, total=500) == 5.0
+
+    def test_mu_undefined_without_leaves(self):
+        from repro.engine.operators import RowSource
+        from repro.engine.operators import NestedLoopsJoin
+
+        # a plan whose only leaves sit under a ⋈NL inner side
+        outer = RowSource(schema_of("o", "x:int"), [(1,)])
+        inner = RowSource(schema_of("i", "y:int"), [(2,)])
+        plan = Plan(NestedLoopsJoin(outer, inner))
+        # outer row source IS scanned once; denominator is 1, not an error
+        assert mu(plan) >= 1.0
+
+
+class TestProgressOf:
+    def test_fraction(self):
+        assert progress_of(25, 100) == 0.25
+
+    def test_zero_total(self):
+        assert progress_of(0, 0) == 1.0
+
+
+class TestDriverWorkProfile:
+    def test_statistics(self):
+        profile = DriverWorkProfile([2, 2, 2, 2])
+        assert profile.mean == 2.0
+        assert profile.variance == 0.0
+        assert profile.stddev == 0.0
+
+    def test_variance(self):
+        profile = DriverWorkProfile([1, 3])
+        assert profile.mean == 2.0
+        assert profile.variance == 1.0
+
+    def test_empty(self):
+        profile = DriverWorkProfile([])
+        assert profile.mean == 0.0
+        assert profile.is_c_predictive(2.0)
+
+    def test_predictive_uniform(self):
+        assert DriverWorkProfile([5] * 100).is_c_predictive(1.0)
+
+    def test_not_predictive_with_late_skew(self):
+        work = [1] * 99 + [1000]
+        assert not DriverWorkProfile(work).is_c_predictive(2.0)
+
+    def test_predictive_with_early_balance(self):
+        work = [10, 1, 1, 10] * 25
+        assert DriverWorkProfile(work).is_c_predictive(1.5)
+
+    def test_invalid_c(self):
+        with pytest.raises(ProgressError):
+            DriverWorkProfile([1]).is_c_predictive(0.5)
+
+    def test_measured_profile_matches_structure(self, tables):
+        """Per-tuple work = 1 (scan) + 1 (filter pass) for matching rows."""
+        r1, _ = tables
+        scan = TableScan(r1)
+        plan = Plan(Filter(scan, col("a") < lit(50)))
+        profile = driver_work_profile(plan, scan)
+        assert len(profile.work) == 100
+        assert profile.work[:50] == [2] * 50
+        assert profile.work[50:] == [1] * 50
+
+    def test_profile_sums_to_total(self, tables):
+        r1, r2 = tables
+        index = HashIndex("hx", r2, "b")
+        scan = TableScan(r1)
+        plan = Plan(IndexNestedLoopsJoin(scan, index, col("r1.a")))
+        profile = driver_work_profile(plan, scan)
+        assert sum(profile.work) == total_work(plan)
+
+    def test_theorem3_shape_random_order_converges(self):
+        """dne's error shrinks over a random-order execution (Theorem 3)."""
+        from repro.core import DneEstimator, run_with_estimators
+        from repro.workloads import make_zipfian_join
+
+        workload = make_zipfian_join(n=2000, order="random", seed=9)
+        report = run_with_estimators(
+            workload.inl_plan(), [DneEstimator()], workload.catalog
+        )
+        samples = report.trace.samples
+        early = [abs(s.estimates["dne"] - s.actual)
+                 for s in samples if 0.05 < s.actual < 0.3]
+        late = [abs(s.estimates["dne"] - s.actual)
+                for s in samples if s.actual > 0.7]
+        assert max(late) <= max(early) + 0.02

@@ -1,0 +1,161 @@
+"""Pipeline decomposition and driver identification (§4.1)."""
+
+import pytest
+
+from repro.core import decompose, current_pipeline, pipeline_of
+from repro.engine.expressions import col, lit
+from repro.engine.operators import (
+    ExecutionContext,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    IndexNestedLoopsJoin,
+    MergeJoin,
+    NestedLoopsJoin,
+    Sort,
+    SortKey,
+    TableScan,
+    UnionAll,
+    count_star,
+)
+from repro.engine.plan import Plan
+from repro.storage import HashIndex, Table, schema_of
+
+
+@pytest.fixture
+def r1():
+    return Table("r1", schema_of("r1", "a:int"), [(i,) for i in range(20)])
+
+
+@pytest.fixture
+def r2():
+    return Table("r2", schema_of("r2", "b:int"), [(i % 5,) for i in range(30)])
+
+
+class TestDecomposition:
+    def test_single_pipeline_scan_filter(self, r1):
+        plan = Plan(Filter(TableScan(r1), col("a") > lit(0)))
+        pipelines = decompose(plan)
+        assert len(pipelines) == 1
+        assert isinstance(pipelines[0].drivers[0], TableScan)
+        assert len(pipelines[0].operators) == 2
+
+    def test_inl_join_stays_in_outer_pipeline(self, r1, r2):
+        index = HashIndex("hx", r2, "b")
+        join = IndexNestedLoopsJoin(TableScan(r1), index, col("r1.a"))
+        pipelines = decompose(Plan(join))
+        assert len(pipelines) == 1
+        assert pipelines[0].contains(join)
+
+    def test_sort_splits_pipeline(self, r1):
+        sort = Sort(TableScan(r1), [SortKey(col("a"))])
+        pipelines = decompose(Plan(sort))
+        assert len(pipelines) == 2
+        assert pipelines[0].consumer is sort
+        assert pipelines[1].drivers == [sort]
+
+    def test_hash_join_build_terminates_pipeline(self, r1, r2):
+        join = HashJoin(TableScan(r1), TableScan(r2), col("r1.a"), col("r2.b"))
+        pipelines = decompose(Plan(join))
+        assert len(pipelines) == 2
+        build_pipeline = pipelines[0]
+        assert build_pipeline.consumer is join
+        probe_pipeline = pipelines[1]
+        assert probe_pipeline.contains(join)
+
+    def test_hash_aggregate_splits(self, r1):
+        agg = HashAggregate(TableScan(r1), [("a", col("a"))], [count_star("n")])
+        pipelines = decompose(Plan(agg))
+        assert len(pipelines) == 2
+        assert pipelines[1].drivers == [agg]
+
+    def test_nl_join_swallows_inner_subtree(self, r1, r2):
+        inner = Filter(TableScan(r2), col("b") > lit(0))
+        join = NestedLoopsJoin(TableScan(r1), inner)
+        pipelines = decompose(Plan(join))
+        assert len(pipelines) == 1
+        assert pipelines[0].contains(inner)
+        assert len(pipelines[0].drivers) == 1
+
+    def test_merge_join_multi_driver(self, r1, r2):
+        join = MergeJoin(TableScan(r1), TableScan(r2), col("r1.a"), col("r2.b"))
+        pipelines = decompose(Plan(join))
+        assert len(pipelines) == 1
+        assert len(pipelines[0].drivers) == 2
+
+    def test_union_all_multi_driver(self, r1):
+        union = UnionAll(TableScan(r1), TableScan(r1, alias="x"))
+        pipelines = decompose(Plan(union))
+        assert len(pipelines) == 1
+        assert len(pipelines[0].drivers) == 2
+
+    def test_tpch_q1_shape(self, tpch_db):
+        from repro.workloads import build_query
+
+        pipelines = decompose(build_query(tpch_db, 1))
+        # scan+filter+γ | γ→sort | sort→output
+        assert len(pipelines) == 3
+
+    def test_every_operator_in_exactly_one_pipeline(self, tpch_db):
+        from repro.workloads import build_query
+
+        for number in (1, 3, 13, 21):
+            plan = build_query(tpch_db, number)
+            pipelines = decompose(plan)
+            for op in plan.operators():
+                owners = [p for p in pipelines if p.contains(op)]
+                assert len(owners) == 1, "%s in %d pipelines" % (op, len(owners))
+
+
+class TestRuntimeState:
+    def test_driver_fraction_progresses(self, r1):
+        scan = TableScan(r1)
+        plan = Plan(Filter(scan, col("a") > lit(100)))
+        pipelines = decompose(plan)
+        pipeline = pipelines[0]
+        assert pipeline.driver_fraction() == 0.0
+        plan.root.open(ExecutionContext())
+        plan.root.get_next()  # consumes everything (no row matches)
+        assert pipeline.driver_fraction() == 1.0
+        assert pipeline.finished()
+        plan.root.close()
+
+    def test_partial_fraction(self, r1):
+        scan = TableScan(r1)
+        plan = Plan(scan)
+        pipeline = decompose(plan)[0]
+        scan.open(ExecutionContext())
+        for _ in range(5):
+            scan.get_next()
+        assert pipeline.driver_fraction() == pytest.approx(0.25)
+        scan.close()
+
+    def test_current_pipeline_ordering(self, r1):
+        sort = Sort(TableScan(r1), [SortKey(col("a"))])
+        plan = Plan(sort)
+        pipelines = decompose(plan)
+        assert current_pipeline(pipelines) is pipelines[0]
+        sort.open(ExecutionContext())
+        sort.get_next()
+        # input pipeline done; output pipeline running
+        assert current_pipeline(pipelines) is pipelines[1]
+        sort.close()
+
+    def test_pipeline_of(self, r1):
+        scan = TableScan(r1)
+        plan = Plan(scan)
+        pipelines = decompose(plan)
+        assert pipeline_of(pipelines, scan) is pipelines[0]
+
+    def test_sort_driver_total_refines(self, r1):
+        sort = Sort(Filter(TableScan(r1), col("a") < lit(7)),
+                    [SortKey(col("a"))])
+        plan = Plan(sort)
+        output_pipeline = decompose(plan)[1]
+        # before running: no estimate available -> 0
+        assert output_pipeline.driver_total() == 0.0
+        sort.open(ExecutionContext())
+        sort.get_next()
+        # materialized: exactly 7 rows
+        assert output_pipeline.driver_total() == 7.0
+        sort.close()

@@ -1,0 +1,80 @@
+"""The progress runner: sampling protocol and report contents."""
+
+import pytest
+
+from repro.core import (
+    DneEstimator,
+    PmaxEstimator,
+    ProgressRunner,
+    run_with_estimators,
+    standard_toolkit,
+)
+from repro.engine.expressions import col, lit
+from repro.engine.operators import Filter, TableScan
+from repro.engine.plan import Plan
+from repro.errors import ProgressError
+from repro.storage import Table, schema_of
+
+
+@pytest.fixture
+def plan():
+    table = Table("t", schema_of("t", "a:int"), [(i,) for i in range(500)])
+    return Plan(Filter(TableScan(table), col("a") % lit(5) == lit(0)), "runner-test")
+
+
+class TestRunner:
+    def test_report_fields(self, plan):
+        report = run_with_estimators(plan, standard_toolkit())
+        assert report.plan_name == "runner-test"
+        assert report.total == 600
+        assert report.mu == pytest.approx(1.2)
+        assert len(report.trace) > 0
+
+    def test_final_sample_at_completion(self, plan):
+        report = run_with_estimators(plan, standard_toolkit())
+        last = report.trace.samples[-1]
+        assert last.curr == report.total
+        assert last.actual == 1.0
+
+    def test_actuals_monotone(self, plan):
+        report = run_with_estimators(plan, standard_toolkit())
+        actuals = [s.actual for s in report.trace.samples]
+        assert actuals == sorted(actuals)
+
+    def test_target_samples_controls_cadence(self, plan):
+        dense = run_with_estimators(plan, [DneEstimator()], target_samples=300)
+        sparse = run_with_estimators(plan, [DneEstimator()], target_samples=10)
+        assert len(dense.trace) > len(sparse.trace)
+
+    def test_estimator_names_in_samples(self, plan):
+        report = run_with_estimators(plan, [DneEstimator(), PmaxEstimator()])
+        assert set(report.trace.samples[0].estimates) == {"dne", "pmax"}
+
+    def test_bounds_recorded(self, plan):
+        report = run_with_estimators(plan, [DneEstimator()])
+        for sample in report.trace.samples:
+            assert sample.lower_bound <= report.total <= sample.upper_bound
+
+    def test_requires_estimators(self, plan):
+        with pytest.raises(ProgressError):
+            ProgressRunner(plan, [])
+
+    def test_unique_names_required(self, plan):
+        with pytest.raises(ProgressError):
+            ProgressRunner(plan, [DneEstimator(), DneEstimator()])
+
+    def test_summary_shape(self, plan):
+        report = run_with_estimators(plan, standard_toolkit())
+        summary = report.summary()
+        assert set(summary) == {"dne", "pmax", "safe"}
+
+    def test_runner_reusable(self, plan):
+        runner = ProgressRunner(plan, [DneEstimator()])
+        first = runner.run()
+        second = runner.run()
+        assert first.total == second.total
+        assert len(first.trace) == len(second.trace)
+
+    def test_catalog_optional(self, plan):
+        report = run_with_estimators(plan, [DneEstimator()], catalog=None)
+        assert report.total == 600

@@ -1,0 +1,218 @@
+"""The paper's theorems, executed.
+
+Each test realizes one of the paper's formal claims on concrete data:
+
+* Theorem 1 / Corollary 2 — the twin-instance impossibility argument;
+* Theorem 3 — dne is accurate in expectation under random orders;
+* Theorem 4 — ≥ half of all orders are 2-predictive;
+* Property 2 — c-predictive order ⇒ dne ratio error ≤ ~c after 50%;
+* Property 4 / Theorem 5 — pmax bounds;
+* Theorem 6 — safe's worst-case optimality on the twin instances;
+* Property 6 — scan-based bounds (μ ≤ m+1, safe ≤ √(m+1));
+* Theorems 7/8 — μ and predictiveness are undetectable (twin μ gap).
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core import (
+    DriverWorkProfile,
+    mu,
+    ratio_error,
+    run_with_estimators,
+    standard_toolkit,
+    total_work,
+)
+from repro.workloads import make_twin_instances, make_zipfian_join
+from repro.workloads.zipf import zipf_frequencies
+
+
+@pytest.fixture(scope="module")
+def twins():
+    return make_twin_instances(n=3000, f1=0.1, f2=0.9)
+
+
+@pytest.fixture(scope="module")
+def twin_reports(twins):
+    return (
+        run_with_estimators(twins.plan_x(), standard_toolkit(), twins.catalog_x),
+        run_with_estimators(twins.plan_y(), standard_toolkit(), twins.catalog_y),
+    )
+
+
+def at_curr(report, target):
+    return min(report.trace.samples, key=lambda s: abs(s.curr - target))
+
+
+class TestTheorem1:
+    def test_identical_estimates_at_decision_point(self, twins, twin_reports):
+        """Before the offending tuple, all estimators answer identically on
+        both instances — they cannot do otherwise."""
+        report_x, report_y = twin_reports
+        x = at_curr(report_x, twins.position)
+        y = at_curr(report_y, twins.position)
+        assert x.curr == y.curr
+        for name in ("dne", "pmax", "safe"):
+            assert x.estimates[name] == pytest.approx(y.estimates[name], abs=1e-9)
+
+    def test_threshold_requirement_unmeetable(self, twins, twin_reports):
+        """With τ=0.5, δ=0.35, at least one instance violates — for every
+        estimator (Theorem 1 says no estimator can satisfy it)."""
+        report_x, report_y = twin_reports
+        for name in ("dne", "pmax", "safe"):
+            ok_x = report_x.trace.meets_threshold(name, tau=0.5, delta=0.35)
+            ok_y = report_y.trace.meets_threshold(name, tau=0.5, delta=0.35)
+            assert not (ok_x and ok_y), "%s met an unmeetable requirement" % name
+
+    def test_corollary2_ratio_error_unbounded(self, twins, twin_reports):
+        """Every estimator suffers ratio error ≥ √(ratio) on some instance."""
+        report_x, report_y = twin_reports
+        optimal = math.sqrt(report_y.total / report_x.total)
+        for name in ("dne", "pmax", "safe"):
+            worst = max(
+                report_x.trace.max_ratio_error(name, min_actual=0.01),
+                report_y.trace.max_ratio_error(name, min_actual=0.01),
+            )
+            assert worst >= optimal * 0.95
+
+
+class TestTheorem3:
+    def test_random_order_dne_near_exact_with_moderate_variance(self):
+        """With moderate skew (z=1), a random order keeps dne close.
+
+        (With z=2 a single value carries most of the work and any *one*
+        random order is badly off until that value arrives — Theorem 3 is a
+        statement in expectation, checked separately below.)
+        """
+        workload = make_zipfian_join(n=3000, z=1.0, order="random", seed=21)
+        report = run_with_estimators(
+            workload.inl_plan(), standard_toolkit(), workload.catalog
+        )
+        late = [abs(s.estimates["dne"] - s.actual)
+                for s in report.trace.samples if s.actual > 0.25]
+        assert max(late) < 0.1
+
+    def test_expected_error_is_zero_over_orders(self):
+        """E(err) ≈ 0 across random orders, even under heavy skew."""
+        rng = random.Random(33)
+        n = 500
+        work = [1 + f for f in zipf_frequencies(2 * n, n, 2.0)]
+        total = sum(work)
+        signed_errors = []
+        for _ in range(200):
+            order = list(work)
+            rng.shuffle(order)
+            k = n // 2
+            actual = sum(order[:k]) / total
+            dne = k / n
+            signed_errors.append(dne - actual)
+        mean_error = sum(signed_errors) / len(signed_errors)
+        assert abs(mean_error) < 0.03
+
+    def test_error_variance_shrinks_with_consumption(self):
+        workload = make_zipfian_join(n=3000, z=1.0, order="random", seed=22)
+        report = run_with_estimators(
+            workload.inl_plan(), standard_toolkit(), workload.catalog
+        )
+        early = [abs(s.estimates["dne"] - s.actual)
+                 for s in report.trace.samples if 0.02 < s.actual < 0.2]
+        late = [abs(s.estimates["dne"] - s.actual)
+                for s in report.trace.samples if s.actual > 0.8]
+        assert max(late) <= max(early) + 1e-9
+
+
+class TestTheorem4:
+    @pytest.mark.parametrize("z", [0.5, 1.0, 2.0])
+    def test_at_least_half_orders_2_predictive(self, z):
+        n = 300
+        work = [1 + f for f in zipf_frequencies(4 * n, n, z)]
+        rng = random.Random(17)
+        trials = 300
+        predictive = 0
+        for _ in range(trials):
+            order = list(work)
+            rng.shuffle(order)
+            if DriverWorkProfile(order).is_c_predictive(2.0):
+                predictive += 1
+        assert predictive / trials >= 0.5
+
+
+class TestProperty2:
+    def test_predictive_order_bounds_dne_late_error(self):
+        """On a 2-predictive order, dne's ratio error after 50% of the
+        driver is bounded (the error of the remaining-work forecast)."""
+        workload = make_zipfian_join(n=3000, order="random", seed=5)
+        scan_order = [row[0] for row in workload.r1.rows]
+        work = [1 + workload.fanout[value] for value in scan_order]
+        profile = DriverWorkProfile(work)
+        if not profile.is_c_predictive(2.0):
+            pytest.skip("sampled order happens not to be 2-predictive")
+        report = run_with_estimators(
+            workload.inl_plan(), standard_toolkit(), workload.catalog
+        )
+        # dne after half the input: ratio error within a small factor
+        late_error = report.trace.ratio_error_after("dne", 0.5)
+        assert late_error <= 2.0
+
+
+class TestTheorem6:
+    def test_safe_is_optimal_on_twins(self, twins, twin_reports):
+        """At the decision instant safe pays exactly √(total_y/total_x);
+        dne and pmax pay strictly more."""
+        report_x, report_y = twin_reports
+        optimal = math.sqrt(report_y.total / report_x.total)
+        x = at_curr(report_x, twins.position)
+        y = at_curr(report_y, twins.position)
+
+        def forced(name):
+            return max(
+                ratio_error(x.estimates[name], x.curr / report_x.total),
+                ratio_error(y.estimates[name], y.curr / report_y.total),
+            )
+
+        assert forced("safe") == pytest.approx(optimal, rel=0.05)
+        assert forced("dne") > forced("safe") * 1.5
+        assert forced("pmax") > forced("safe") * 1.5
+
+
+class TestProperty6:
+    @pytest.mark.parametrize("tables", [2, 3, 4])
+    def test_scan_based_bounds(self, tables):
+        from repro.bench.experiments import _scan_based_chain
+
+        plan, catalog = _scan_based_chain(tables, rows_per_table=600, seed=1)
+        assert plan.is_scan_based()
+        assert plan.is_linear()
+        m = plan.internal_node_count()
+        assert mu(plan) <= m + 1
+        report = run_with_estimators(plan, standard_toolkit(), catalog)
+        assert report.trace.max_ratio_error("safe", min_actual=0.02) <= math.sqrt(
+            m + 1
+        ) * 1.01
+        assert report.trace.max_ratio_error("pmax", min_actual=0.02) <= (m + 1) * 1.01
+
+
+class TestTheorems7And8:
+    def test_mu_undetectable(self, twins):
+        """The twin instances have μ differing by ~9x with identical
+        statistics and prefixes — no estimator can pin μ to any factor."""
+        mu_x = mu(twins.plan_x())
+        mu_y = mu(twins.plan_y())
+        assert mu_y / mu_x == pytest.approx(9.0, rel=0.05)
+
+    def test_predictiveness_undetectable(self, twins):
+        """Same prefix, one order 2-predictive, the other not."""
+        def work_vector(catalog, r2_size):
+            rows = catalog.table("r1").rows
+            y_value = twins.y
+            return [
+                1 + (r2_size if row[0] == y_value else 0) for row in rows
+            ]
+
+        work_x = work_vector(twins.catalog_x, twins.r2_size)
+        work_y = work_vector(twins.catalog_y, twins.r2_size)
+        assert work_x[: twins.position] == work_y[: twins.position]
+        assert DriverWorkProfile(work_x).is_c_predictive(2.0)
+        assert not DriverWorkProfile(work_y).is_c_predictive(2.0)

@@ -1,0 +1,92 @@
+"""The §2.5 threshold interface: ThresholdMonitor and trace scoring."""
+
+import pytest
+
+from repro.core import (
+    Observation,
+    SafeEstimator,
+    ThresholdAnswer,
+    ThresholdMonitor,
+    TrivialEstimator,
+    threshold_accuracy,
+)
+from repro.core.bounds import BoundsSnapshot
+from repro.core.metrics import ProgressTrace, TraceSample
+from repro.errors import ProgressError
+
+
+def observation(curr, lower, upper):
+    return Observation(curr, BoundsSnapshot(curr, lower, upper, {}), [])
+
+
+class TestMonitor:
+    def test_bounds_settle_below(self):
+        # guaranteed interval [0.1, 0.2] — certainly below tau=0.5
+        monitor = ThresholdMonitor(TrivialEstimator(), tau=0.5, delta=0.05)
+        reading = monitor.read(observation(10, 50, 100))
+        assert reading.answer is ThresholdAnswer.BELOW
+        assert reading.guaranteed_high == pytest.approx(0.2)
+
+    def test_bounds_settle_above(self):
+        # guaranteed interval [0.6, 0.9] — certainly above
+        monitor = ThresholdMonitor(TrivialEstimator(), tau=0.5, delta=0.05)
+        reading = monitor.read(observation(90, 100, 150))
+        assert reading.answer is ThresholdAnswer.ABOVE
+
+    def test_estimate_decides_when_bounds_straddle(self):
+        monitor = ThresholdMonitor(SafeEstimator(), tau=0.5, delta=0.05)
+        # interval [0.25, 1.0] straddles; safe = 50/sqrt(50*200) = 0.5 → grey
+        reading = monitor.read(observation(50, 50, 200))
+        assert reading.answer is ThresholdAnswer.UNSURE
+
+    def test_estimate_below(self):
+        monitor = ThresholdMonitor(SafeEstimator(), tau=0.5, delta=0.05)
+        # safe = 20/sqrt(50*200) = 0.2 < 0.45
+        reading = monitor.read(observation(20, 50, 200))
+        assert reading.answer is ThresholdAnswer.BELOW
+
+    def test_trust_bounds_off(self):
+        monitor = ThresholdMonitor(TrivialEstimator(), tau=0.5, delta=0.05,
+                                   trust_bounds=False)
+        # trivial always answers 0.5 → UNSURE, even with decisive bounds
+        reading = monitor.read(observation(10, 50, 100))
+        assert reading.answer is ThresholdAnswer.UNSURE
+
+    def test_parameter_validation(self):
+        with pytest.raises(ProgressError):
+            ThresholdMonitor(TrivialEstimator(), tau=0.0)
+        with pytest.raises(ProgressError):
+            ThresholdMonitor(TrivialEstimator(), tau=0.5, delta=0.6)
+
+
+class TestAccuracyScoring:
+    def make_trace(self, points):
+        trace = ProgressTrace(total=100)
+        for i, (actual, estimate) in enumerate(points):
+            trace.samples.append(
+                TraceSample(curr=i, actual=actual, estimates={"e": estimate})
+            )
+        return trace
+
+    def test_counts(self):
+        trace = self.make_trace([
+            (0.1, 0.2),   # correct (below)
+            (0.9, 0.8),   # correct (above)
+            (0.1, 0.8),   # wrong
+            (0.5, 0.99),  # grey
+        ])
+        scores = threshold_accuracy(trace, "e", tau=0.5, delta=0.05)
+        assert scores == {"correct": 2, "wrong": 1, "grey": 1}
+
+    def test_real_run_dne_passes_in_good_case(self):
+        from repro.core import DneEstimator, run_with_estimators
+        from repro.engine.expressions import col, lit
+        from repro.engine.operators import Filter, TableScan
+        from repro.engine.plan import Plan
+        from repro.storage import Table, schema_of
+
+        table = Table("t", schema_of("t", "a:int"), [(i,) for i in range(2000)])
+        plan = Plan(Filter(TableScan(table), col("a") % lit(2) == lit(0)))
+        report = run_with_estimators(plan, [DneEstimator()])
+        scores = threshold_accuracy(report.trace, "dne", tau=0.5, delta=0.05)
+        assert scores["wrong"] == 0

@@ -1,0 +1,117 @@
+"""The bytes-processed work model (§2.2's 'results extend to [13]')."""
+
+import math
+
+import pytest
+
+from repro.core import run_with_estimators, standard_toolkit
+from repro.core.runner import ProgressRunner
+from repro.core.workmodels import (
+    BytesModel,
+    GetNextModel,
+    TYPE_WIDTHS,
+    WeightedWork,
+)
+from repro.engine.expressions import col, lit
+from repro.engine.operators import Filter, HashJoin, Project, TableScan
+from repro.engine.plan import Plan
+from repro.storage import ColumnType, Table, schema_of
+from repro.workloads import make_zipfian_join
+
+
+@pytest.fixture
+def plan():
+    table = Table("t", schema_of("t", "a:int", "s:str"),
+                  [(i, "x" * 3) for i in range(300)])
+    return Plan(Filter(TableScan(table), col("a") % lit(3) == lit(0)), "wm")
+
+
+class TestModels:
+    def test_getnext_weights_are_one(self, plan):
+        model = GetNextModel()
+        assert all(w == 1.0 for w in model.weights_for(plan).values())
+
+    def test_bytes_weights_follow_schema(self, plan):
+        model = BytesModel()
+        weights = model.weights_for(plan)
+        expected = TYPE_WIDTHS[ColumnType.INT] + TYPE_WIDTHS[ColumnType.STR]
+        assert all(w == expected for w in weights.values())
+
+    def test_projection_changes_byte_weight(self):
+        table = Table("t", schema_of("t", "a:int", "s:str"), [(1, "x")])
+        project = Project(TableScan(table), [("a", col("a"))])
+        plan = Plan(project)
+        weights = BytesModel().weights_for(plan)
+        scan_weight = weights[plan.find(TableScan)[0].operator_id]
+        project_weight = weights[project.operator_id]
+        assert project_weight < scan_weight
+
+
+class TestWeightedWork:
+    def test_total_scales_with_weights(self, plan):
+        getnext_total = WeightedWork(plan, GetNextModel()).total()
+        bytes_total = WeightedWork(plan, BytesModel()).total()
+        width = TYPE_WIDTHS[ColumnType.INT] + TYPE_WIDTHS[ColumnType.STR]
+        assert bytes_total == getnext_total * width
+
+    def test_current_zero_before_execution(self, plan):
+        assert WeightedWork(plan, BytesModel()).current() == 0.0
+
+
+class TestRunnerIntegration:
+    def test_report_tagged_with_model(self, plan):
+        report = ProgressRunner(
+            plan, standard_toolkit(), work_model=BytesModel()
+        ).run()
+        assert report.work_model == "bytes"
+        default = run_with_estimators(plan, standard_toolkit())
+        assert default.work_model == "getnext"
+
+    def test_guarantees_hold_under_bytes_model(self):
+        """Property 4 and safe's bound survive the model swap — the paper's
+        'results would be equally applicable' claim."""
+        workload = make_zipfian_join(n=2000, order="skew_last")
+        report = ProgressRunner(
+            workload.inl_plan(), standard_toolkit(), workload.catalog,
+            work_model=BytesModel(),
+        ).run()
+        for sample in report.trace.samples:
+            assert sample.estimates["pmax"] >= sample.actual - 1e-9
+            if sample.actual > 0 and sample.estimates["safe"] > 0:
+                bound = math.sqrt(
+                    sample.upper_bound / max(sample.lower_bound, 1e-12)
+                )
+                ratio = max(sample.estimates["safe"] / sample.actual,
+                            sample.actual / sample.estimates["safe"])
+                assert ratio <= bound * (1 + 1e-9)
+
+    def test_uniform_width_plans_match_getnext(self, plan):
+        """When every operator has the same row width, the two models give
+        identical progress curves."""
+        bytes_report = ProgressRunner(
+            plan, standard_toolkit(), work_model=BytesModel()
+        ).run()
+        getnext_report = run_with_estimators(plan, standard_toolkit())
+        a = [round(s.actual, 6) for s in bytes_report.trace.samples]
+        b = [round(s.actual, 6) for s in getnext_report.trace.samples]
+        assert a == b
+
+    def test_models_diverge_when_widths_differ(self):
+        """A join widens rows, so byte-progress ≠ tick-progress."""
+        left = Table("l", schema_of("l", "k:int"), [(i,) for i in range(100)])
+        right = Table(
+            "r", schema_of("r", "k:int", "pad:str"),
+            [(i, "p") for i in range(100)],
+        )
+        plan = Plan(HashJoin(TableScan(left), TableScan(right),
+                             col("l.k"), col("r.k"), linear=True))
+        bytes_report = ProgressRunner(
+            plan, standard_toolkit(), work_model=BytesModel()
+        ).run()
+        plan2 = Plan(HashJoin(TableScan(left), TableScan(right),
+                              col("l.k"), col("r.k"), linear=True))
+        getnext_report = run_with_estimators(plan2, standard_toolkit())
+        mid_bytes = [s.actual for s in bytes_report.trace.samples
+                     if 0.3 < s.actual < 0.7]
+        assert bytes_report.total != getnext_report.total
+        assert mid_bytes  # the byte curve has its own mid-region samples

@@ -1,0 +1,187 @@
+"""Expression evaluation, NULL semantics and structural helpers."""
+
+import pytest
+
+from repro.engine.expressions import (
+    And,
+    Arithmetic,
+    Between,
+    Case,
+    Comparison,
+    InList,
+    IsNull,
+    Like,
+    Not,
+    Or,
+    as_column_constant,
+    as_column_equality,
+    as_column_range,
+    col,
+    conjoin,
+    conjuncts,
+    lit,
+)
+from repro.errors import ExpressionError
+from repro.storage import schema_of
+
+SCHEMA = schema_of("t", "a:int", "b:float", "s:str")
+
+
+def ev(expression, row=(10, 2.5, "hello")):
+    return expression.evaluate(row, SCHEMA)
+
+
+class TestBasics:
+    def test_literal(self):
+        assert ev(lit(42)) == 42
+
+    def test_column(self):
+        assert ev(col("a")) == 10
+        assert ev(col("t.s")) == "hello"
+
+    def test_comparisons(self):
+        assert ev(col("a") == lit(10)) is True
+        assert ev(col("a") != lit(10)) is False
+        assert ev(col("a") < lit(11)) is True
+        assert ev(col("a") <= lit(10)) is True
+        assert ev(col("a") > lit(10)) is False
+        assert ev(col("a") >= lit(11)) is False
+
+    def test_arithmetic(self):
+        assert ev(col("a") + lit(5)) == 15
+        assert ev(col("a") - lit(3)) == 7
+        assert ev(col("a") * col("b")) == 25.0
+        assert ev(col("a") / lit(4)) == 2.5
+        assert ev(col("a") % lit(3)) == 1
+
+    def test_division_by_zero_is_null(self):
+        assert ev(col("a") / lit(0)) is None
+        assert ev(col("a") % lit(0)) is None
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ExpressionError):
+            Comparison("~", lit(1), lit(2))
+        with pytest.raises(ExpressionError):
+            Arithmetic("**", lit(1), lit(2))
+
+
+class TestNullSemantics:
+    NULL_ROW = (None, 2.5, "x")
+
+    def test_comparison_with_null_is_null(self):
+        assert ev(col("a") == lit(1), self.NULL_ROW) is None
+        assert ev(col("a") < lit(1), self.NULL_ROW) is None
+
+    def test_arithmetic_with_null_is_null(self):
+        assert ev(col("a") + lit(1), self.NULL_ROW) is None
+
+    def test_and_kleene(self):
+        assert ev(And(lit(True), lit(None))) is None
+        assert ev(And(lit(False), lit(None))) is False
+        assert ev(And(lit(True), lit(True))) is True
+
+    def test_or_kleene(self):
+        assert ev(Or(lit(False), lit(None))) is None
+        assert ev(Or(lit(True), lit(None))) is True
+        assert ev(Or(lit(False), lit(False))) is False
+
+    def test_not_kleene(self):
+        assert ev(Not(lit(None))) is None
+        assert ev(Not(lit(False))) is True
+
+    def test_is_null(self):
+        assert ev(IsNull(col("a")), self.NULL_ROW) is True
+        assert ev(IsNull(col("a"))) is False
+        assert ev(IsNull(col("a"), negated=True)) is True
+
+    def test_between_null(self):
+        assert ev(Between(col("a"), lit(1), lit(5)), self.NULL_ROW) is None
+
+    def test_in_null(self):
+        assert ev(InList(col("a"), [1, 2]), self.NULL_ROW) is None
+
+
+class TestSugarNodes:
+    def test_between(self):
+        assert ev(Between(col("a"), lit(5), lit(15))) is True
+        assert ev(Between(col("a"), lit(11), lit(15))) is False
+        assert ev(Between(col("a"), lit(10), lit(10))) is True  # inclusive
+
+    def test_in_list(self):
+        assert ev(InList(col("a"), [1, 10, 100])) is True
+        assert ev(InList(col("a"), [1, 2])) is False
+
+    def test_like(self):
+        assert ev(Like(col("s"), "hel%")) is True
+        assert ev(Like(col("s"), "%llo")) is True
+        assert ev(Like(col("s"), "h_llo")) is True
+        assert ev(Like(col("s"), "x%")) is False
+        assert ev(Like(col("s"), "hello")) is True
+
+    def test_like_escapes_regex_chars(self):
+        schema = schema_of("t", "s:str")
+        assert Like(col("s"), "a.b%").evaluate(("a.bcd",), schema) is True
+        assert Like(col("s"), "a.b%").evaluate(("axbcd",), schema) is False
+
+    def test_case(self):
+        expression = Case(
+            [(col("a") > lit(5), lit("big")), (col("a") > lit(0), lit("small"))],
+            lit("neg"),
+        )
+        assert ev(expression) == "big"
+        assert ev(expression, (3, 0.0, "")) == "small"
+        assert ev(expression, (-1, 0.0, "")) == "neg"
+
+    def test_case_no_default_is_null(self):
+        expression = Case([(col("a") > lit(100), lit(1))])
+        assert ev(expression) is None
+
+    def test_case_requires_branch(self):
+        with pytest.raises(ExpressionError):
+            Case([])
+
+
+class TestStructuralHelpers:
+    def test_conjuncts_flatten(self):
+        expression = And(And(lit(1) == lit(1), lit(2) == lit(2)), lit(3) == lit(3))
+        assert len(conjuncts(expression)) == 3
+
+    def test_conjuncts_single(self):
+        assert len(conjuncts(lit(True))) == 1
+
+    def test_conjoin_roundtrip(self):
+        parts = conjuncts(And(col("a") == lit(1), col("b") == lit(2)))
+        rebuilt = conjoin(parts)
+        assert len(conjuncts(rebuilt)) == 2
+
+    def test_conjoin_empty_raises(self):
+        with pytest.raises(ExpressionError):
+            conjoin([])
+
+    def test_as_column_equality(self):
+        assert as_column_equality(col("x") == col("y")) == ("x", "y")
+        assert as_column_equality(col("x") == lit(1)) is None
+        assert as_column_equality(col("x") < col("y")) is None
+
+    def test_as_column_constant_normalizes(self):
+        assert as_column_constant(col("x") < lit(5)) == ("x", "<", 5)
+        assert as_column_constant(lit(5) < col("x")) == ("x", ">", 5)
+        assert as_column_constant(lit(5) == col("x")) == ("x", "=", 5)
+
+    def test_as_column_range(self):
+        assert as_column_range(col("x") <= lit(9)) == ("x", None, 9, True, True)
+        assert as_column_range(col("x") > lit(2)) == ("x", 2, None, False, True)
+        assert as_column_range(Between(col("x"), lit(1), lit(5))) == (
+            "x", 1, 5, True, True,
+        )
+        assert as_column_range(col("x") == lit(3)) == ("x", 3, 3, True, True)
+        assert as_column_range(col("x") != lit(3)) is None
+
+    def test_references(self):
+        expression = And(col("a") == lit(1), Or(col("b") < col("a"), IsNull(col("s"))))
+        assert set(expression.references()) == {"a", "b", "s"}
+
+    def test_bound_function_reuse(self):
+        bound = (col("a") + lit(1)).bind(SCHEMA)
+        assert bound((1, 0.0, "")) == 2
+        assert bound((2, 0.0, "")) == 3

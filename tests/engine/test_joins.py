@@ -1,0 +1,227 @@
+"""All four join algorithms, checked against a naive reference join."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.engine.expressions import col, lit
+from repro.engine.monitor import ExecutionMonitor
+from repro.engine.operators import (
+    ExecutionContext,
+    Filter,
+    HashJoin,
+    IndexNestedLoopsJoin,
+    MergeJoin,
+    NestedLoopsJoin,
+    Sort,
+    SortKey,
+    TableScan,
+)
+from repro.storage import HashIndex, SortedIndex, Table, schema_of
+
+
+def make_tables(seed=0, n_left=30, n_right=40, key_space=10):
+    rng = random.Random(seed)
+    left = Table("l", schema_of("l", "k:int", "lv:int"),
+                 [(rng.randrange(key_space), i) for i in range(n_left)])
+    right = Table("r", schema_of("r", "k:int", "rv:int"),
+                  [(rng.randrange(key_space), 100 + i) for i in range(n_right)])
+    return left, right
+
+
+def reference_join(left, right):
+    return sorted(
+        l + r for l, r in itertools.product(left.rows, right.rows) if l[0] == r[0]
+    )
+
+
+def run(op):
+    return op.run(ExecutionContext())
+
+
+@pytest.fixture
+def tables():
+    return make_tables()
+
+
+class TestNestedLoopsJoin:
+    def test_matches_reference(self, tables):
+        left, right = tables
+        join = NestedLoopsJoin(
+            TableScan(left), TableScan(right), col("l.k") == col("r.k")
+        )
+        assert sorted(run(join)) == reference_join(left, right)
+
+    def test_cross_product(self, tables):
+        left, right = tables
+        join = NestedLoopsJoin(TableScan(left), TableScan(right))
+        assert len(run(join)) == len(left) * len(right)
+
+    def test_inner_rescans_count(self, tables):
+        left, right = tables
+        monitor = ExecutionMonitor()
+        inner = TableScan(right)
+        join = NestedLoopsJoin(TableScan(left), inner, col("l.k") == col("r.k"))
+        join.run(ExecutionContext(monitor))
+        # inner scanned once per outer row
+        assert monitor.count_for(inner.operator_id) == len(left) * len(right)
+
+    def test_is_nested_iteration(self, tables):
+        left, right = tables
+        assert NestedLoopsJoin(TableScan(left), TableScan(right)).is_nested_iteration
+
+
+class TestIndexNestedLoopsJoin:
+    def test_matches_reference_hash_index(self, tables):
+        left, right = tables
+        index = HashIndex("hx", right, "k")
+        join = IndexNestedLoopsJoin(TableScan(left), index, col("l.k"))
+        assert sorted(run(join)) == reference_join(left, right)
+
+    def test_matches_reference_sorted_index(self, tables):
+        left, right = tables
+        index = SortedIndex("sx", right, "k")
+        join = IndexNestedLoopsJoin(TableScan(left), index, col("l.k"))
+        assert sorted(run(join)) == reference_join(left, right)
+
+    def test_inner_lookups_not_counted(self, tables):
+        """The work model counts only the join's own output (DESIGN.md §4)."""
+        left, right = tables
+        monitor = ExecutionMonitor()
+        index = HashIndex("hx", right, "k")
+        join = IndexNestedLoopsJoin(TableScan(left), index, col("l.k"))
+        result = join.run(ExecutionContext(monitor))
+        assert monitor.total_ticks == len(left) + len(result)
+
+    def test_residual_predicate(self, tables):
+        left, right = tables
+        index = HashIndex("hx", right, "k")
+        join = IndexNestedLoopsJoin(
+            TableScan(left), index, col("l.k"),
+            residual=col("r.rv") < lit(110),
+        )
+        expected = [row for row in reference_join(left, right) if row[3] < 110]
+        assert sorted(run(join)) == sorted(expected)
+
+    def test_null_outer_key_skipped(self):
+        left = Table("l", schema_of("l", "k:int"))
+        left.insert((1,))
+        left.insert((None,), validate=False)
+        right = Table("r", schema_of("r", "k:int"), [(1,), (None,)],
+                      validate=False)
+        index = HashIndex("hx", right, "k")
+        join = IndexNestedLoopsJoin(TableScan(left), index, col("l.k"))
+        assert run(join) == [(1, 1)]
+
+    def test_inner_alias(self, tables):
+        left, right = tables
+        index = HashIndex("hx", right, "k")
+        join = IndexNestedLoopsJoin(TableScan(left), index, col("l.k"),
+                                    inner_alias="rr")
+        assert "rr.k" in join.schema.qualified_names()
+
+
+class TestHashJoin:
+    def test_matches_reference(self, tables):
+        left, right = tables
+        join = HashJoin(TableScan(left), TableScan(right), col("l.k"), col("r.k"))
+        assert sorted(run(join)) == reference_join(left, right)
+
+    def test_build_side_consumed_before_first_output(self, tables):
+        left, right = tables
+        build = TableScan(left)
+        join = HashJoin(build, TableScan(right), col("l.k"), col("r.k"))
+        join.open(ExecutionContext())
+        assert not join.build_done
+        join.get_next()
+        assert join.build_done
+        assert build.finished
+        join.close()
+
+    def test_null_keys_never_join(self):
+        left = Table("l", schema_of("l", "k:int"), [(None,), (1,)], validate=False)
+        right = Table("r", schema_of("r", "k:int"), [(None,), (1,)], validate=False)
+        join = HashJoin(TableScan(left), TableScan(right), col("l.k"), col("r.k"))
+        assert run(join) == [(1, 1)]
+
+    def test_residual(self, tables):
+        left, right = tables
+        join = HashJoin(
+            TableScan(left), TableScan(right), col("l.k"), col("r.k"),
+            residual=col("lv") < lit(5),
+        )
+        expected = [row for row in reference_join(left, right) if row[1] < 5]
+        assert sorted(run(join)) == sorted(expected)
+
+    def test_counting(self, tables):
+        left, right = tables
+        monitor = ExecutionMonitor()
+        join = HashJoin(TableScan(left), TableScan(right), col("l.k"), col("r.k"))
+        result = join.run(ExecutionContext(monitor))
+        assert monitor.total_ticks == len(left) + len(right) + len(result)
+
+
+class TestMergeJoin:
+    def test_matches_reference(self, tables):
+        left, right = tables
+        join = MergeJoin(
+            Sort(TableScan(left), [SortKey(col("l.k"))]),
+            Sort(TableScan(right), [SortKey(col("r.k"))]),
+            col("l.k"), col("r.k"),
+        )
+        assert sorted(run(join)) == reference_join(left, right)
+
+    def test_many_to_many_duplicates(self):
+        left = Table("l", schema_of("l", "k:int"), [(1,), (1,), (2,)])
+        right = Table("r", schema_of("r", "k:int"), [(1,), (1,), (1,), (2,)])
+        join = MergeJoin(TableScan(left), TableScan(right), col("l.k"), col("r.k"))
+        assert len(run(join)) == 2 * 3 + 1
+
+    def test_unsorted_input_detected(self):
+        left = Table("l", schema_of("l", "k:int"), [(2,), (1,)])
+        right = Table("r", schema_of("r", "k:int"), [(1,), (2,)])
+        join = MergeJoin(TableScan(left), TableScan(right), col("l.k"), col("r.k"))
+        from repro.errors import ExecutionError
+        with pytest.raises(ExecutionError):
+            run(join)
+
+    def test_empty_left(self):
+        left = Table("l", schema_of("l", "k:int"))
+        right = Table("r", schema_of("r", "k:int"), [(1,)])
+        join = MergeJoin(TableScan(left), TableScan(right), col("l.k"), col("r.k"))
+        assert run(join) == []
+
+    def test_empty_right(self):
+        left = Table("l", schema_of("l", "k:int"), [(1,)])
+        right = Table("r", schema_of("r", "k:int"))
+        join = MergeJoin(TableScan(left), TableScan(right), col("l.k"), col("r.k"))
+        assert run(join) == []
+
+    def test_disjoint_keys(self):
+        left = Table("l", schema_of("l", "k:int"), [(1,), (3,), (5,)])
+        right = Table("r", schema_of("r", "k:int"), [(2,), (4,), (6,)])
+        join = MergeJoin(TableScan(left), TableScan(right), col("l.k"), col("r.k"))
+        assert run(join) == []
+
+
+class TestJoinEquivalence:
+    """All algorithms return the same multiset on random inputs."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_all_agree(self, seed):
+        left, right = make_tables(seed=seed, n_left=25, n_right=35, key_space=8)
+        reference = reference_join(left, right)
+
+        nl = NestedLoopsJoin(TableScan(left), TableScan(right),
+                             col("l.k") == col("r.k"))
+        inl = IndexNestedLoopsJoin(TableScan(left), HashIndex("hx", right, "k"),
+                                   col("l.k"))
+        hj = HashJoin(TableScan(left), TableScan(right), col("l.k"), col("r.k"))
+        mj = MergeJoin(
+            Sort(TableScan(left), [SortKey(col("l.k"))]),
+            Sort(TableScan(right), [SortKey(col("r.k"))]),
+            col("l.k"), col("r.k"),
+        )
+        for join in (nl, inl, hj, mj):
+            assert sorted(run(join)) == reference

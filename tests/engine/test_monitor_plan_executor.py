@@ -1,0 +1,172 @@
+"""ExecutionMonitor, Plan structure queries, and the executor."""
+
+import pytest
+
+from repro.engine import ExecutionMonitor, Plan, execute, measure_total_work
+from repro.engine.expressions import col, lit
+from repro.engine.operators import (
+    ExecutionContext,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    IndexNestedLoopsJoin,
+    Limit,
+    NestedLoopsJoin,
+    Sort,
+    SortKey,
+    TableScan,
+    count_star,
+)
+from repro.errors import PlanError
+from repro.storage import HashIndex, Table, schema_of
+
+
+@pytest.fixture
+def table():
+    return Table("t", schema_of("t", "a:int"), [(i,) for i in range(10)])
+
+
+@pytest.fixture
+def other():
+    return Table("u", schema_of("u", "b:int"), [(i % 5,) for i in range(20)])
+
+
+class TestMonitor:
+    def test_observer_cadence(self, table):
+        monitor = ExecutionMonitor()
+        seen = []
+        monitor.add_observer(lambda m: seen.append(m.total_ticks), every=3)
+        TableScan(table).run(ExecutionContext(monitor))
+        assert seen == [3, 6, 9]
+
+    def test_observer_every_tick(self, table):
+        monitor = ExecutionMonitor()
+        seen = []
+        monitor.add_observer(lambda m: seen.append(m.total_ticks))
+        TableScan(table).run(ExecutionContext(monitor))
+        assert seen == list(range(1, 11))
+
+    def test_invalid_cadence(self):
+        with pytest.raises(ValueError):
+            ExecutionMonitor().add_observer(lambda m: None, every=0)
+
+    def test_counts_snapshot(self, table):
+        monitor = ExecutionMonitor()
+        scan = TableScan(table)
+        scan.run(ExecutionContext(monitor))
+        assert monitor.counts() == {scan.operator_id: 10}
+
+    def test_reset_keeps_observers(self, table):
+        monitor = ExecutionMonitor()
+        seen = []
+        monitor.add_observer(lambda m: seen.append(m.total_ticks), every=5)
+        scan = TableScan(table)
+        scan.run(ExecutionContext(monitor))
+        monitor.reset()
+        assert monitor.total_ticks == 0
+        scan.run(ExecutionContext(monitor))
+        assert len(seen) == 4
+
+    def test_labels(self, table):
+        monitor = ExecutionMonitor()
+        scan = TableScan(table)
+        scan.run(ExecutionContext(monitor))
+        assert "TableScan" in monitor.label_for(scan.operator_id)
+
+    def test_notify_now(self, table):
+        monitor = ExecutionMonitor()
+        calls = []
+        monitor.add_observer(lambda m: calls.append(1), every=1000)
+        monitor.notify_now()
+        assert calls == [1]
+
+
+class TestPlan:
+    def test_leaves(self, table, other):
+        join = NestedLoopsJoin(TableScan(table), TableScan(other))
+        plan = Plan(join)
+        assert len(plan.leaves()) == 2
+
+    def test_scanned_leaves_excludes_nl_inner(self, table, other):
+        inner = TableScan(other)
+        outer = TableScan(table)
+        plan = Plan(NestedLoopsJoin(outer, inner))
+        scanned = plan.scanned_leaves()
+        assert outer in scanned
+        assert inner not in scanned
+
+    def test_scan_based_classification(self, table, other):
+        hash_plan = Plan(
+            HashJoin(TableScan(table), TableScan(other), col("t.a"), col("u.b"))
+        )
+        assert hash_plan.is_scan_based()
+        index = HashIndex("hx", other, "b")
+        inl_plan = Plan(
+            IndexNestedLoopsJoin(TableScan(table), index, col("t.a"))
+        )
+        assert not inl_plan.is_scan_based()
+
+    def test_linear_classification(self, table, other):
+        linear = Plan(HashJoin(TableScan(table), TableScan(other),
+                               col("t.a"), col("u.b"), linear=True))
+        assert linear.is_linear()
+        nonlinear = Plan(HashJoin(TableScan(table), TableScan(other),
+                                  col("t.a"), col("u.b")))
+        assert not nonlinear.is_linear()
+
+    def test_internal_node_count(self, table):
+        plan = Plan(Filter(TableScan(table), col("a") > lit(0)))
+        assert plan.internal_node_count() == 1
+
+    def test_blocking_operators(self, table):
+        plan = Plan(Sort(TableScan(table), [SortKey(col("a"))]))
+        assert len(plan.blocking_operators()) == 1
+
+    def test_explain_mentions_operators(self, table, other):
+        plan = Plan(HashJoin(TableScan(table), TableScan(other),
+                             col("t.a"), col("u.b")))
+        text = plan.explain()
+        assert "HashJoin" in text and "TableScan" in text
+        assert "blocking" in text
+
+    def test_duplicate_operator_rejected(self, table):
+        from repro.engine.operators import RowSource, UnionAll
+
+        source = RowSource(schema_of(None, "x:int"), [(1,)])
+        with pytest.raises(PlanError):
+            Plan(UnionAll(source, source))
+
+    def test_find(self, table):
+        plan = Plan(Filter(TableScan(table), col("a") > lit(0)))
+        assert len(plan.find(Filter)) == 1
+        assert len(plan.find(TableScan)) == 1
+
+
+class TestExecutor:
+    def test_execute_returns_rows_and_counts(self, table):
+        plan = Plan(Filter(TableScan(table), col("a") < lit(3)))
+        result = execute(plan)
+        assert result.row_count == 3
+        assert result.total_getnext == 13
+        assert sum(result.per_operator.values()) == 13
+
+    def test_measure_total_work_is_repeatable(self, table, other):
+        plan = Plan(HashJoin(TableScan(table), TableScan(other),
+                             col("t.a"), col("u.b")))
+        assert measure_total_work(plan) == measure_total_work(plan)
+
+    def test_total_matches_example2_arithmetic(self):
+        """Example 2 calibration: total = |R1| + sigma + join output."""
+        from repro.workloads import make_example2
+
+        workload = make_example2(n=3000, matches=400)
+        assert measure_total_work(workload.inl_plan()) == workload.expected_total
+
+    def test_aggregation_total(self, table):
+        agg = HashAggregate(TableScan(table), [], [count_star("n")])
+        assert measure_total_work(Plan(agg)) == 11
+
+    def test_limit_reduces_total(self, table):
+        full = measure_total_work(Plan(TableScan(table)))
+        limited = measure_total_work(Plan(Limit(TableScan(table), 2)))
+        assert limited < full

@@ -1,0 +1,188 @@
+"""Scan, filter, project, limit, union-all, distinct — and getnext counting."""
+
+import pytest
+
+from repro.engine.expressions import col, lit
+from repro.engine.monitor import ExecutionMonitor
+from repro.engine.operators import (
+    Distinct,
+    ExecutionContext,
+    Filter,
+    IndexSeek,
+    Limit,
+    Project,
+    RowSource,
+    TableScan,
+    UnionAll,
+)
+from repro.errors import ExecutionError, PlanError
+from repro.storage import SortedIndex, Table, schema_of
+
+
+@pytest.fixture
+def table():
+    return Table("t", schema_of("t", "a:int", "b:int"),
+                 [(i, i % 3) for i in range(12)])
+
+
+def run(op):
+    return op.run(ExecutionContext())
+
+
+class TestTableScan:
+    def test_scan_order_is_storage_order(self, table):
+        scan = TableScan(table)
+        assert [row[0] for row in run(scan)] == list(range(12))
+
+    def test_alias_requalifies_schema(self, table):
+        scan = TableScan(table, alias="x")
+        assert scan.schema.qualified_names()[0] == "x.a"
+
+    def test_counting(self, table):
+        monitor = ExecutionMonitor()
+        scan = TableScan(table)
+        scan.run(ExecutionContext(monitor))
+        assert monitor.total_ticks == 12
+        assert monitor.count_for(scan.operator_id) == 12
+
+    def test_get_next_before_open_raises(self, table):
+        with pytest.raises(ExecutionError):
+            TableScan(table).get_next()
+
+    def test_rerun_resets(self, table):
+        scan = TableScan(table)
+        assert len(run(scan)) == 12
+        assert len(run(scan)) == 12
+
+    def test_base_cardinality(self, table):
+        assert TableScan(table).base_cardinality() == 12
+
+
+class TestRowSource:
+    def test_yields_given_rows(self):
+        source = RowSource(schema_of(None, "x:int"), [(1,), (2,)])
+        assert run(source) == [(1, ), (2, )]
+
+    def test_counts(self):
+        monitor = ExecutionMonitor()
+        source = RowSource(schema_of(None, "x:int"), [(1,), (2,), (3,)])
+        source.run(ExecutionContext(monitor))
+        assert monitor.total_ticks == 3
+
+
+class TestIndexSeek:
+    def test_range_seek(self, table):
+        index = SortedIndex("sx", table, "a")
+        seek = IndexSeek(index, low=3, high=7)
+        assert [row[0] for row in run(seek)] == [3, 4, 5, 6, 7]
+        assert seek.exact_match_count() == 5
+
+    def test_is_nested_iteration(self, table):
+        index = SortedIndex("sx", table, "a")
+        assert IndexSeek(index).is_nested_iteration
+
+    def test_counts_as_operator(self, table):
+        monitor = ExecutionMonitor()
+        index = SortedIndex("sx", table, "a")
+        IndexSeek(index, low=0, high=4).run(ExecutionContext(monitor))
+        assert monitor.total_ticks == 5
+
+
+class TestFilter:
+    def test_keeps_true_rows(self, table):
+        out = run(Filter(TableScan(table), col("b") == lit(0)))
+        assert all(row[1] == 0 for row in out)
+        assert len(out) == 4
+
+    def test_null_predicate_drops(self):
+        t = Table("n", schema_of("n", "a:int"))
+        t.insert((1,))
+        t.insert((None,), validate=False)
+        out = run(Filter(TableScan(t), col("a") > lit(0)))
+        assert out == [(1,)]
+
+    def test_counting_excludes_dropped(self, table):
+        monitor = ExecutionMonitor()
+        f = Filter(TableScan(table), col("a") < lit(3))
+        f.run(ExecutionContext(monitor))
+        # 12 scan ticks + 3 filter ticks
+        assert monitor.total_ticks == 15
+        assert monitor.count_for(f.operator_id) == 3
+
+
+class TestProject:
+    def test_computed_outputs(self, table):
+        project = Project(TableScan(table), [("twice", col("a") * lit(2))])
+        assert run(project)[:3] == [(0,), (2,), (4,)]
+
+    def test_output_schema_names(self, table):
+        project = Project(TableScan(table), [("x", col("a")), ("y", col("b"))])
+        assert project.schema.qualified_names() == ("x", "y")
+
+    def test_column_type_copied(self, table):
+        project = Project(TableScan(table), [("x", col("a"))])
+        assert project.schema.column_at(0).type.value == "int"
+
+    def test_requires_output(self, table):
+        with pytest.raises(PlanError):
+            Project(TableScan(table), [])
+
+
+class TestLimit:
+    def test_limit(self, table):
+        assert len(run(Limit(TableScan(table), 5))) == 5
+
+    def test_offset(self, table):
+        out = run(Limit(TableScan(table), 3, offset=2))
+        assert [row[0] for row in out] == [2, 3, 4]
+
+    def test_limit_larger_than_input(self, table):
+        assert len(run(Limit(TableScan(table), 100))) == 12
+
+    def test_zero_limit(self, table):
+        assert run(Limit(TableScan(table), 0)) == []
+
+    def test_negative_rejected(self, table):
+        with pytest.raises(PlanError):
+            Limit(TableScan(table), -1)
+
+    def test_stops_pulling_from_child(self, table):
+        monitor = ExecutionMonitor()
+        limit = Limit(TableScan(table), 2)
+        limit.run(ExecutionContext(monitor))
+        # child pulled only twice
+        assert monitor.total_ticks == 4
+
+
+class TestUnionAll:
+    def test_concatenates_in_order(self):
+        a = RowSource(schema_of(None, "x:int"), [(1,), (2,)])
+        b = RowSource(schema_of(None, "x:int"), [(3,)])
+        assert run(UnionAll(a, b)) == [(1,), (2,), (3,)]
+
+    def test_arity_checked(self):
+        a = RowSource(schema_of(None, "x:int"), [(1,)])
+        b = RowSource(schema_of(None, "x:int", "y:int"), [(1, 2)])
+        with pytest.raises(PlanError):
+            UnionAll(a, b)
+
+    def test_needs_two_inputs(self):
+        a = RowSource(schema_of(None, "x:int"), [(1,)])
+        with pytest.raises(PlanError):
+            UnionAll(a)
+
+
+class TestDistinct:
+    def test_dedup_preserves_first_occurrence_order(self):
+        source = RowSource(schema_of(None, "x:int"),
+                           [(2,), (1,), (2,), (3,), (1,)])
+        assert run(Distinct(source)) == [(2,), (1,), (3,)]
+
+    def test_streams(self):
+        """Distinct emits before consuming everything (non-blocking)."""
+        source = RowSource(schema_of(None, "x:int"), [(1,), (1,), (2,)])
+        distinct = Distinct(source)
+        distinct.open(ExecutionContext())
+        assert distinct.get_next() == (1,)
+        assert source.rows_produced == 1  # only one input row pulled
+        distinct.close()

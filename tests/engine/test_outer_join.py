@@ -1,0 +1,125 @@
+"""Probe-preserving (LEFT OUTER) hash join."""
+
+import pytest
+
+from repro.engine.expressions import col, lit
+from repro.engine.operators import ExecutionContext, HashJoin, TableScan
+from repro.storage import Table, schema_of
+
+
+def run(op):
+    return op.run(ExecutionContext())
+
+
+@pytest.fixture
+def tables():
+    build = Table("b", schema_of("b", "k:int", "v:int"),
+                  [(1, 10), (1, 11), (3, 30)])
+    probe = Table("p", schema_of("p", "k2:int", "w:int"),
+                  [(1, 100), (2, 200), (3, 300), (4, 400)])
+    return build, probe
+
+
+class TestOuterJoin:
+    def test_unmatched_probe_rows_padded(self, tables):
+        build, probe = tables
+        join = HashJoin(TableScan(build), TableScan(probe),
+                        col("b.k"), col("p.k2"), preserve_probe=True)
+        out = run(join)
+        # key 1: two matches; 2: padded; 3: one match; 4: padded
+        assert len(out) == 2 + 1 + 1 + 1
+        padded = [row for row in out if row[0] is None]
+        assert sorted(row[2] for row in padded) == [2, 4]
+        assert all(row[1] is None for row in padded)
+
+    def test_inner_join_semantics_unchanged(self, tables):
+        build, probe = tables
+        inner = HashJoin(TableScan(build), TableScan(probe),
+                         col("b.k"), col("p.k2"))
+        assert len(run(inner)) == 3
+
+    def test_residual_failing_rows_padded(self, tables):
+        build, probe = tables
+        join = HashJoin(
+            TableScan(build), TableScan(probe), col("b.k"), col("p.k2"),
+            residual=col("b.v") > lit(10),
+            preserve_probe=True,
+        )
+        out = run(join)
+        # key 1: one match survives (v=11); key 3 match (v=30) survives;
+        # keys 2 and 4 padded
+        assert len(out) == 4
+        survivors = [row for row in out if row[0] is not None]
+        assert sorted(row[1] for row in survivors) == [11, 30]
+
+    def test_every_probe_row_represented(self, tables):
+        build, probe = tables
+        join = HashJoin(TableScan(build), TableScan(probe),
+                        col("b.k"), col("p.k2"), preserve_probe=True)
+        out = run(join)
+        assert {row[2] for row in out} == {1, 2, 3, 4}
+
+    def test_empty_build_pads_everything(self, tables):
+        _, probe = tables
+        empty = Table("b", schema_of("b", "k:int", "v:int"))
+        join = HashJoin(TableScan(empty), TableScan(probe),
+                        col("b.k"), col("p.k2"), preserve_probe=True)
+        out = run(join)
+        assert len(out) == 4
+        assert all(row[0] is None and row[1] is None for row in out)
+
+    def test_null_probe_key_padded_not_joined(self):
+        build = Table("b", schema_of("b", "k:int"), [(1,)])
+        probe = Table("p", schema_of("p", "k2:int"), [(None,), (1,)],
+                      validate=False)
+        join = HashJoin(TableScan(build), TableScan(probe),
+                        col("b.k"), col("p.k2"), preserve_probe=True)
+        out = run(join)
+        assert sorted(out, key=str) == sorted([(None, None), (1, 1)], key=str)
+
+    def test_describe_mentions_outer(self, tables):
+        build, probe = tables
+        join = HashJoin(TableScan(build), TableScan(probe),
+                        col("b.k"), col("p.k2"), preserve_probe=True)
+        assert "outer" in join.describe()
+
+
+class TestOuterJoinBounds:
+    def test_probe_cardinality_is_a_lower_bound(self, tables):
+        from repro.core import BoundsTracker
+        from repro.engine.plan import Plan
+
+        build, probe = tables
+        join = HashJoin(TableScan(build), TableScan(probe),
+                        col("b.k"), col("p.k2"), preserve_probe=True,
+                        linear=True)
+        plan = Plan(join)
+        snapshot = BoundsTracker(plan).snapshot()
+        # leaves (3 + 4) + join output >= probe (4)
+        assert snapshot.lower >= 3 + 4 + 4
+
+    def test_invariant_holds_throughout(self, tables):
+        from repro.core import BoundsTracker, total_work
+        from repro.engine.monitor import ExecutionMonitor
+        from repro.engine.plan import Plan
+
+        build, probe = tables
+        join = HashJoin(TableScan(build), TableScan(probe),
+                        col("b.k"), col("p.k2"), preserve_probe=True)
+        plan = Plan(join)
+        total = total_work(plan)
+        tracker = BoundsTracker(plan)
+        failures = []
+
+        def check(monitor):
+            snapshot = tracker.snapshot()
+            if not (monitor.total_ticks <= snapshot.lower + 1e-9
+                    and snapshot.lower <= total + 1e-9
+                    and total <= snapshot.upper + 1e-9):
+                failures.append((monitor.total_ticks, snapshot))
+
+        monitor = ExecutionMonitor()
+        monitor.add_observer(check)
+        for _ in plan.root.iterate(ExecutionContext(monitor)):
+            pass
+        assert not failures

@@ -1,0 +1,161 @@
+"""Failure injection: operators must fail cleanly and leave sane state."""
+
+import pytest
+
+from repro.engine.expressions import Expression, col, lit
+from repro.engine.monitor import ExecutionMonitor
+from repro.engine.operators import (
+    ExecutionContext,
+    Filter,
+    HashJoin,
+    LeafOperator,
+    Sort,
+    SortKey,
+    TableScan,
+)
+from repro.errors import ExecutionError
+from repro.storage import Table, schema_of
+from repro.storage.schema import Schema
+
+
+class Bomb(LeafOperator):
+    """A leaf that yields ``fuse`` rows and then raises."""
+
+    def __init__(self, schema: Schema, fuse: int) -> None:
+        super().__init__(schema)
+        self.fuse = fuse
+        self._emitted = 0
+
+    @property
+    def name(self) -> str:
+        return "Bomb"
+
+    def _open(self) -> None:
+        self._emitted = 0
+
+    def _next(self):
+        if self._emitted >= self.fuse:
+            raise RuntimeError("boom")
+        self._emitted += 1
+        return (self._emitted,)
+
+    def base_cardinality(self) -> int:
+        return self.fuse + 100
+
+
+class FailingExpression(Expression):
+    """An expression that raises after N evaluations."""
+
+    def __init__(self, fuse: int) -> None:
+        self.fuse = fuse
+        self.calls = 0
+
+    def bind(self, schema):
+        def evaluate(row):
+            self.calls += 1
+            if self.calls > self.fuse:
+                raise ValueError("expression exploded")
+            return True
+
+        return evaluate
+
+    def references(self):
+        return ()
+
+
+@pytest.fixture
+def schema():
+    return schema_of("b", "x:int")
+
+
+class TestMidStreamFailures:
+    def test_leaf_failure_propagates(self, schema):
+        bomb = Bomb(schema, fuse=3)
+        with pytest.raises(RuntimeError, match="boom"):
+            bomb.run(ExecutionContext())
+
+    def test_failure_through_filter(self, schema):
+        plan = Filter(Bomb(schema, fuse=3), col("x") > lit(0))
+        with pytest.raises(RuntimeError):
+            plan.run(ExecutionContext())
+
+    def test_failure_during_sort_materialization(self, schema):
+        sort = Sort(Bomb(schema, fuse=5), [SortKey(col("x"))])
+        with pytest.raises(RuntimeError):
+            sort.run(ExecutionContext())
+
+    def test_failure_during_hash_build(self, schema):
+        probe = TableScan(Table("p", schema_of("p", "y:int"), [(1,)]))
+        join = HashJoin(Bomb(schema, fuse=2), probe, col("x"), col("y"))
+        with pytest.raises(RuntimeError):
+            join.run(ExecutionContext())
+
+    def test_monitor_consistent_after_failure(self, schema):
+        monitor = ExecutionMonitor()
+        bomb = Bomb(schema, fuse=4)
+        plan = Filter(bomb, col("x") > lit(0))
+        with pytest.raises(RuntimeError):
+            plan.run(ExecutionContext(monitor))
+        # counted exactly the rows that were produced before the failure
+        assert monitor.count_for(bomb.operator_id) == 4
+
+    def test_rerun_after_failure_starts_clean(self, schema):
+        bomb = Bomb(schema, fuse=3)
+        plan = Filter(bomb, col("x") > lit(0))
+        with pytest.raises(RuntimeError):
+            plan.run(ExecutionContext())
+        with pytest.raises(RuntimeError):
+            plan.run(ExecutionContext())
+        # each run produced exactly `fuse` rows before failing
+        assert bomb._emitted == 3
+
+    def test_expression_failure_propagates(self):
+        table = Table("t", schema_of("t", "x:int"), [(i,) for i in range(10)])
+        predicate = FailingExpression(fuse=4)
+        plan = Filter(TableScan(table), predicate)
+        with pytest.raises(ValueError, match="exploded"):
+            plan.run(ExecutionContext())
+
+
+class TestProtocolViolations:
+    def test_get_next_before_open(self, schema):
+        with pytest.raises(ExecutionError):
+            Bomb(schema, fuse=1).get_next()
+
+    def test_rewind_before_open(self, schema):
+        with pytest.raises(ExecutionError):
+            Bomb(schema, fuse=1).rewind()
+
+    def test_close_is_idempotent(self):
+        table = Table("t", schema_of("t", "x:int"), [(1,)])
+        scan = TableScan(table)
+        scan.open(ExecutionContext())
+        scan.close()
+        scan.close()  # no error
+
+    def test_close_before_open_is_noop(self):
+        table = Table("t", schema_of("t", "x:int"), [(1,)])
+        TableScan(table).close()
+
+    def test_get_next_after_exhaustion_stays_none(self):
+        table = Table("t", schema_of("t", "x:int"), [(1,)])
+        scan = TableScan(table)
+        scan.open(ExecutionContext())
+        assert scan.get_next() == (1,)
+        assert scan.get_next() is None
+        assert scan.get_next() is None
+        scan.close()
+
+
+class TestBoundsUnderFailure:
+    def test_tracker_usable_after_aborted_run(self, schema):
+        from repro.core import BoundsTracker
+        from repro.engine.plan import Plan
+
+        bomb = Bomb(schema, fuse=3)
+        plan = Plan(Filter(bomb, col("x") > lit(0)))
+        tracker = BoundsTracker(plan)
+        with pytest.raises(RuntimeError):
+            plan.root.run(ExecutionContext())
+        snapshot = tracker.snapshot()  # must not raise
+        assert snapshot.lower >= 0

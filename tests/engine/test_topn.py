@@ -1,0 +1,138 @@
+"""TopN: the fused ORDER BY + LIMIT operator."""
+
+import random
+
+import pytest
+
+from repro.engine.expressions import col
+from repro.engine.monitor import ExecutionMonitor
+from repro.engine.operators import (
+    ExecutionContext,
+    Limit,
+    RowSource,
+    Sort,
+    SortKey,
+    TableScan,
+    TopN,
+)
+from repro.errors import PlanError
+from repro.storage import Table, schema_of
+
+
+def run(op):
+    return op.run(ExecutionContext())
+
+
+@pytest.fixture
+def table():
+    rng = random.Random(7)
+    rows = [(rng.randrange(100), i) for i in range(60)]
+    return Table("t", schema_of("t", "k:int", "v:int"), rows)
+
+
+class TestTopN:
+    def test_matches_sort_plus_limit(self, table):
+        top = TopN(TableScan(table), [SortKey(col("k"))], 10)
+        reference = Limit(Sort(TableScan(table), [SortKey(col("k"))]), 10)
+        assert [r[0] for r in run(top)] == [r[0] for r in run(reference)]
+
+    def test_descending(self, table):
+        top = TopN(TableScan(table), [SortKey(col("k"), descending=True)], 5)
+        out = [row[0] for row in run(top)]
+        assert out == sorted((row[0] for row in table.rows), reverse=True)[:5]
+
+    def test_multi_key(self, table):
+        top = TopN(TableScan(table),
+                   [SortKey(col("k")), SortKey(col("v"), descending=True)], 8)
+        reference = Limit(
+            Sort(TableScan(table),
+                 [SortKey(col("k")), SortKey(col("v"), descending=True)]), 8)
+        assert run(top) == run(reference)
+
+    def test_limit_larger_than_input(self, table):
+        top = TopN(TableScan(table), [SortKey(col("k"))], 500)
+        assert len(run(top)) == 60
+
+    def test_limit_zero_still_drains(self, table):
+        monitor = ExecutionMonitor()
+        top = TopN(TableScan(table), [SortKey(col("k"))], 0)
+        assert top.run(ExecutionContext(monitor)) == []
+        assert monitor.total_ticks == 60  # blocking contract: child drained
+
+    def test_nulls_first(self):
+        source = RowSource(schema_of(None, "x:int"),
+                           [(3,), (None,), (1,)])
+        top = TopN(source, [SortKey(col("x"))], 2)
+        assert run(top) == [(None,), (1,)]
+
+    def test_descending_strings(self):
+        source = RowSource(schema_of(None, "s:str"),
+                           [("b",), ("a",), ("c",)])
+        top = TopN(source, [SortKey(col("s"), descending=True)], 2)
+        assert run(top) == [("c",), ("b",)]
+
+    def test_validation(self, table):
+        with pytest.raises(PlanError):
+            TopN(TableScan(table), [], 5)
+        with pytest.raises(PlanError):
+            TopN(TableScan(table), [SortKey(col("k"))], -1)
+
+    def test_materialized_count(self, table):
+        top = TopN(TableScan(table), [SortKey(col("k"))], 10)
+        assert top.materialized_count() is None
+        top.open(ExecutionContext())
+        top.get_next()
+        assert top.materialized_count() == 10
+        top.close()
+
+    def test_blocking(self, table):
+        assert TopN(TableScan(table), [SortKey(col("k"))], 3).is_blocking
+
+
+class TestTopNProgressIntegration:
+    def test_bounds_invariant(self, table):
+        from repro.core import BoundsTracker, total_work
+        from repro.engine.plan import Plan
+
+        plan = Plan(TopN(TableScan(table), [SortKey(col("k"))], 10))
+        total = total_work(plan)
+        tracker = BoundsTracker(plan)
+        failures = []
+
+        def check(monitor):
+            snapshot = tracker.snapshot()
+            if not (monitor.total_ticks <= snapshot.lower + 1e-9
+                    and snapshot.lower <= total + 1e-9
+                    and total <= snapshot.upper + 1e-9):
+                failures.append(monitor.total_ticks)
+
+        monitor = ExecutionMonitor()
+        monitor.add_observer(check)
+        for _ in plan.root.iterate(ExecutionContext(monitor)):
+            pass
+        assert not failures
+
+    def test_pipeline_split(self, table):
+        from repro.core import decompose
+        from repro.engine.plan import Plan
+
+        top = TopN(TableScan(table), [SortKey(col("k"))], 10)
+        pipelines = decompose(Plan(top))
+        assert len(pipelines) == 2
+        assert pipelines[1].drivers == [top]
+
+    def test_tight_bounds_before_execution(self, table):
+        from repro.core import BoundsTracker
+        from repro.engine.plan import Plan
+
+        plan = Plan(TopN(TableScan(table), [SortKey(col("k"))], 10))
+        snapshot = BoundsTracker(plan).snapshot()
+        # scan 60 + top-n exactly min(10, 60): fully determined up front
+        assert snapshot.lower == 70
+        assert snapshot.upper == 70
+
+    def test_scanned_leaves_preserved_under_topn(self, table):
+        from repro.engine.plan import Plan
+
+        plan = Plan(TopN(TableScan(table), [SortKey(col("k"))], 10))
+        assert len(plan.scanned_leaves()) == 1

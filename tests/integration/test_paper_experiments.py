@@ -1,0 +1,139 @@
+"""Small-scale versions of every paper artifact, with shape assertions.
+
+These mirror the ``benchmarks/`` suite but run at test-friendly sizes: the
+point is that each experiment's qualitative claim — who wins, in which
+direction the errors go — holds at any scale.
+"""
+
+import pytest
+
+from repro.bench import (
+    ablation_hybrid,
+    ablation_lower_bound,
+    ablation_predictive_orders,
+    ablation_scan_based,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    table1,
+    table2,
+    table3,
+)
+
+
+class TestFigure3:
+    def test_dne_near_exact_on_q1(self):
+        result = figure3(scale=0.0005)
+        assert result["mu"] == pytest.approx(2.0, abs=0.1)
+        assert result["max_abs_error"] < 0.03
+        assert result["avg_abs_error"] < 0.01
+
+
+class TestFigure4:
+    def test_dne_underestimates_pmax_tight(self):
+        result = figure4(n=3000)
+        assert result["dne_max_abs_error"] > 0.3
+        assert result["pmax_max_abs_error"] < 0.15
+        # dne is BELOW the true progress (under-estimation)
+        series = dict(result["series"])["dne"]
+        mid = [est - actual for actual, est in series if 0.2 < actual < 0.5]
+        assert all(diff < 0 for diff in mid)
+
+
+class TestFigure5:
+    def test_dne_overestimates_safe_limits(self):
+        result = figure5(n=3000)
+        assert result["dne_max_abs_error"] > 0.3
+        assert result["safe_max_abs_error"] < result["dne_max_abs_error"]
+        series = dict(result["series"])["dne"]
+        mid = [est - actual for actual, est in series if 0.2 < actual < 0.5]
+        assert all(diff > 0 for diff in mid)  # over-estimation
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {row.estimator: row for row in table1(n=3000)}
+
+    def test_every_estimator_improves_with_hash(self, rows):
+        for row in rows.values():
+            assert row.max_err_hash < row.max_err_inl
+            assert row.avg_err_hash < row.avg_err_inl
+
+    def test_safe_beats_dne_and_pmax_on_inl_max_error(self, rows):
+        assert rows["safe"].max_err_inl < rows["dne"].max_err_inl
+        assert rows["safe"].max_err_inl < rows["pmax"].max_err_inl
+
+    def test_paper_magnitudes(self, rows):
+        """Paper: dne/pmax ≈ 49.5% (INL); safe ≈ 25%; hash ≤ ~20%."""
+        assert rows["dne"].max_err_inl == pytest.approx(0.49, abs=0.1)
+        assert rows["safe"].max_err_inl == pytest.approx(0.22, abs=0.08)
+        assert rows["dne"].max_err_hash < 0.2
+        assert rows["pmax"].max_err_hash < 0.25
+
+
+class TestTable2:
+    def test_mu_values_small(self):
+        values = table2(scale=0.0005, queries=range(1, 22))
+        assert set(values) == set(range(1, 22))
+        assert all(1.0 <= value <= 3.5 for value in values.values())
+        # the paper's band: many queries essentially at 1
+        near_one = [v for v in values.values() if v < 1.2]
+        assert len(near_one) >= 8
+
+
+class TestTable3:
+    def test_skyserver_mu_band(self):
+        values = table3(scale=1200)
+        assert set(values) == {3, 6, 14, 18, 22, 28, 32}
+        assert all(1.0 <= value <= 2.2 for value in values.values())
+
+
+class TestFigure6:
+    def test_pmax_ratio_error_decays(self):
+        result = figure6(scale=0.0005)
+        assert result["error_after_30pct"] < 4.0
+        assert result["error_after_70pct"] < result["error_after_30pct"]
+        series = result["series"]["pmax ratio error"]
+        assert series[-1][1] == pytest.approx(1.0, abs=0.05)
+
+
+class TestFigure7:
+    def test_good_case_flips_the_tradeoff(self):
+        result = figure7(n=3000)
+        assert result["dne_max_abs_error"] < 0.05
+        assert result["safe_max_abs_error"] > result["dne_max_abs_error"] * 2
+
+
+class TestAblations:
+    def test_lower_bound_forced_errors(self):
+        result = ablation_lower_bound(n=1500)
+        forced = result["forced_ratio_error"]
+        optimal = result["optimal_bound"]
+        assert forced["safe"] == pytest.approx(optimal, rel=0.1)
+        assert forced["dne"] > forced["safe"] * 1.5
+        assert forced["pmax"] > forced["safe"] * 1.5
+
+    def test_predictive_orders_fraction(self):
+        result = ablation_predictive_orders(trials=150, n=200)
+        assert result["fraction"] >= 0.5
+
+    def test_scan_based_bounds_hold(self):
+        for row in ablation_scan_based(table_counts=(2, 3), rows_per_table=400):
+            assert row["mu"] <= row["mu_bound"]
+            assert row["safe_max_ratio_error"] <= row["safe_bound"] * 1.01
+            assert row["pmax_max_ratio_error"] <= row["mu_bound"] * 1.01
+
+    def test_hybrid_grid_no_clear_winner(self):
+        results = ablation_hybrid(n=2000)
+        # pmax wins skew-first, dne wins the good case, nothing wins both
+        assert results["inl-skew_first"]["pmax"] < results["inl-skew_first"]["dne"]
+        assert results["inl-good-case"]["dne"] < results["inl-good-case"]["safe"]
+        for name in ("dne", "pmax", "safe", "hybrid-mu", "hybrid-var"):
+            wins = sum(
+                1 for scenario in results.values()
+                if min(scenario, key=scenario.get) == name
+            )
+            assert wins < len(results)

@@ -1,0 +1,68 @@
+"""SQL tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import Token, TokenType, tokenize
+
+
+def kinds(sql):
+    return [(t.type, t.value) for t in tokenize(sql)[:-1]]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        assert kinds("SELECT select SeLeCt") == [
+            (TokenType.KEYWORD, "select")] * 3
+
+    def test_identifiers(self):
+        assert kinds("foo Bar_9") == [
+            (TokenType.IDENTIFIER, "foo"), (TokenType.IDENTIFIER, "Bar_9")]
+
+    def test_numbers(self):
+        assert kinds("42 3.14") == [
+            (TokenType.NUMBER, "42"), (TokenType.NUMBER, "3.14")]
+
+    def test_qualified_number_boundary(self):
+        # "1.a" must not swallow the dot into the number
+        tokens = kinds("1.a")
+        assert tokens[0] == (TokenType.NUMBER, "1")
+        assert tokens[1] == (TokenType.SYMBOL, ".")
+
+    def test_strings(self):
+        assert kinds("'hello world'") == [(TokenType.STRING, "hello world")]
+
+    def test_string_escape(self):
+        assert kinds("'it''s'") == [(TokenType.STRING, "it's")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_symbols(self):
+        values = [v for _, v in kinds("<= >= <> != = < > ( ) , + - * / %")]
+        assert values == ["<=", ">=", "<>", "!=", "=", "<", ">", "(", ")",
+                          ",", "+", "-", "*", "/", "%"]
+
+    def test_comments_skipped(self):
+        assert kinds("a -- comment\n b") == [
+            (TokenType.IDENTIFIER, "a"), (TokenType.IDENTIFIER, "b")]
+
+    def test_illegal_character(self):
+        with pytest.raises(ParseError):
+            tokenize("select @foo")
+
+    def test_end_token(self):
+        tokens = tokenize("x")
+        assert tokens[-1].type is TokenType.END
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+    def test_token_helpers(self):
+        token = tokenize("select")[0]
+        assert token.is_keyword("select")
+        assert not token.is_keyword("from")
+        assert not token.is_symbol("(")

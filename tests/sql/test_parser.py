@@ -1,0 +1,213 @@
+"""SQL parser: statement shapes and expression grammar."""
+
+import pytest
+
+from repro.engine.expressions import (
+    And,
+    Arithmetic,
+    Between,
+    Case,
+    ColumnRef,
+    Comparison,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+)
+from repro.engine.operators.aggregate import AggregateKind
+from repro.errors import ParseError
+from repro.sql import AggregateCall, parse
+
+
+class TestSelectShape:
+    def test_minimal(self):
+        statement = parse("SELECT a FROM t")
+        assert len(statement.items) == 1
+        assert statement.tables[0].table == "t"
+        assert statement.where is None
+
+    def test_star(self):
+        statement = parse("SELECT * FROM t")
+        assert isinstance(statement.items[0].expression, ColumnRef)
+        assert statement.items[0].expression.name == "*"
+
+    def test_aliases(self):
+        statement = parse("SELECT a AS x, b y FROM t u")
+        assert statement.items[0].alias == "x"
+        assert statement.items[1].alias == "y"
+        assert statement.tables[0].effective_alias == "u"
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_multiple_tables(self):
+        statement = parse("SELECT a FROM t, u, v")
+        assert [ref.table for ref in statement.tables] == ["t", "u", "v"]
+
+    def test_join_on_folds_into_where(self):
+        statement = parse("SELECT a FROM t JOIN u ON t.a = u.b")
+        assert len(statement.tables) == 2
+        assert statement.where is not None
+
+    def test_inner_join(self):
+        statement = parse("SELECT a FROM t INNER JOIN u ON t.a = u.b")
+        assert len(statement.tables) == 2
+
+    def test_join_on_and_where_combined(self):
+        statement = parse(
+            "SELECT a FROM t JOIN u ON t.a = u.b WHERE t.c > 5"
+        )
+        assert isinstance(statement.where, And)
+
+    def test_group_by_having(self):
+        statement = parse(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 3"
+        )
+        assert len(statement.group_by) == 1
+        assert statement.having is not None
+
+    def test_order_by_directions(self):
+        statement = parse("SELECT a FROM t ORDER BY a DESC, b ASC, c")
+        assert [item.descending for item in statement.order_by] == [
+            True, False, False]
+
+    def test_limit_offset(self):
+        statement = parse("SELECT a FROM t LIMIT 10 OFFSET 5")
+        assert statement.limit == 10
+        assert statement.offset == 5
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t garbage !!!")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a")
+
+
+class TestExpressions:
+    def where(self, condition):
+        return parse("SELECT a FROM t WHERE " + condition).where
+
+    def test_comparison_ops(self):
+        for op in ("=", "<>", "!=", "<", "<=", ">", ">="):
+            expression = self.where("a %s 5" % (op,))
+            assert isinstance(expression, Comparison)
+
+    def test_not_equal_normalized(self):
+        assert self.where("a != 5").op == "<>"
+
+    def test_and_or_precedence(self):
+        expression = self.where("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(expression, Or)
+        assert isinstance(expression.operands[1], And)
+
+    def test_parentheses(self):
+        expression = self.where("(a = 1 OR b = 2) AND c = 3")
+        assert isinstance(expression, And)
+
+    def test_not(self):
+        assert isinstance(self.where("NOT a = 1"), Not)
+
+    def test_between(self):
+        expression = self.where("a BETWEEN 1 AND 5")
+        assert isinstance(expression, Between)
+
+    def test_not_between(self):
+        expression = self.where("a NOT BETWEEN 1 AND 5")
+        assert isinstance(expression, Not)
+
+    def test_in_list(self):
+        expression = self.where("a IN (1, 2, 3)")
+        assert isinstance(expression, InList)
+        assert expression.values == (1, 2, 3)
+
+    def test_not_in(self):
+        assert isinstance(self.where("a NOT IN (1)"), Not)
+
+    def test_in_strings_and_null(self):
+        expression = self.where("a IN ('x', NULL)")
+        assert expression.values == ("x", None)
+
+    def test_like(self):
+        expression = self.where("a LIKE 'foo%'")
+        assert isinstance(expression, Like)
+        assert expression.pattern == "foo%"
+
+    def test_like_needs_string(self):
+        with pytest.raises(ParseError):
+            self.where("a LIKE 5")
+
+    def test_is_null(self):
+        assert isinstance(self.where("a IS NULL"), IsNull)
+        expression = self.where("a IS NOT NULL")
+        assert isinstance(expression, IsNull) and expression.negated
+
+    def test_arithmetic_precedence(self):
+        expression = self.where("a + 2 * 3 = 7")
+        left = expression.left
+        assert isinstance(left, Arithmetic) and left.op == "+"
+        assert isinstance(left.right, Arithmetic) and left.right.op == "*"
+
+    def test_unary_minus(self):
+        expression = self.where("a = -5")
+        assert isinstance(expression.right, Literal)
+        assert expression.right.value == -5
+
+    def test_float_literal(self):
+        expression = self.where("a < 2.5")
+        assert expression.right.value == 2.5
+
+    def test_string_literal(self):
+        expression = self.where("a = 'x'")
+        assert expression.right.value == "x"
+
+    def test_booleans_and_null(self):
+        assert self.where("a = TRUE").right.value is True
+        assert self.where("a = FALSE").right.value is False
+        assert self.where("a = NULL").right.value is None
+
+    def test_case(self):
+        statement = parse(
+            "SELECT CASE WHEN a > 1 THEN 'x' ELSE 'y' END FROM t"
+        )
+        assert isinstance(statement.items[0].expression, Case)
+
+    def test_case_without_else(self):
+        statement = parse("SELECT CASE WHEN a > 1 THEN 1 END FROM t")
+        assert isinstance(statement.items[0].expression, Case)
+
+    def test_qualified_columns(self):
+        expression = self.where("t.a = u.b")
+        assert expression.left.name == "t.a"
+        assert expression.right.name == "u.b"
+
+
+class TestAggregates:
+    def test_count_star(self):
+        statement = parse("SELECT COUNT(*) FROM t")
+        call = statement.items[0].expression
+        assert isinstance(call, AggregateCall)
+        assert call.kind is AggregateKind.COUNT_STAR
+
+    def test_all_aggregate_kinds(self):
+        statement = parse(
+            "SELECT COUNT(a), SUM(a), AVG(a), MIN(a), MAX(a) FROM t"
+        )
+        kinds = [item.expression.kind for item in statement.items]
+        assert kinds == [
+            AggregateKind.COUNT, AggregateKind.SUM, AggregateKind.AVG,
+            AggregateKind.MIN, AggregateKind.MAX,
+        ]
+
+    def test_aggregate_of_expression(self):
+        statement = parse("SELECT SUM(a * b) FROM t")
+        call = statement.items[0].expression
+        assert isinstance(call.argument, Arithmetic)
+
+    def test_has_aggregates(self):
+        assert parse("SELECT COUNT(*) FROM t").has_aggregates()
+        assert parse("SELECT a FROM t GROUP BY a").has_aggregates()
+        assert not parse("SELECT a FROM t").has_aggregates()

@@ -1,0 +1,187 @@
+"""Planner: physical plan shapes and end-to-end SQL correctness."""
+
+import pytest
+
+from repro.engine.operators import (
+    Distinct,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    IndexNestedLoopsJoin,
+    Limit,
+    NestedLoopsJoin,
+    Project,
+    Sort,
+    TableScan,
+)
+from repro.errors import PlanningError
+from repro.sql import plan_query, run_query
+from repro.stats import StatisticsManager
+from repro.storage import Catalog, Table, schema_of
+
+
+class TestPlanShapes:
+    def test_single_table(self, hr_catalog):
+        plan = plan_query("SELECT id FROM emp", hr_catalog)
+        assert len(plan.find(TableScan)) == 1
+        assert len(plan.find(Project)) == 1
+
+    def test_filter_pushdown(self, hr_catalog):
+        plan = plan_query("SELECT id FROM emp WHERE salary > 1500", hr_catalog)
+        filters = plan.find(Filter)
+        assert len(filters) == 1
+        assert isinstance(filters[0].child, TableScan)
+
+    def test_hash_join_chosen(self, hr_catalog):
+        plan = plan_query(
+            "SELECT id FROM emp, dept WHERE emp.dept = dept.did", hr_catalog
+        )
+        assert len(plan.find(HashJoin)) == 1
+
+    def test_join_build_side_is_smaller(self, hr_catalog):
+        plan = plan_query(
+            "SELECT id FROM emp, dept WHERE emp.dept = dept.did", hr_catalog
+        )
+        join = plan.find(HashJoin)[0]
+        # dept (5 rows) should be the build side
+        assert "dept" in join.build_child.schema.qualified_names()[0]
+
+    def test_inl_join_chosen_when_outer_tiny(self):
+        catalog = Catalog()
+        catalog.add_table(Table("small", schema_of("small", "k:int"),
+                                [(i,) for i in range(4)]))
+        catalog.add_table(Table("big", schema_of("big", "k:int", "v:int"),
+                                [(i % 100, i) for i in range(5000)]))
+        catalog.create_hash_index("big", "k")
+        StatisticsManager(catalog).analyze_all()
+        plan = plan_query(
+            "SELECT v FROM small, big WHERE small.k = big.k", catalog
+        )
+        assert len(plan.find(IndexNestedLoopsJoin)) == 1
+
+    def test_cross_join_falls_back_to_nl(self, hr_catalog):
+        plan = plan_query("SELECT id FROM emp, dept", hr_catalog)
+        assert len(plan.find(NestedLoopsJoin)) == 1
+
+    def test_aggregate_plan(self, hr_catalog):
+        plan = plan_query(
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept", hr_catalog
+        )
+        assert len(plan.find(HashAggregate)) == 1
+
+    def test_distinct_order_limit_fuses_topn(self, hr_catalog):
+        from repro.engine.operators import TopN
+
+        plan = plan_query(
+            "SELECT DISTINCT dept FROM emp ORDER BY dept LIMIT 3", hr_catalog
+        )
+        # ORDER BY + LIMIT without OFFSET fuses into a Top-N operator
+        assert plan.find(Distinct) and plan.find(TopN)
+        assert not plan.find(Sort) and not plan.find(Limit)
+
+    def test_offset_keeps_sort_plus_limit(self, hr_catalog):
+        plan = plan_query(
+            "SELECT id FROM emp ORDER BY id LIMIT 3 OFFSET 2", hr_catalog
+        )
+        assert plan.find(Sort) and plan.find(Limit)
+
+    def test_unknown_table_rejected(self, hr_catalog):
+        with pytest.raises(PlanningError):
+            plan_query("SELECT x FROM nope", hr_catalog)
+
+    def test_duplicate_alias_rejected(self, hr_catalog):
+        with pytest.raises(PlanningError):
+            plan_query("SELECT id FROM emp, emp", hr_catalog)
+
+    def test_non_grouped_column_rejected(self, hr_catalog):
+        with pytest.raises(PlanningError):
+            plan_query("SELECT name, COUNT(*) FROM emp GROUP BY dept",
+                       hr_catalog)
+
+    def test_order_by_unknown_column_rejected(self, hr_catalog):
+        with pytest.raises(PlanningError):
+            plan_query("SELECT id FROM emp ORDER BY nonexistent", hr_catalog)
+
+
+class TestSqlResults:
+    def test_projection_and_filter(self, hr_catalog):
+        rows = run_query("SELECT id FROM emp WHERE id < 3 ORDER BY id",
+                         hr_catalog)
+        assert rows == [(0,), (1,), (2,)]
+
+    def test_star_expansion(self, hr_catalog):
+        rows = run_query("SELECT * FROM dept ORDER BY did LIMIT 1", hr_catalog)
+        assert rows == [(0, "d0")]
+
+    def test_join_correctness(self, hr_catalog):
+        rows = run_query(
+            "SELECT COUNT(*) FROM emp JOIN dept ON emp.dept = dept.did",
+            hr_catalog,
+        )
+        assert rows == [(100,)]
+
+    def test_group_by_with_having(self, hr_catalog):
+        rows = run_query(
+            "SELECT dept, COUNT(*) AS n FROM emp WHERE id < 7 "
+            "GROUP BY dept HAVING COUNT(*) > 1 ORDER BY dept",
+            hr_catalog,
+        )
+        assert rows == [(0, 2), (1, 2)]
+
+    def test_scalar_aggregates(self, hr_catalog):
+        rows = run_query(
+            "SELECT COUNT(*), MIN(salary), MAX(salary) FROM emp", hr_catalog
+        )
+        assert rows == [(100, 1000.0, 1990.0)]
+
+    def test_arithmetic_in_select(self, hr_catalog):
+        rows = run_query("SELECT id + 100 FROM emp WHERE id = 1", hr_catalog)
+        assert rows == [(101,)]
+
+    def test_case_expression(self, hr_catalog):
+        rows = run_query(
+            "SELECT CASE WHEN id < 50 THEN 'lo' ELSE 'hi' END AS band, "
+            "COUNT(*) FROM emp GROUP BY "
+            "CASE WHEN id < 50 THEN 'lo' ELSE 'hi' END ORDER BY band",
+            hr_catalog,
+        )
+        assert rows == [("hi", 50), ("lo", 50)]
+
+    def test_distinct(self, hr_catalog):
+        rows = run_query("SELECT DISTINCT dept FROM emp ORDER BY dept",
+                         hr_catalog)
+        assert rows == [(0,), (1,), (2,), (3,), (4,)]
+
+    def test_in_and_like(self, hr_catalog):
+        rows = run_query(
+            "SELECT name FROM emp WHERE dept IN (1, 2) AND name LIKE 'e1_' "
+            "ORDER BY name",
+            hr_catalog,
+        )
+        assert rows == [("e11",), ("e12",), ("e16",), ("e17",)]
+
+    def test_three_way_join(self):
+        catalog = Catalog()
+        catalog.add_table(Table("a", schema_of("a", "x:int"), [(1,), (2,)]))
+        catalog.add_table(Table("b", schema_of("b", "x2:int", "y:int"),
+                                [(1, 10), (2, 20)]))
+        catalog.add_table(Table("c", schema_of("c", "y2:int", "z:str"),
+                                [(10, "ten"), (20, "twenty")]))
+        StatisticsManager(catalog).analyze_all()
+        rows = run_query(
+            "SELECT z FROM a, b, c WHERE a.x = b.x2 AND b.y = c.y2 "
+            "ORDER BY z",
+            catalog,
+        )
+        assert rows == [("ten",), ("twenty",)]
+
+    def test_aggregate_expression_output(self, hr_catalog):
+        rows = run_query(
+            "SELECT SUM(salary) / COUNT(*) AS avg_sal FROM emp", hr_catalog
+        )
+        assert rows[0][0] == pytest.approx(1495.0)
+
+    def test_offset(self, hr_catalog):
+        rows = run_query("SELECT id FROM emp ORDER BY id LIMIT 2 OFFSET 4",
+                         hr_catalog)
+        assert rows == [(4,), (5,)]

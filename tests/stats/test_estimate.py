@@ -1,0 +1,134 @@
+"""Optimizer-style cardinality estimation: selectivities and plan estimates."""
+
+import pytest
+
+from repro.engine.expressions import And, Between, InList, Like, Not, Or, col, lit
+from repro.engine.operators import Filter, HashJoin, Limit, TableScan
+from repro.engine.plan import Plan
+from repro.stats import CardinalityEstimator, StatisticsManager
+from repro.storage import Catalog, Table, schema_of
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    catalog.add_table(
+        Table("t", schema_of("t", "a:int", "b:int"),
+              [(i, i % 10) for i in range(1000)])
+    )
+    catalog.add_table(
+        Table("u", schema_of("u", "c:int"), [(i % 10,) for i in range(500)])
+    )
+    StatisticsManager(catalog).analyze_all()
+    return catalog
+
+
+@pytest.fixture
+def estimator(catalog):
+    return CardinalityEstimator(catalog)
+
+
+class TestSelectivity:
+    def test_equality_with_stats(self, estimator):
+        # b has 10 distinct values, uniform → 0.1
+        assert estimator.selectivity(col("t.b") == lit(3)) == pytest.approx(0.1, abs=0.03)
+
+    def test_range_with_stats(self, estimator):
+        sel = estimator.selectivity(col("t.a") < lit(500))
+        assert sel == pytest.approx(0.5, abs=0.1)
+
+    def test_between(self, estimator):
+        sel = estimator.selectivity(Between(col("t.a"), lit(100), lit(299)))
+        assert sel == pytest.approx(0.2, abs=0.1)
+
+    def test_conjunction_multiplies(self, estimator):
+        a = estimator.selectivity(col("t.a") < lit(500))
+        b = estimator.selectivity(col("t.b") == lit(1))
+        both = estimator.selectivity(And(col("t.a") < lit(500),
+                                         col("t.b") == lit(1)))
+        assert both == pytest.approx(a * b, rel=0.01)
+
+    def test_disjunction_inclusion_exclusion(self, estimator):
+        sel = estimator.selectivity(Or(col("t.b") == lit(1), col("t.b") == lit(2)))
+        assert 0.1 < sel < 0.3
+
+    def test_negation(self, estimator):
+        direct = estimator.selectivity(col("t.b") == lit(1))
+        negated = estimator.selectivity(Not(col("t.b") == lit(1)))
+        assert negated == pytest.approx(1 - direct, rel=0.01)
+
+    def test_in_list(self, estimator):
+        sel = estimator.selectivity(InList(col("t.b"), [1, 2, 3]))
+        assert sel == pytest.approx(0.3, abs=0.1)
+
+    def test_like_default(self, estimator):
+        sel = estimator.selectivity(Like(col("t.b"), "%x%"))
+        assert 0 < sel < 1
+
+    def test_clamped_to_unit_interval(self, estimator):
+        sel = estimator.selectivity(
+            InList(col("t.b"), list(range(100)))
+        )
+        assert sel <= 1.0
+
+
+class TestJoinSelectivity:
+    def test_one_over_max_distinct(self, estimator):
+        # t.a has 1000 distinct, u.c has 10 → 1/1000
+        assert estimator.join_selectivity("t.a", "u.c") == pytest.approx(
+            1 / 1000, rel=0.05
+        )
+
+    def test_no_stats_fallback(self):
+        catalog = Catalog()
+        catalog.add_table(Table("x", schema_of("x", "a:int"), [(1,)]))
+        estimator = CardinalityEstimator(catalog)
+        assert 0 < estimator.join_selectivity("x.a", "x.a") <= 1
+
+
+class TestPlanEstimates:
+    def test_scan_estimate_exact(self, catalog, estimator):
+        plan = Plan(TableScan(catalog.table("t")))
+        estimates = estimator.estimate_plan(plan)
+        assert estimates[plan.root.operator_id] == 1000
+
+    def test_filter_scales(self, catalog, estimator):
+        scan = TableScan(catalog.table("t"))
+        plan = Plan(Filter(scan, col("t.b") == lit(1)))
+        estimates = estimator.estimate_plan(plan)
+        assert estimates[plan.root.operator_id] == pytest.approx(100, rel=0.3)
+
+    def test_join_estimate(self, catalog, estimator):
+        left = TableScan(catalog.table("t"))
+        right = TableScan(catalog.table("u"))
+        join = HashJoin(left, right, col("t.b"), col("u.c"))
+        estimates = estimator.estimate_plan(Plan(join))
+        # 1000 * 500 / 10 = 50000
+        assert estimates[join.operator_id] == pytest.approx(50000, rel=0.3)
+
+    def test_limit_caps(self, catalog, estimator):
+        plan = Plan(Limit(TableScan(catalog.table("t")), 7))
+        estimates = estimator.estimate_plan(plan)
+        assert estimates[plan.root.operator_id] == 7
+
+    def test_every_operator_estimated(self, catalog, estimator):
+        scan = TableScan(catalog.table("t"))
+        plan = Plan(Filter(scan, col("t.b") == lit(1)))
+        estimates = estimator.estimate_plan(plan)
+        assert set(estimates) == {op.operator_id for op in plan.operators()}
+
+    def test_skew_makes_estimates_wrong(self):
+        """§7: with zipf data, estimates are off by a lot — by design."""
+        from repro.workloads import make_zipfian_join
+        from repro.engine.executor import execute
+
+        workload = make_zipfian_join(n=2000, z=2.0, order="random")
+        plan = workload.hash_plan()
+        estimator = CardinalityEstimator(workload.catalog)
+        estimates = estimator.estimate_plan(plan)
+        actual = execute(plan).row_count
+        estimate = estimates[plan.root.operator_id]
+        # join output is ~n; the estimate should at least be positive, but
+        # precision is NOT expected (that is the paper's point)
+        assert estimate > 0
+        assert actual > 0

@@ -1,0 +1,123 @@
+"""Histogram construction and estimation (equi-width and equi-depth)."""
+
+import pytest
+
+from repro.errors import StatisticsError
+from repro.stats import (
+    EquiDepthHistogramGenerator,
+    EquiWidthHistogramGenerator,
+)
+
+
+@pytest.fixture(params=["width", "depth"])
+def generator(request):
+    if request.param == "width":
+        return EquiWidthHistogramGenerator(10)
+    return EquiDepthHistogramGenerator(10)
+
+
+UNIFORM = list(range(1000))
+
+
+class TestConstruction:
+    def test_row_count(self, generator):
+        histogram = generator.build(UNIFORM)
+        assert histogram.row_count == 1000
+
+    def test_bucket_counts_sum(self, generator):
+        histogram = generator.build(UNIFORM)
+        assert sum(bucket.count for bucket in histogram.buckets) == 1000
+
+    def test_empty_input(self, generator):
+        histogram = generator.build([])
+        assert histogram.row_count == 0
+        assert histogram.estimate_equality(5) == 0.0
+        assert histogram.estimate_range(0, 10) == 0.0
+
+    def test_nulls_counted_separately(self, generator):
+        histogram = generator.build([1, 2, None, 3, None])
+        assert histogram.null_count == 2
+        assert histogram.row_count == 5
+
+    def test_constant_column(self, generator):
+        histogram = generator.build([7] * 100)
+        assert len(histogram.buckets) == 1
+        assert histogram.estimate_equality(7) == pytest.approx(100)
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(StatisticsError):
+            EquiDepthHistogramGenerator(0)
+        with pytest.raises(StatisticsError):
+            EquiWidthHistogramGenerator(-1)
+
+    def test_equi_width_needs_numbers(self):
+        with pytest.raises(StatisticsError):
+            EquiWidthHistogramGenerator(4).build(["a", "b"])
+
+    def test_equi_depth_handles_strings(self):
+        histogram = EquiDepthHistogramGenerator(4).build(["a", "b", "c", "d"] * 5)
+        assert histogram.row_count == 20
+        assert histogram.estimate_equality("a") == pytest.approx(5)
+
+
+class TestEstimation:
+    def test_uniform_equality(self, generator):
+        histogram = generator.build(UNIFORM)
+        assert histogram.estimate_equality(500) == pytest.approx(1.0, rel=0.5)
+
+    def test_out_of_range_equality(self, generator):
+        histogram = generator.build(UNIFORM)
+        assert histogram.estimate_equality(-5) == 0.0
+        assert histogram.estimate_equality(5000) == 0.0
+        assert histogram.estimate_equality(None) == 0.0
+
+    def test_full_range(self, generator):
+        histogram = generator.build(UNIFORM)
+        assert histogram.estimate_range(None, None) == pytest.approx(1000, rel=0.01)
+
+    def test_half_range(self, generator):
+        histogram = generator.build(UNIFORM)
+        estimate = histogram.estimate_range(0, 499)
+        assert estimate == pytest.approx(500, rel=0.15)
+
+    def test_empty_range(self, generator):
+        histogram = generator.build(UNIFORM)
+        assert histogram.estimate_range(600, 400) == 0.0
+
+    def test_selectivity_clamped(self, generator):
+        histogram = generator.build(UNIFORM)
+        assert 0.0 <= histogram.selectivity_range(0, 2000) <= 1.0
+        assert 0.0 <= histogram.selectivity_equality(3) <= 1.0
+
+    def test_distinct_estimate(self, generator):
+        histogram = generator.build(UNIFORM)
+        assert histogram.estimate_distinct() == pytest.approx(1000, rel=0.01)
+
+    def test_skew_equality_is_wrong(self):
+        """Uniformity-in-bucket mis-estimates skewed data — by design (§7)."""
+        column = [1] * 900 + list(range(2, 102))
+        histogram = EquiWidthHistogramGenerator(5).build(column)
+        estimate = histogram.estimate_equality(1)
+        # value 1 occurs 900 times, but a bucket mixing it with the rare
+        # values spreads the count uniformly — off by more than 5x
+        assert estimate < 900 / 5
+
+
+class TestRangeBounds:
+    def test_bounds_bracket_truth(self):
+        histogram = EquiDepthHistogramGenerator(10).build(UNIFORM)
+        for low, high in [(0, 99), (250, 750), (None, 500), (990, None)]:
+            truth = len([v for v in UNIFORM
+                         if (low is None or v >= low)
+                         and (high is None or v <= high)])
+            lower, upper = histogram.range_bounds(low, high)
+            assert lower <= truth <= upper
+
+    def test_full_range_is_exact(self):
+        histogram = EquiDepthHistogramGenerator(10).build(UNIFORM)
+        lower, upper = histogram.range_bounds(None, None)
+        assert lower == upper == 1000
+
+    def test_disjoint_range(self):
+        histogram = EquiDepthHistogramGenerator(10).build(UNIFORM)
+        assert histogram.range_bounds(2000, 3000) == (0, 0)

@@ -1,0 +1,104 @@
+"""The lossiness property (§2.3) — the hinge of the paper's lower bound.
+
+A single-relation statistics generator is lossy when a single tuple's value
+can change without changing the statistic.  These tests build exactly the
+witnesses Theorem 1 needs.
+"""
+
+import pytest
+
+from repro.stats import (
+    EquiDepthHistogramGenerator,
+    statistics_equal,
+    verify_lossy_pair,
+)
+from repro.stats.base import ColumnStatistic
+from repro.errors import StatisticsError
+
+
+def probes_for(n):
+    return [float(v) for v in range(0, n + 2, max(1, n // 37))]
+
+
+class TestLossiness:
+    def test_equi_depth_is_lossy(self):
+        """Swapping x for y inside one bucket leaves the histogram unchanged."""
+        n = 2000
+        values = [float(v) for v in range(1, n + 1)]
+        position = 1500
+        values[position] = 50.25  # interior of the first bucket
+        _, _, indistinguishable = verify_lossy_pair(
+            EquiDepthHistogramGenerator(20),
+            values,
+            position,
+            replacement=50.75,
+            probes=probes_for(n) + [50.25, 50.75],
+        )
+        assert indistinguishable
+
+    def test_cross_bucket_change_is_visible(self):
+        """Moving a value across many buckets *does* change the histogram."""
+        n = 2000
+        values = [float(v) for v in range(1, n + 1)]
+        _, _, indistinguishable = verify_lossy_pair(
+            EquiDepthHistogramGenerator(20),
+            values,
+            position=1500,
+            replacement=0.5,  # below every bucket
+            probes=probes_for(n),
+        )
+        assert not indistinguishable
+
+    def test_position_validation(self):
+        with pytest.raises(StatisticsError):
+            verify_lossy_pair(
+                EquiDepthHistogramGenerator(4), [1.0, 2.0], 5, 9.0, []
+            )
+
+
+class TestStatisticsEqual:
+    def test_equal_to_itself(self):
+        stat = EquiDepthHistogramGenerator(5).build(list(range(100)))
+        assert statistics_equal(stat, stat, [0, 50, 99])
+
+    def test_row_count_mismatch(self):
+        a = EquiDepthHistogramGenerator(5).build(list(range(100)))
+        b = EquiDepthHistogramGenerator(5).build(list(range(101)))
+        assert not statistics_equal(a, b, [50])
+
+    def test_probe_detects_difference(self):
+        a = EquiDepthHistogramGenerator(50).build(list(range(100)))
+        b = EquiDepthHistogramGenerator(50).build(
+            [0] * 50 + list(range(50, 100))
+        )
+        assert not statistics_equal(a, b, list(range(100)))
+
+
+class TestTheoremOneWitness:
+    """The full Theorem 1 package: stats equal, totals arbitrarily apart."""
+
+    def test_twin_instances_are_indistinguishable_yet_far_apart(self):
+        from repro.workloads import make_twin_instances
+        from repro.core import total_work
+
+        twins = make_twin_instances(n=2000, f1=0.1, f2=0.9)
+        total_x = total_work(twins.plan_x())
+        total_y = total_work(twins.plan_y())
+        # statistics identical (construction verifies), totals 9x apart
+        assert total_y / total_x == pytest.approx(9.0, rel=0.01)
+
+        stat_x = twins.catalog_x.statistic("r1", "a")
+        stat_y = twins.catalog_y.statistic("r1", "a")
+        assert isinstance(stat_x, ColumnStatistic)
+        assert statistics_equal(
+            stat_x, stat_y, probes_for(2000) + [twins.x, twins.y]
+        )
+
+    def test_prefixes_identical_before_offending_tuple(self):
+        from repro.workloads import make_twin_instances
+
+        twins = make_twin_instances(n=500)
+        rows_x = twins.catalog_x.table("r1").rows
+        rows_y = twins.catalog_y.table("r1").rows
+        assert rows_x[: twins.position] == rows_y[: twins.position]
+        assert rows_x[twins.position] != rows_y[twins.position]

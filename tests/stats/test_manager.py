@@ -1,0 +1,66 @@
+"""StatisticsManager: ANALYZE-style statistics building."""
+
+import pytest
+
+from repro.errors import StatisticsError
+from repro.stats import (
+    EquiWidthHistogramGenerator,
+    Histogram,
+    ReservoirSampleGenerator,
+    SampleStatistic,
+    StatisticsManager,
+)
+from repro.storage import Catalog, Table, schema_of
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    catalog.add_table(
+        Table("t", schema_of("t", "a:int", "b:int"),
+              [(i, i * 2) for i in range(100)])
+    )
+    catalog.add_table(Table("u", schema_of("u", "c:int"), [(1,), (2,)]))
+    return catalog
+
+
+class TestAnalyze:
+    def test_analyze_column_registers(self, catalog):
+        manager = StatisticsManager(catalog)
+        stat = manager.analyze_column("t", "a")
+        assert catalog.statistic("t", "a") is stat
+        assert isinstance(stat, Histogram)
+
+    def test_analyze_table_covers_all_columns(self, catalog):
+        StatisticsManager(catalog).analyze_table("t")
+        assert set(catalog.statistics_for("t")) == {"a", "b"}
+
+    def test_analyze_all(self, catalog):
+        StatisticsManager(catalog).analyze_all()
+        assert catalog.statistic("u", "c") is not None
+
+    def test_analyze_subset(self, catalog):
+        StatisticsManager(catalog).analyze_all(tables=["u"])
+        assert catalog.statistic("u", "c") is not None
+        assert catalog.statistic("t", "a") is None
+
+    def test_unknown_column_raises(self, catalog):
+        with pytest.raises(StatisticsError):
+            StatisticsManager(catalog).analyze_column("t", "zzz")
+
+    def test_custom_generator(self, catalog):
+        manager = StatisticsManager(catalog, ReservoirSampleGenerator(10, seed=1))
+        stat = manager.analyze_column("t", "a")
+        assert isinstance(stat, SampleStatistic)
+
+    def test_rebuild_replaces(self, catalog):
+        manager = StatisticsManager(catalog)
+        first = manager.analyze_column("t", "a")
+        second = manager.analyze_column("t", "a")
+        assert catalog.statistic("t", "a") is second
+        assert first is not second
+
+    def test_equi_width_generator(self, catalog):
+        manager = StatisticsManager(catalog, EquiWidthHistogramGenerator(5))
+        stat = manager.analyze_column("t", "a")
+        assert stat.row_count == 100

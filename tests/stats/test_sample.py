@@ -1,0 +1,70 @@
+"""Reservoir samples as (randomized) single-relation statistics."""
+
+import pytest
+
+from repro.errors import StatisticsError
+from repro.stats import ReservoirSampleGenerator, SampleStatistic
+
+
+class TestSampleStatistic:
+    def test_scaling(self):
+        stat = SampleStatistic([1, 1, 2, 3], 400)
+        assert stat.estimate_equality(1) == pytest.approx(200)
+        assert stat.estimate_equality(9) == 0.0
+
+    def test_row_count_validation(self):
+        with pytest.raises(StatisticsError):
+            SampleStatistic([1, 2, 3], 2)
+
+    def test_range_estimation(self):
+        stat = SampleStatistic(list(range(10)), 100)
+        assert stat.estimate_range(0, 4) == pytest.approx(50)
+        assert stat.estimate_range(None, None) == pytest.approx(100)
+
+    def test_exclusive_range(self):
+        stat = SampleStatistic(list(range(10)), 10)
+        assert stat.estimate_range(0, 5, low_inclusive=False,
+                                   high_inclusive=False) == pytest.approx(4)
+
+    def test_distinct_unique_sample_scales_up(self):
+        stat = SampleStatistic(list(range(50)), 10000)
+        assert stat.estimate_distinct() == pytest.approx(10000)
+
+    def test_distinct_duplicated_sample(self):
+        stat = SampleStatistic([1, 1, 2, 2, 3, 3], 600)
+        assert stat.estimate_distinct() == pytest.approx(3)
+
+    def test_nulls_dropped(self):
+        stat = SampleStatistic([1, None, 2], 30)
+        assert stat.sample_size == 2
+
+    def test_empty_sample(self):
+        stat = SampleStatistic([], 0)
+        assert stat.estimate_equality(1) == 0.0
+        assert stat.estimate_distinct() == 0.0
+
+
+class TestReservoirGenerator:
+    def test_sample_size_cap(self):
+        generator = ReservoirSampleGenerator(sample_size=10, seed=1)
+        stat = generator.build(list(range(1000)))
+        assert stat.sample_size == 10
+        assert stat.row_count == 1000
+
+    def test_small_input_fully_sampled(self):
+        generator = ReservoirSampleGenerator(sample_size=100, seed=1)
+        stat = generator.build([1, 2, 3])
+        assert stat.sample_size == 3
+
+    def test_deterministic_with_seed(self):
+        values = list(range(500))
+        a = ReservoirSampleGenerator(20, seed=5).build(values)
+        b = ReservoirSampleGenerator(20, seed=5).build(values)
+        assert a.estimate_range(0, 250) == b.estimate_range(0, 250)
+
+    def test_invalid_size(self):
+        with pytest.raises(StatisticsError):
+            ReservoirSampleGenerator(0)
+
+    def test_name(self):
+        assert "reservoir" in ReservoirSampleGenerator(5).name

@@ -1,0 +1,96 @@
+"""Catalog registration, lookup and dependent-object lifecycle."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.storage import Catalog, Table, schema_of
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    catalog = Catalog("db")
+    catalog.add_table(Table("t", schema_of("t", "a:int"), [(i,) for i in range(5)]))
+    return catalog
+
+
+class TestTables:
+    def test_add_and_get(self, catalog):
+        assert catalog.table("t").name == "t"
+        assert catalog.has_table("t")
+        assert not catalog.has_table("u")
+
+    def test_duplicate_rejected(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.add_table(Table("t", schema_of("t", "a:int")))
+
+    def test_replace(self, catalog):
+        replacement = Table("t", schema_of("t", "a:int"), [(99,)])
+        catalog.add_table(replacement, replace=True)
+        assert catalog.cardinality("t") == 1
+
+    def test_missing_raises(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.table("missing")
+
+    def test_cardinality(self, catalog):
+        assert catalog.cardinality("t") == 5
+
+    def test_drop(self, catalog):
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+        with pytest.raises(CatalogError):
+            catalog.drop_table("t")
+
+    def test_table_names(self, catalog):
+        assert catalog.table_names() == ["t"]
+
+
+class TestIndexes:
+    def test_create_and_lookup(self, catalog):
+        index = catalog.create_hash_index("t", "a")
+        assert catalog.hash_index("t", "a") is index
+        assert catalog.any_index("t", "a") is index
+
+    def test_duplicate_index_rejected(self, catalog):
+        catalog.create_hash_index("t", "a")
+        with pytest.raises(CatalogError):
+            catalog.create_hash_index("t", "a")
+
+    def test_sorted_index(self, catalog):
+        index = catalog.create_sorted_index("t", "a")
+        assert catalog.sorted_index("t", "a") is index
+
+    def test_any_index_prefers_hash(self, catalog):
+        sorted_index = catalog.create_sorted_index("t", "a")
+        hash_index = catalog.create_hash_index("t", "a")
+        assert catalog.any_index("t", "a") is hash_index
+        assert catalog.any_index("t", "zzz") is None
+        del sorted_index
+
+    def test_indexed_columns(self, catalog):
+        catalog.create_hash_index("t", "a")
+        assert catalog.indexed_columns("t") == ["a"]
+
+    def test_drop_table_drops_indexes(self, catalog):
+        catalog.create_hash_index("t", "a")
+        catalog.drop_table("t")
+        assert catalog.hash_index("t", "a") is None
+
+    def test_replace_drops_indexes(self, catalog):
+        catalog.create_hash_index("t", "a")
+        catalog.add_table(Table("t", schema_of("t", "a:int")), replace=True)
+        assert catalog.hash_index("t", "a") is None
+
+
+class TestStatistics:
+    def test_set_and_get(self, catalog):
+        catalog.set_statistic("t", "a", "stat-object")
+        assert catalog.statistic("t", "a") == "stat-object"
+        assert catalog.statistics_for("t") == {"a": "stat-object"}
+
+    def test_missing_statistic_is_none(self, catalog):
+        assert catalog.statistic("t", "a") is None
+
+    def test_statistic_needs_table(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.set_statistic("nope", "a", object())

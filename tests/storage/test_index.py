@@ -1,0 +1,105 @@
+"""Hash and sorted indexes: lookups, ranges, counts, determinism."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.storage import HashIndex, SortedIndex, Table, schema_of
+
+
+@pytest.fixture
+def table() -> Table:
+    rows = [(i, i % 4) for i in range(20)]
+    return Table("t", schema_of("t", "k:int", "g:int"), rows)
+
+
+class TestHashIndex:
+    def test_lookup_finds_all_matches(self, table):
+        index = HashIndex("hx", table, "g")
+        assert len(index.lookup(1)) == 5
+        assert all(row[1] == 1 for row in index.lookup(1))
+
+    def test_lookup_miss(self, table):
+        index = HashIndex("hx", table, "g")
+        assert index.lookup(99) == []
+
+    def test_count_matches_lookup(self, table):
+        index = HashIndex("hx", table, "g")
+        for key in range(5):
+            assert index.count(key) == len(index.lookup(key))
+
+    def test_heap_order_preserved(self, table):
+        index = HashIndex("hx", table, "g")
+        keys = [row[0] for row in index.lookup(2)]
+        assert keys == sorted(keys)
+
+    def test_distinct_keys(self, table):
+        assert HashIndex("hx", table, "g").distinct_keys() == 4
+
+    def test_positions(self, table):
+        index = HashIndex("hx", table, "k")
+        assert index.lookup_positions(7) == [7]
+
+
+class TestSortedIndex:
+    def test_equality_lookup(self, table):
+        index = SortedIndex("sx", table, "g")
+        assert len(index.lookup(0)) == 5
+
+    def test_range_scan_inclusive(self, table):
+        index = SortedIndex("sx", table, "k")
+        rows = list(index.range_scan(5, 8))
+        assert [row[0] for row in rows] == [5, 6, 7, 8]
+
+    def test_range_scan_exclusive(self, table):
+        index = SortedIndex("sx", table, "k")
+        rows = list(index.range_scan(5, 8, low_inclusive=False,
+                                     high_inclusive=False))
+        assert [row[0] for row in rows] == [6, 7]
+
+    def test_open_ended_ranges(self, table):
+        index = SortedIndex("sx", table, "k")
+        assert len(list(index.range_scan(None, 3))) == 4
+        assert len(list(index.range_scan(17, None))) == 3
+        assert len(list(index.range_scan(None, None))) == 20
+
+    def test_range_count_matches_scan(self, table):
+        index = SortedIndex("sx", table, "k")
+        for low, high in [(0, 5), (3, 3), (None, 10), (15, None), (9, 2)]:
+            assert index.range_count(low, high) == len(
+                list(index.range_scan(low, high))
+            )
+
+    def test_empty_range(self, table):
+        index = SortedIndex("sx", table, "k")
+        assert index.range_count(10, 5) == 0
+
+    def test_full_scan_in_key_order(self, table):
+        shuffled = table.shuffled(seed=1)
+        index = SortedIndex("sx", shuffled, "k")
+        keys = [row[0] for row in index.full_scan()]
+        assert keys == sorted(keys)
+
+    def test_min_max(self, table):
+        index = SortedIndex("sx", table, "k")
+        assert index.min_key() == 0
+        assert index.max_key() == 19
+
+    def test_min_on_empty_raises(self):
+        empty = Table("e", schema_of("e", "k:int"))
+        index = SortedIndex("sx", empty, "k")
+        with pytest.raises(CatalogError):
+            index.min_key()
+
+    def test_nulls_excluded(self):
+        table = Table("t", schema_of("t", "k:int"))
+        table.insert((1,))
+        table.insert((None,), validate=False)
+        table.insert((2,))
+        index = SortedIndex("sx", table, "k")
+        assert len(index) == 2
+        assert index.lookup(None) == []
+
+    def test_duplicate_keys_ordered_by_heap_position(self, table):
+        index = SortedIndex("sx", table, "g")
+        positions = [row[0] for row in index.lookup(3)]
+        assert positions == sorted(positions)

@@ -1,0 +1,70 @@
+"""Heap tables: insertion, ordering, reordering helpers."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage import Table, schema_of
+
+
+@pytest.fixture
+def table() -> Table:
+    return Table("t", schema_of("t", "a:int", "b:str"),
+                 [(i, "r%d" % (i,)) for i in range(10)])
+
+
+class TestBasics:
+    def test_len_and_iter(self, table):
+        assert len(table) == 10
+        assert list(table)[0] == (0, "r0")
+
+    def test_rows_in_insertion_order(self, table):
+        assert [row[0] for row in table.rows] == list(range(10))
+
+    def test_insert_validates(self, table):
+        with pytest.raises(SchemaError):
+            table.insert(("bad", "row"))
+
+    def test_insert_unvalidated(self, table):
+        table.insert(("bad", 42), validate=False)
+        assert table[len(table) - 1] == ("bad", 42)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("", schema_of("t", "a:int"))
+
+    def test_column_values(self, table):
+        assert table.column_values("a") == list(range(10))
+        assert table.column_values("t.b")[:2] == ["r0", "r1"]
+
+    def test_cardinality(self, table):
+        assert table.cardinality() == 10
+
+
+class TestReordering:
+    def test_reordered_desc(self, table):
+        reordered = table.reordered(key=lambda row: row[0], reverse=True)
+        assert [row[0] for row in reordered.rows] == list(range(9, -1, -1))
+        # original untouched
+        assert table[0] == (0, "r0")
+
+    def test_shuffled_is_seeded(self, table):
+        a = table.shuffled(seed=3)
+        b = table.shuffled(seed=3)
+        assert a.rows == b.rows
+        assert sorted(a.rows) == sorted(table.rows)
+
+    def test_different_seeds_differ(self, table):
+        assert table.shuffled(seed=1).rows != table.shuffled(seed=2).rows
+
+    def test_with_row_moved(self, table):
+        moved = table.with_row_moved(0, 9)
+        assert moved[9] == (0, "r0")
+        assert moved[0] == (1, "r1")
+        assert len(moved) == 10
+
+    def test_move_preserves_multiset(self, table):
+        moved = table.with_row_moved(3, 7)
+        assert sorted(moved.rows) == sorted(table.rows)
+
+    def test_reordered_table_shares_schema(self, table):
+        assert table.shuffled(seed=0).schema is table.schema

@@ -1,0 +1,65 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDemo:
+    def test_demo_q1(self, capsys):
+        assert main(["demo", "--scale", "0.0003", "--query", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "physical plan for Q1" in out
+        assert "mu (work per input tuple)" in out
+        assert "dne" in out and "pmax" in out and "safe" in out
+
+    def test_demo_q6(self, capsys):
+        assert main(["demo", "--scale", "0.0003", "--query", "6"]) == 0
+        assert "total getnext calls" in capsys.readouterr().out
+
+
+class TestSql:
+    def test_sql_with_rows(self, capsys):
+        code = main([
+            "sql", "--scale", "0.0003", "--rows", "3",
+            "SELECT o_orderpriority, COUNT(*) FROM orders "
+            "GROUP BY o_orderpriority ORDER BY o_orderpriority",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "HashAggregate" in out
+        assert "first 3 rows" in out
+
+    def test_explain(self, capsys):
+        assert main(["explain", "--scale", "0.0003",
+                     "SELECT COUNT(*) FROM lineitem WHERE l_quantity < 10"]) == 0
+        out = capsys.readouterr().out
+        assert "TableScan(lineitem" in out
+        assert "scan-based: True" in out
+
+
+class TestMuTables:
+    def test_tpch_mu(self, capsys):
+        assert main(["tpch-mu", "--scale", "0.0003"]) == 0
+        out = capsys.readouterr().out
+        assert "mu per TPC-H query" in out
+        assert out.count("\n") >= 23
+
+    def test_sky_mu(self, capsys):
+        assert main(["sky-mu", "--size", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "mu per SkyServer query" in out
+
+
+class TestExperiments:
+    def test_single_experiment(self, capsys):
+        assert main(["experiments", "predictive-orders"]) == 0
+        out = capsys.readouterr().out
+        assert "predictive" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiments", "bogus"]) == 2
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

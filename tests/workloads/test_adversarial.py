@@ -1,0 +1,110 @@
+"""Adversarial workload builders: zipfian joins, Example 2, twins."""
+
+import pytest
+
+from repro.core import total_work
+from repro.engine.executor import execute
+from repro.errors import ReproError
+from repro.workloads import make_example2, make_twin_instances, make_zipfian_join
+
+
+class TestZipfianJoin:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return make_zipfian_join(n=1000, z=2.0, order="skew_last")
+
+    def test_r1_unique(self, workload):
+        values = workload.r1.column_values("a")
+        assert len(set(values)) == len(values) == 1000
+
+    def test_r2_size(self, workload):
+        assert len(workload.r2) == 1000
+
+    def test_fanout_accounting(self, workload):
+        assert sum(workload.fanout) == 1000
+        # rank 1 dominates under z=2
+        assert workload.fanout[1] > 500
+
+    def test_skew_last_order(self, workload):
+        values = workload.r1.column_values("a")
+        assert values[-1] == 1  # highest fan-out last
+
+    def test_skew_first_order(self):
+        workload = make_zipfian_join(n=500, order="skew_first")
+        assert workload.r1.column_values("a")[0] == 1
+
+    def test_random_order_seeded(self):
+        a = make_zipfian_join(n=300, order="random", seed=5)
+        b = make_zipfian_join(n=300, order="random", seed=5)
+        assert a.r1.rows == b.r1.rows
+
+    def test_invalid_order(self):
+        with pytest.raises(ReproError):
+            make_zipfian_join(n=10, order="sideways")
+
+    def test_join_output_is_n(self, workload):
+        """Every R2 value exists in R1, so the join emits |R2| rows."""
+        result = execute(workload.inl_plan())
+        assert result.row_count == 1000
+
+    def test_mu_is_two(self, workload):
+        assert total_work(workload.inl_plan()) == 2000
+
+    def test_plans_agree(self, workload):
+        inl = execute(workload.inl_plan()).row_count
+        hashed = execute(workload.hash_plan()).row_count
+        merged = execute(workload.merge_plan()).row_count
+        assert inl == hashed == merged
+
+    def test_inl_is_not_scan_based_but_hash_is(self, workload):
+        assert not workload.inl_plan().is_scan_based()
+        assert workload.hash_plan().is_scan_based()
+        assert workload.merge_plan().is_scan_based()
+
+    def test_filter_removes_skew(self, workload):
+        filtered = execute(workload.inl_plan(skip_top_ranks=10)).row_count
+        unfiltered = execute(workload.inl_plan()).row_count
+        assert filtered < unfiltered * 0.5
+
+
+class TestExample2:
+    def test_total_formula(self):
+        workload = make_example2(n=1000, matches=50)
+        assert total_work(workload.inl_plan()) == 1000 + 1 + 50
+        assert workload.expected_total == 1051
+
+    def test_selected_position(self):
+        workload = make_example2(n=100, matches=5, selected_position=42)
+        assert workload.r1.rows[42] == (workload.selected_value,)
+
+    def test_position_validated(self):
+        with pytest.raises(ReproError):
+            make_example2(n=10, matches=1, selected_position=10)
+
+
+class TestTwins:
+    @pytest.fixture(scope="class")
+    def twins(self):
+        return make_twin_instances(n=1000, f1=0.1, f2=0.9)
+
+    def test_work_ratio(self, twins):
+        ratio = total_work(twins.plan_y()) / total_work(twins.plan_x())
+        assert ratio == pytest.approx(9.0, rel=0.02)
+
+    def test_differ_in_one_tuple(self, twins):
+        rows_x = twins.catalog_x.table("r1").rows
+        rows_y = twins.catalog_y.table("r1").rows
+        differing = [i for i in range(len(rows_x)) if rows_x[i] != rows_y[i]]
+        assert differing == [twins.position]
+
+    def test_r2_all_y(self, twins):
+        values = set(twins.catalog_y.table("r2").column_values("b"))
+        assert values == {twins.y}
+
+    def test_fraction_validation(self):
+        with pytest.raises(ReproError):
+            make_twin_instances(n=100, f1=0.9, f2=0.1)
+
+    def test_join_outputs(self, twins):
+        assert execute(twins.plan_x()).row_count == 0
+        assert execute(twins.plan_y()).row_count == twins.r2_size

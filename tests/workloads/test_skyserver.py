@@ -1,0 +1,57 @@
+"""Synthetic SkyServer: generator invariants and the Table 3 query shapes."""
+
+import pytest
+
+from repro.core import mu
+from repro.engine.executor import execute
+from repro.workloads import SKYSERVER_QUERIES, build_skyserver_query, generate_skyserver
+
+
+class TestGenerator:
+    def test_tables(self, sky_db):
+        assert sky_db.catalog.has_table("photoobj")
+        assert sky_db.catalog.has_table("specobj")
+        assert sky_db.catalog.has_table("neighbors")
+
+    def test_photoobj_scale(self, sky_db):
+        assert len(sky_db.table("photoobj")) == sky_db.scale
+
+    def test_specobj_points_at_photoobj(self, sky_db):
+        objids = set(sky_db.table("photoobj").column_values("objid"))
+        for value in sky_db.table("specobj").column_values("bestobjid"):
+            assert value in objids
+
+    def test_spec_fraction(self, sky_db):
+        assert len(sky_db.table("specobj")) == sky_db.scale // 10
+
+    def test_deterministic(self):
+        a = generate_skyserver(scale=300, seed=3)
+        b = generate_skyserver(scale=300, seed=3)
+        assert a.table("photoobj").rows == b.table("photoobj").rows
+
+    def test_statistics_and_indexes(self, sky_db):
+        assert sky_db.catalog.statistic("photoobj", "r") is not None
+        assert sky_db.catalog.hash_index("photoobj", "objid") is not None
+
+
+class TestQueries:
+    def test_registry_matches_table3(self):
+        assert sorted(SKYSERVER_QUERIES) == [3, 6, 14, 18, 22, 28, 32]
+
+    @pytest.mark.parametrize("number", sorted(SKYSERVER_QUERIES))
+    def test_query_executes(self, sky_db, number):
+        result = execute(build_skyserver_query(sky_db, number))
+        assert result.total_getnext >= sky_db.scale  # photoobj scanned
+
+    @pytest.mark.parametrize("number", sorted(SKYSERVER_QUERIES))
+    def test_mu_small(self, sky_db, number):
+        """Table 3: all μ in [1.008, 1.79]; ours in the same band (≤ ~2.1)."""
+        value = mu(build_skyserver_query(sky_db, number))
+        assert 1.0 <= value <= 2.2
+
+    def test_all_scan_based(self, sky_db):
+        for number in SKYSERVER_QUERIES:
+            assert build_skyserver_query(sky_db, number).is_scan_based()
+
+    def test_sx28_scalar(self, sky_db):
+        assert execute(build_skyserver_query(sky_db, 28)).row_count == 1

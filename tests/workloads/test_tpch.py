@@ -1,0 +1,105 @@
+"""Mini TPC-H: generator invariants and query-plan sanity."""
+
+import pytest
+
+from repro.core import mu, total_work
+from repro.engine.executor import execute
+from repro.workloads import QUERIES, build_query, generate_tpch
+from repro.workloads.tpch.schema import SF1_CARDINALITIES
+
+
+class TestGenerator:
+    def test_all_tables_present(self, tpch_db):
+        assert set(tpch_db.cardinalities()) == set(SF1_CARDINALITIES)
+
+    def test_cardinality_ratios(self, tpch_db):
+        cards = tpch_db.cardinalities()
+        assert cards["lineitem"] > cards["orders"] > cards["customer"]
+        assert cards["region"] == 5
+        assert cards["nation"] == 25
+
+    def test_deterministic(self):
+        a = generate_tpch(scale=0.0003, seed=7)
+        b = generate_tpch(scale=0.0003, seed=7)
+        assert a.table("lineitem").rows == b.table("lineitem").rows
+
+    def test_seed_changes_data(self):
+        a = generate_tpch(scale=0.0003, seed=7)
+        b = generate_tpch(scale=0.0003, seed=8)
+        assert a.table("lineitem").rows != b.table("lineitem").rows
+
+    def test_foreign_keys_valid(self, tpch_db):
+        order_keys = set(tpch_db.table("orders").column_values("o_orderkey"))
+        for value in tpch_db.table("lineitem").column_values("l_orderkey"):
+            assert value in order_keys
+
+    def test_customer_fk_skewed(self, tpch_db):
+        """zipf z=2 on o_custkey: the top customer holds a large share."""
+        custkeys = tpch_db.table("orders").column_values("o_custkey")
+        top_share = custkeys.count(1) / len(custkeys)
+        assert top_share > 0.3
+
+    def test_dates_in_span(self, tpch_db):
+        for value in tpch_db.table("orders").column_values("o_orderdate"):
+            assert "1992-01-01" <= value <= "1998-12-31"
+
+    def test_order_totalprice_matches_lineitems(self, tpch_db):
+        lineitem = tpch_db.table("lineitem")
+        orders = tpch_db.table("orders")
+        sums = {}
+        for row in lineitem.rows:
+            sums[row[0]] = sums.get(row[0], 0.0) + row[5]
+        for row in orders.rows[:50]:
+            assert row[3] == pytest.approx(sums.get(row[0], 0.0), abs=0.1)
+
+    def test_statistics_built(self, tpch_db):
+        assert tpch_db.catalog.statistic("lineitem", "l_quantity") is not None
+
+    def test_indexes_built(self, tpch_db):
+        assert tpch_db.catalog.hash_index("orders", "o_orderkey") is not None
+        assert tpch_db.catalog.sorted_index("lineitem", "l_shipdate") is not None
+
+
+class TestQueries:
+    def test_registry_complete(self):
+        assert sorted(QUERIES) == list(range(1, 23))
+
+    @pytest.mark.parametrize("number", sorted(QUERIES))
+    def test_query_executes(self, tpch_db, number):
+        plan = build_query(tpch_db, number)
+        result = execute(plan)
+        assert result.total_getnext > 0
+
+    @pytest.mark.parametrize("number", sorted(QUERIES))
+    def test_mu_in_paper_band(self, tpch_db, number):
+        """Table 2's μ values live in [1, ~3]; ours must too."""
+        value = mu(build_query(tpch_db, number))
+        assert 1.0 <= value <= 3.5
+
+    def test_q1_mu_matches_paper(self, tpch_db):
+        """Paper: μ(Q1) = 1.989 — scan + ~97% filter pass + tiny γ."""
+        assert mu(build_query(tpch_db, 1)) == pytest.approx(1.99, abs=0.05)
+
+    def test_q21_is_among_most_expensive(self, tpch_db):
+        """Paper Table 2: Q21 has the highest μ (2.78); ours is the max too."""
+        values = {n: mu(build_query(tpch_db, n)) for n in range(1, 22)}
+        assert values[21] == max(values.values())
+
+    def test_q1_output_groups(self, tpch_db):
+        result = execute(build_query(tpch_db, 1))
+        assert 1 <= result.row_count <= 6  # |returnflag| x |linestatus|
+
+    def test_q6_scalar(self, tpch_db):
+        assert execute(build_query(tpch_db, 6)).row_count == 1
+
+    def test_most_plans_scan_based(self, tpch_db):
+        """'Many of the benchmark queries ... produce plans that are
+        scan-based' — all but our three deliberate ⋈INL plans."""
+        scan_based = [n for n in range(1, 23)
+                      if build_query(tpch_db, n).is_scan_based()]
+        assert set(range(1, 23)) - set(scan_based) == {4, 12, 15, 18}
+
+    def test_plans_rebuildable(self, tpch_db):
+        first = execute(build_query(tpch_db, 3)).rows
+        second = execute(build_query(tpch_db, 3)).rows
+        assert first == second

@@ -1,0 +1,85 @@
+"""Zipfian generation: weights, exact frequencies, sampling."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.workloads import ZipfSampler, zipf_column, zipf_frequencies, zipf_weights
+
+
+class TestWeights:
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(10, 2.0)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_z_zero_is_uniform(self):
+        assert zipf_weights(5, 0.0) == [1.0] * 5
+
+    def test_first_weight_is_one(self):
+        assert zipf_weights(7, 1.5)[0] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ReproError):
+            zipf_weights(5, -1.0)
+
+
+class TestFrequencies:
+    def test_sum_is_exact(self):
+        for total in (0, 1, 99, 1000):
+            assert sum(zipf_frequencies(total, 10, 2.0)) == total
+
+    def test_monotone_nonincreasing(self):
+        frequencies = zipf_frequencies(10000, 50, 1.5)
+        assert all(a >= b for a, b in zip(frequencies, frequencies[1:]))
+
+    def test_z2_head_heaviness(self):
+        """With z=2, rank 1 holds ~6/π² ≈ 61% of the mass."""
+        frequencies = zipf_frequencies(100000, 1000, 2.0)
+        assert frequencies[0] / 100000 == pytest.approx(0.608, abs=0.02)
+
+    def test_uniform_when_z_zero(self):
+        frequencies = zipf_frequencies(100, 10, 0.0)
+        assert frequencies == [10] * 10
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ReproError):
+            zipf_frequencies(-1, 5, 1.0)
+
+
+class TestSampler:
+    def test_range(self):
+        sampler = ZipfSampler(10, 2.0, seed=1)
+        samples = sampler.sample_many(500)
+        assert all(1 <= s <= 10 for s in samples)
+
+    def test_seeded_determinism(self):
+        a = ZipfSampler(100, 1.5, seed=9).sample_many(50)
+        b = ZipfSampler(100, 1.5, seed=9).sample_many(50)
+        assert a == b
+
+    def test_head_dominates(self):
+        samples = ZipfSampler(100, 2.0, seed=2).sample_many(2000)
+        rank1_share = samples.count(1) / len(samples)
+        assert rank1_share > 0.4
+
+
+class TestColumn:
+    def test_exact_layout(self):
+        column = zipf_column(100, 10, 1.0)
+        assert len(column) == 100
+        assert column[0] == 1  # rank 1 first
+
+    def test_sampled_layout(self):
+        column = zipf_column(100, 10, 1.0, seed=4)
+        assert len(column) == 100
+        assert set(column) <= set(range(1, 11))
+
+    def test_custom_values(self):
+        column = zipf_column(10, 3, 1.0, values=["a", "b", "c"])
+        assert set(column) <= {"a", "b", "c"}
+        assert column[0] == "a"
+
+    def test_values_must_cover_ranks(self):
+        with pytest.raises(ReproError):
+            zipf_column(10, 3, 1.0, values=["a"])
