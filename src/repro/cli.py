@@ -6,6 +6,9 @@ Commands:
                     a live-style progress table for dne/pmax/safe;
 * ``sql``         — plan, explain and execute a SQL query against the
                     bundled mini TPC-H database, with progress monitoring;
+* ``progress``    — run a query under full progress observability: live
+                    JSONL event trace, tick-rate/ETA gauges, per-estimator
+                    wall-time profile;
 * ``explain``     — just show the physical plan for a SQL query;
 * ``tpch-mu``     — print Table 2 (μ per TPC-H query);
 * ``sky-mu``      — print Table 3 (μ per SkyServer query);
@@ -39,7 +42,13 @@ from repro.bench import (
     table3,
 )
 from repro.bench.harness import downsample
-from repro.core import mu, run_with_estimators, standard_toolkit
+from repro.core import (
+    JsonlTraceWriter,
+    ProgressRunner,
+    mu,
+    run_with_estimators,
+    standard_toolkit,
+)
 from repro.core.runner import ProgressReport
 from repro.sql import plan_query
 from repro.workloads import (
@@ -134,6 +143,49 @@ def cmd_sql(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_progress(args: argparse.Namespace) -> int:
+    db = generate_tpch(scale=args.scale, skew=args.skew, seed=args.seed)
+    if args.sql:
+        plan = plan_query(args.sql, db.catalog, name="cli-progress")
+    else:
+        plan = build_query(db, args.tpch)
+    print(plan.explain())
+    print()
+    sinks = []
+    if args.trace:
+        sinks.append(JsonlTraceWriter(args.trace))
+    runner = ProgressRunner(
+        plan,
+        standard_toolkit(),
+        db.catalog,
+        target_samples=args.samples,
+        sinks=sinks,
+    )
+    report = runner.run()
+    _print_progress_table(report)
+    profile = report.profile
+    if profile is not None:
+        print()
+        rate = profile.ticks_per_second
+        print("elapsed: %.3fs   ticks: %d   rate: %s ticks/s   "
+              "sampling overhead: %.1f%%" % (
+                  profile.elapsed_seconds,
+                  profile.ticks,
+                  "%.0f" % (rate,) if rate else "n/a",
+                  profile.overhead_fraction * 100,
+              ))
+        for name, estimator_profile in sorted(profile.estimators.items()):
+            print("%-10s %5d calls   avg %8.1fus   max %8.1fus" % (
+                name,
+                estimator_profile.calls,
+                estimator_profile.avg_seconds * 1e6,
+                estimator_profile.max_seconds * 1e6,
+            ))
+    if args.trace:
+        print("\nwrote %d events to %s" % (sinks[0].lines_written, args.trace))
+    return 0
+
+
 def cmd_explain(args: argparse.Namespace) -> int:
     db = generate_tpch(scale=args.scale, skew=args.skew, seed=args.seed)
     plan = plan_query(args.query, db.catalog, name="cli-explain")
@@ -204,6 +256,20 @@ def build_parser() -> argparse.ArgumentParser:
     sql.add_argument("--rows", type=int, default=0,
                      help="also print the first N result rows")
     sql.set_defaults(func=cmd_sql)
+
+    progress = subparsers.add_parser(
+        "progress", help="run with full progress observability"
+    )
+    add_db_options(progress)
+    progress.add_argument("sql", nargs="?", default=None,
+                          help="SQL text (default: the --tpch query)")
+    progress.add_argument("--tpch", type=int, default=1, choices=range(1, 23),
+                          metavar="N", help="TPC-H query number (1-22)")
+    progress.add_argument("--trace", metavar="OUT.JSONL", default=None,
+                          help="stream progress events as JSON Lines")
+    progress.add_argument("--samples", type=int, default=200,
+                          help="target number of samples")
+    progress.set_defaults(func=cmd_progress)
 
     explain = subparsers.add_parser("explain", help="show the physical plan")
     add_db_options(explain)

@@ -31,13 +31,37 @@ Rules implemented (refined on every inspection):
   fall back to produced-so-far lower bounds — the effect stops at blocking
   operators, which always drain their input;
 * a finished operator's bounds collapse to its exact count.
+
+Two trackers implement one rule set — :func:`_derive` spells it out once,
+:func:`_compile_derive` specializes it per node:
+
+* :class:`BoundsTracker` — the production tracker.  It caches every static
+  quantity at construction (catalog cardinalities, histogram bucket sums,
+  predicate shapes, dispatch tags), compiles one visitor closure per node
+  with its rule, statics and children bound in, and, once
+  :meth:`BoundsTracker.attach`\\ ed to an
+  :class:`~repro.engine.monitor.ExecutionMonitor`, consumes the monitor's
+  event stream to maintain a running ``Curr`` and a dirty set, so each
+  :meth:`~BoundsTracker.snapshot` only re-derives bounds for subtrees
+  whose runtime counters actually changed.
+* :class:`ReferenceBoundsTracker` — the full-recompute oracle: it re-walks
+  the whole plan and re-resolves every statistic on every call, exactly like
+  the original implementation.  Equivalence tests assert the incremental
+  tracker is bit-identical to it at every sampled instant; the overhead
+  benchmark uses it as the per-sample cost baseline.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.engine.monitor import (
+    EVENT_RESET,
+    EVENT_TICK,
+    ExecutionMonitor,
+)
 from repro.engine.operators.aggregate import HashAggregate, StreamAggregate
 from repro.engine.operators.base import Operator
 from repro.engine.operators.filter import Filter
@@ -66,9 +90,14 @@ class NodeBounds:
 
 @dataclass(frozen=True)
 class BoundsSnapshot:
-    """Plan-wide bounds at one instant."""
+    """Plan-wide bounds at one instant.
 
-    curr: int
+    ``curr`` is an integer tick count under the GetNext model but a float
+    once re-expressed in weighted work units (see
+    :class:`repro.core.workmodels.WeightedWork`).
+    """
+
+    curr: float
     lower: float
     upper: float
     per_node: Dict[int, NodeBounds]
@@ -81,28 +110,1256 @@ class BoundsSnapshot:
         return self.upper / self.lower
 
 
+# -- operator dispatch tags --------------------------------------------------------
+
+_SCAN = 0
+_SEEK = 1
+_FILTER = 2
+_PROJECT = 3
+_SORT = 4
+_TOPN = 5
+_DISTINCT = 6
+_AGG_HASH = 7
+_AGG_STREAM = 8
+_HASH_JOIN = 9
+_MERGE_JOIN = 10
+_INL_JOIN = 11
+_NL_JOIN = 12
+_LIMIT = 13
+_UNION = 14
+_OTHER = 15
+
+
+def _classify(node: Operator) -> int:
+    """Map an operator to its bounds-rule tag (mirrors the rule order)."""
+    if isinstance(node, (TableScan, RowSource)):
+        return _SCAN
+    if isinstance(node, IndexSeek):
+        return _SEEK
+    if isinstance(node, Filter):
+        return _FILTER
+    if isinstance(node, Sort):
+        return _SORT
+    if isinstance(node, Project):
+        return _PROJECT
+    if isinstance(node, TopN):
+        return _TOPN
+    if isinstance(node, Distinct):
+        return _DISTINCT
+    if isinstance(node, HashAggregate):
+        return _AGG_HASH
+    if isinstance(node, StreamAggregate):
+        return _AGG_STREAM
+    if isinstance(node, HashJoin):
+        return _HASH_JOIN
+    if isinstance(node, MergeJoin):
+        return _MERGE_JOIN
+    if isinstance(node, IndexNestedLoopsJoin):
+        return _INL_JOIN
+    if isinstance(node, NestedLoopsJoin):
+        return _NL_JOIN
+    if isinstance(node, Limit):
+        return _LIMIT
+    if isinstance(node, UnionAll):
+        return _UNION
+    return _OTHER
+
+
+def _static_payload(node: Operator, kind: int, catalog: Optional[Catalog]):
+    """Resolve everything about ``node``'s bounds that cannot change at
+    runtime: base cardinalities, histogram bucket sums, inner-table sizes.
+
+    The incremental tracker calls this once per node at construction; the
+    reference tracker re-resolves it on every visit (the seed behavior the
+    overhead benchmark measures against).
+    """
+    if kind == _SCAN:
+        return float(node.base_cardinality())
+    if kind == _SEEK:
+        statistic = None
+        if catalog is not None:
+            statistic = catalog.statistic(node.index.table.name, node.index.column)
+        if isinstance(statistic, Histogram):
+            return statistic.range_bounds(node.low, node.high)
+        exact = node.exact_match_count()
+        return exact, exact
+    if kind == _FILTER:
+        return _filter_histogram_bounds(node, catalog)
+    if kind == _INL_JOIN:
+        return float(len(node.index.table))
+    return None
+
+
+def _filter_histogram_bounds(
+    node: Filter, catalog: Optional[Catalog]
+) -> Optional[Tuple[int, int]]:
+    """Guaranteed output bounds for a range filter over a base scan.
+
+    Applies only when the filter's predicate is a single range-shaped
+    comparison on a column of the table its child scans: the catalog
+    histogram was built over exactly those rows, so bucket arithmetic
+    yields *guaranteed* bounds on the matching row count (footnote 2).
+    """
+    from repro.engine.expressions import as_column_range
+
+    if catalog is None or not isinstance(node.child, TableScan):
+        return None
+    shape = as_column_range(node.predicate)
+    if shape is None:
+        return None
+    column, low, high, low_inclusive, high_inclusive = shape
+    if not (low_inclusive and high_inclusive):
+        # Bucket bounds are inclusive; exclusive ends would need value
+        # adjustment per type — skip rather than risk unsoundness.
+        return None
+    table_name = node.child.table.name
+    bare = column.split(".")[-1]
+    if not node.child.schema.has_column(column):
+        return None
+    statistic = catalog.statistic(table_name, bare)
+    if not isinstance(statistic, Histogram):
+        return None
+    return statistic.range_bounds(low, high)
+
+
+def _join_output_bounds(
+    node: Operator, produced: int, left_upper: float, right_upper: float
+) -> Tuple[float, float]:
+    if node.is_linear:
+        upper = max(left_upper, right_upper)
+    else:
+        upper = left_upper * right_upper
+    return float(produced), max(upper, float(produced))
+
+
+#: ``visit(child, exec_lower, exec_upper, single_exec, full_scan)``
+_Visit = Callable[[Operator, float, float, bool, bool], Tuple[float, float]]
+
+
+def _derive(
+    node: Operator,
+    kind: int,
+    static,
+    produced: int,
+    single_exec: bool,
+    full_scan: bool,
+    exec_lower: float,
+    exec_upper: float,
+    visit: _Visit,
+) -> Tuple[float, float]:
+    """Per-pass output bounds for one (unfinished) node.
+
+    This is the single rule set both trackers execute, so their results are
+    bit-identical by construction.  ``visit`` recurses into a child with
+    explicit execution context; ``static`` is the payload of
+    :func:`_static_payload` for this node.
+    """
+    if kind == _SCAN:
+        n = static
+        if full_scan:
+            return n, n
+        return float(produced), n
+
+    if kind == _SEEK:
+        lower, upper = static
+        if not full_scan:
+            lower = 0
+        return max(float(lower), float(produced)), max(float(upper), float(produced))
+
+    if kind == _FILTER:
+        child_lower, child_upper = visit(
+            node.child, exec_lower, exec_upper, single_exec, full_scan
+        )
+        consumed = node.child.rows_produced if single_exec else 0
+        remaining = max(0.0, child_upper - consumed)
+        # +1: a row the child just produced may be in flight inside this
+        # filter (observers fire inside the child's get_next, before the
+        # filter has decided the row's fate).
+        in_flight = 1.0 if single_exec and consumed > produced else 0.0
+        lower = float(produced)
+        upper = float(produced) + remaining + in_flight
+        if static is not None and single_exec and full_scan:
+            hist_lower, hist_upper = static
+            lower = max(lower, float(hist_lower))
+            upper = min(upper, max(float(hist_upper), lower))
+        return lower, upper
+
+    if kind == _SORT or kind == _PROJECT:
+        if kind == _SORT:
+            # A blocking consumer drains its input no matter what happens
+            # above it, so the child keeps the full-scan guarantee a LIMIT
+            # higher up would otherwise cancel — and, because blocking state
+            # is spooled across NL-join rescans, the drained subtree executes
+            # exactly once regardless of the rescan count.
+            child_lower, child_upper = visit(node.child, 1.0, 1.0, True, True)
+            # Spooled once even under rescans: the materialized count is
+            # this node's exact per-pass output — but a LIMIT above may
+            # still cut the emission short, so it is only a lower bound
+            # when the full-scan guarantee is gone.
+            materialized = node.materialized_count()
+            if materialized is not None:
+                if full_scan:
+                    return float(materialized), float(materialized)
+                return float(produced), float(materialized)
+        else:
+            child_lower, child_upper = visit(
+                node.child, exec_lower, exec_upper, single_exec, full_scan
+            )
+        if not full_scan:
+            return float(produced), child_upper
+        return max(child_lower, float(produced)), child_upper
+
+    if kind == _TOPN:
+        child_lower, child_upper = visit(node.child, 1.0, 1.0, True, True)
+        materialized = node.materialized_count()
+        if materialized is not None:
+            if full_scan:
+                return float(materialized), float(materialized)
+            return float(produced), float(materialized)
+        upper = min(float(node.limit), child_upper)
+        lower = float(produced)
+        if full_scan:
+            lower = max(lower, min(float(node.limit), child_lower))
+        return lower, max(upper, lower)
+
+    if kind == _DISTINCT:
+        _, child_upper = visit(
+            node.child, exec_lower, exec_upper, single_exec, full_scan
+        )
+        return float(produced), max(child_upper, float(produced))
+
+    if kind == _AGG_HASH or kind == _AGG_STREAM:
+        if kind == _AGG_HASH:
+            _, child_upper = visit(node.child, 1.0, 1.0, True, True)
+        else:
+            _, child_upper = visit(
+                node.child, exec_lower, exec_upper, single_exec, full_scan
+            )
+        if not node.group_by:
+            return (1.0 if full_scan else float(produced)), 1.0
+        groups = 0.0
+        if kind == _AGG_HASH:
+            # Also spooled once: group counts are per-pass exact.
+            if node.input_consumed:
+                exact = float(node.groups_seen())
+                if full_scan:
+                    return exact, exact
+                return float(produced), exact
+            groups = float(node.groups_seen())
+        lower = max(groups, float(produced)) if full_scan else float(produced)
+        return lower, max(child_upper, lower, groups)
+
+    if kind == _HASH_JOIN:
+        build_lower, build_upper = visit(node.build_child, 1.0, 1.0, True, True)
+        probe_lower, probe_upper = visit(
+            node.probe_child, exec_lower, exec_upper, single_exec, full_scan
+        )
+        lower, upper = _join_output_bounds(node, produced, build_upper, probe_upper)
+        if node.preserve_probe:
+            # Probe-side outer join: every probe row emits at least one
+            # output row (a match or a NULL-padded copy).
+            if full_scan:
+                lower = max(lower, probe_lower)
+            upper = upper + probe_upper
+        return lower, upper
+
+    if kind == _MERGE_JOIN:
+        left_lower, left_upper = visit(
+            node.left, exec_lower, exec_upper, single_exec, full_scan
+        )
+        right_lower, right_upper = visit(
+            node.right, exec_lower, exec_upper, single_exec, full_scan
+        )
+        return _join_output_bounds(node, produced, left_upper, right_upper)
+
+    if kind == _INL_JOIN:
+        outer_lower, outer_upper = visit(
+            node.child, exec_lower, exec_upper, single_exec, full_scan
+        )
+        inner_size = static
+        if node.is_linear:
+            upper = max(outer_upper, inner_size)
+        else:
+            upper = outer_upper * inner_size
+        return float(produced), max(upper, float(produced))
+
+    if kind == _NL_JOIN:
+        outer_lower, outer_upper = visit(
+            node.left, exec_lower, exec_upper, single_exec, full_scan
+        )
+        # The inner subtree runs once per outer row; its counters are
+        # cumulative across rescans, so per-pass refinement is off.  If a
+        # LIMIT above can cut the join mid-stream, the latest rescan may
+        # be incomplete, so only outer_lower - 1 passes are guaranteed.
+        guaranteed_passes = outer_lower if full_scan else max(0.0, outer_lower - 1)
+        inner_lower, inner_upper = visit(
+            node.right,
+            exec_lower * guaranteed_passes,
+            exec_upper * outer_upper,
+            False,
+            True,
+        )
+        return _join_output_bounds(node, produced, outer_upper, inner_upper)
+
+    if kind == _LIMIT:
+        # Descendants may be cut off mid-stream: drop their full-scan
+        # lower bounds (blocking descendants re-enable it themselves via
+        # `finished`/materialized refinements).
+        _, child_upper = visit(
+            node.child, exec_lower, exec_upper, single_exec, False
+        )
+        upper = min(float(node.limit), max(0.0, child_upper - node.offset))
+        return float(produced), max(upper, float(produced))
+
+    if kind == _UNION:
+        lowers, uppers = 0.0, 0.0
+        for child in node.children:
+            child_lower, child_upper = visit(
+                child, exec_lower, exec_upper, single_exec, full_scan
+            )
+            lowers += child_lower
+            uppers += child_upper
+        return max(lowers, float(produced)), max(uppers, float(produced))
+
+    # Unknown operator: be conservative.
+    lowers, uppers = 0.0, 0.0
+    for child in node.children:
+        child_lower, child_upper = visit(
+            child, exec_lower, exec_upper, single_exec, full_scan
+        )
+        lowers += child_lower
+        uppers += child_upper
+    return float(produced), max(uppers, float(produced))
+
+
+def _compile_derive(node, kind, static, child_visits):
+    """Construction-time twin of :func:`_derive`.
+
+    Returns a closure ``derive(exec_lower, exec_upper, single_exec,
+    full_scan) -> (lower, upper)`` with this node's single rule
+    specialized: statics, child visitors and immutable flags are bound as
+    closure cells, so the per-sample hot path runs no dispatch, no adapter
+    hops and no array indexing.  Every float expression here must mirror
+    :func:`_derive` operation for operation — the equivalence suite asserts
+    the compiled tracker stays bit-identical to the reference at every
+    sampled instant.
+    """
+    if kind == _SCAN:
+        n = static
+
+        def derive(exec_lower, exec_upper, single_exec, full_scan):
+            if full_scan:
+                return n, n
+            return (float(node.rows_produced) if single_exec else 0.0), n
+
+        return derive
+
+    if kind == _SEEK:
+        static_lower, static_upper = static
+        upper_f = float(static_upper)
+
+        def derive(exec_lower, exec_upper, single_exec, full_scan):
+            produced = node.rows_produced if single_exec else 0
+            lower = static_lower if full_scan else 0
+            return max(float(lower), float(produced)), max(upper_f, float(produced))
+
+        return derive
+
+    if kind == _FILTER:
+        child = node.child
+        child_visit = child_visits[0]
+        if static is None:
+
+            def derive(exec_lower, exec_upper, single_exec, full_scan):
+                _, child_upper = child_visit(
+                    exec_lower, exec_upper, single_exec, full_scan
+                )
+                produced = node.rows_produced if single_exec else 0
+                consumed = child.rows_produced if single_exec else 0
+                remaining = max(0.0, child_upper - consumed)
+                in_flight = 1.0 if single_exec and consumed > produced else 0.0
+                return float(produced), float(produced) + remaining + in_flight
+
+            return derive
+        hist_lower, hist_upper = float(static[0]), float(static[1])
+
+        def derive(exec_lower, exec_upper, single_exec, full_scan):
+            _, child_upper = child_visit(
+                exec_lower, exec_upper, single_exec, full_scan
+            )
+            produced = node.rows_produced if single_exec else 0
+            consumed = child.rows_produced if single_exec else 0
+            remaining = max(0.0, child_upper - consumed)
+            in_flight = 1.0 if single_exec and consumed > produced else 0.0
+            lower = float(produced)
+            upper = float(produced) + remaining + in_flight
+            if single_exec and full_scan:
+                lower = max(lower, hist_lower)
+                upper = min(upper, max(hist_upper, lower))
+            return lower, upper
+
+        return derive
+
+    if kind == _SORT:
+        child_visit = child_visits[0]
+
+        def derive(exec_lower, exec_upper, single_exec, full_scan):
+            child_lower, child_upper = child_visit(1.0, 1.0, True, True)
+            produced = node.rows_produced if single_exec else 0
+            materialized = node.materialized_count()
+            if materialized is not None:
+                if full_scan:
+                    return float(materialized), float(materialized)
+                return float(produced), float(materialized)
+            if not full_scan:
+                return float(produced), child_upper
+            return max(child_lower, float(produced)), child_upper
+
+        return derive
+
+    if kind == _PROJECT:
+        child_visit = child_visits[0]
+
+        def derive(exec_lower, exec_upper, single_exec, full_scan):
+            child_lower, child_upper = child_visit(
+                exec_lower, exec_upper, single_exec, full_scan
+            )
+            produced = node.rows_produced if single_exec else 0
+            if not full_scan:
+                return float(produced), child_upper
+            return max(child_lower, float(produced)), child_upper
+
+        return derive
+
+    if kind == _TOPN:
+        child_visit = child_visits[0]
+        limit_f = float(node.limit)
+
+        def derive(exec_lower, exec_upper, single_exec, full_scan):
+            child_lower, child_upper = child_visit(1.0, 1.0, True, True)
+            produced = node.rows_produced if single_exec else 0
+            materialized = node.materialized_count()
+            if materialized is not None:
+                if full_scan:
+                    return float(materialized), float(materialized)
+                return float(produced), float(materialized)
+            upper = min(limit_f, child_upper)
+            lower = float(produced)
+            if full_scan:
+                lower = max(lower, min(limit_f, child_lower))
+            return lower, max(upper, lower)
+
+        return derive
+
+    if kind == _DISTINCT:
+        child_visit = child_visits[0]
+
+        def derive(exec_lower, exec_upper, single_exec, full_scan):
+            _, child_upper = child_visit(
+                exec_lower, exec_upper, single_exec, full_scan
+            )
+            produced = node.rows_produced if single_exec else 0
+            return float(produced), max(child_upper, float(produced))
+
+        return derive
+
+    if kind == _AGG_HASH or kind == _AGG_STREAM:
+        child_visit = child_visits[0]
+        grouped = bool(node.group_by)
+        hashed = kind == _AGG_HASH
+
+        def derive(exec_lower, exec_upper, single_exec, full_scan):
+            if hashed:
+                _, child_upper = child_visit(1.0, 1.0, True, True)
+            else:
+                _, child_upper = child_visit(
+                    exec_lower, exec_upper, single_exec, full_scan
+                )
+            produced = node.rows_produced if single_exec else 0
+            if not grouped:
+                return (1.0 if full_scan else float(produced)), 1.0
+            groups = 0.0
+            if hashed:
+                if node.input_consumed:
+                    exact = float(node.groups_seen())
+                    if full_scan:
+                        return exact, exact
+                    return float(produced), exact
+                groups = float(node.groups_seen())
+            lower = max(groups, float(produced)) if full_scan else float(produced)
+            return lower, max(child_upper, lower, groups)
+
+        return derive
+
+    if kind == _HASH_JOIN:
+        build_visit, probe_visit = child_visits
+        linear = node.is_linear
+        preserve = node.preserve_probe
+
+        def derive(exec_lower, exec_upper, single_exec, full_scan):
+            _, build_upper = build_visit(1.0, 1.0, True, True)
+            probe_lower, probe_upper = probe_visit(
+                exec_lower, exec_upper, single_exec, full_scan
+            )
+            produced = node.rows_produced if single_exec else 0
+            if linear:
+                upper = max(build_upper, probe_upper)
+            else:
+                upper = build_upper * probe_upper
+            lower = float(produced)
+            upper = max(upper, lower)
+            if preserve:
+                if full_scan:
+                    lower = max(lower, probe_lower)
+                upper = upper + probe_upper
+            return lower, upper
+
+        return derive
+
+    if kind == _MERGE_JOIN:
+        left_visit, right_visit = child_visits
+        linear = node.is_linear
+
+        def derive(exec_lower, exec_upper, single_exec, full_scan):
+            _, left_upper = left_visit(
+                exec_lower, exec_upper, single_exec, full_scan
+            )
+            _, right_upper = right_visit(
+                exec_lower, exec_upper, single_exec, full_scan
+            )
+            produced = node.rows_produced if single_exec else 0
+            if linear:
+                upper = max(left_upper, right_upper)
+            else:
+                upper = left_upper * right_upper
+            return float(produced), max(upper, float(produced))
+
+        return derive
+
+    if kind == _INL_JOIN:
+        child_visit = child_visits[0]
+        inner_size = static
+        linear = node.is_linear
+
+        def derive(exec_lower, exec_upper, single_exec, full_scan):
+            _, outer_upper = child_visit(
+                exec_lower, exec_upper, single_exec, full_scan
+            )
+            produced = node.rows_produced if single_exec else 0
+            if linear:
+                upper = max(outer_upper, inner_size)
+            else:
+                upper = outer_upper * inner_size
+            return float(produced), max(upper, float(produced))
+
+        return derive
+
+    if kind == _NL_JOIN:
+        outer_visit, inner_visit = child_visits
+        linear = node.is_linear
+
+        def derive(exec_lower, exec_upper, single_exec, full_scan):
+            outer_lower, outer_upper = outer_visit(
+                exec_lower, exec_upper, single_exec, full_scan
+            )
+            produced = node.rows_produced if single_exec else 0
+            guaranteed = outer_lower if full_scan else max(0.0, outer_lower - 1)
+            _, inner_upper = inner_visit(
+                exec_lower * guaranteed, exec_upper * outer_upper, False, True
+            )
+            if linear:
+                upper = max(outer_upper, inner_upper)
+            else:
+                upper = outer_upper * inner_upper
+            return float(produced), max(upper, float(produced))
+
+        return derive
+
+    if kind == _LIMIT:
+        child_visit = child_visits[0]
+        limit_f = float(node.limit)
+        offset = node.offset
+
+        def derive(exec_lower, exec_upper, single_exec, full_scan):
+            _, child_upper = child_visit(
+                exec_lower, exec_upper, single_exec, False
+            )
+            produced = node.rows_produced if single_exec else 0
+            upper = min(limit_f, max(0.0, child_upper - offset))
+            return float(produced), max(upper, float(produced))
+
+        return derive
+
+    if kind == _UNION:
+
+        def derive(exec_lower, exec_upper, single_exec, full_scan):
+            lowers, uppers = 0.0, 0.0
+            for child_visit in child_visits:
+                child_lower, child_upper = child_visit(
+                    exec_lower, exec_upper, single_exec, full_scan
+                )
+                lowers += child_lower
+                uppers += child_upper
+            produced = node.rows_produced if single_exec else 0
+            return max(lowers, float(produced)), max(uppers, float(produced))
+
+        return derive
+
+    def derive(exec_lower, exec_upper, single_exec, full_scan):
+        lowers, uppers = 0.0, 0.0
+        for child_visit in child_visits:
+            child_lower, child_upper = child_visit(
+                exec_lower, exec_upper, single_exec, full_scan
+            )
+            lowers += child_lower
+            uppers += child_upper
+        produced = node.rows_produced if single_exec else 0
+        return float(produced), max(uppers, float(produced))
+
+    return derive
+
+
+def _compile_derive_std(node, kind, static, child_visits):
+    """Like :func:`_compile_derive`, but for a node that provably always
+    executes under the standard context ``(exec_lower=1.0, exec_upper=1.0,
+    single_exec=True, full_scan=True)`` — the root's context, preserved by
+    every edge except a LIMIT's or a ⋈NL inner's (see
+    :meth:`BoundsTracker._build_visitor`).
+
+    Returns a zero-argument ``derive_std() -> (lower, upper)`` with the
+    context constants folded: ``x * 1.0 == x`` exactly under IEEE 754 and
+    ``single_exec``/``full_scan`` branches are resolved at compile time, so
+    every fold is value-preserving and the results stay bit-identical to
+    :func:`_derive`.
+    """
+    if kind == _SCAN:
+        n = static
+
+        def derive_std():
+            return n, n
+
+        return derive_std
+
+    if kind == _SEEK:
+        lower_f = float(static[0])
+        upper_f = float(static[1])
+
+        def derive_std():
+            produced = float(node.rows_produced)
+            return max(lower_f, produced), max(upper_f, produced)
+
+        return derive_std
+
+    if kind == _FILTER:
+        child = node.child
+        child_visit = child_visits[0]
+        if static is None:
+
+            def derive_std():
+                _, child_upper = child_visit(1.0, 1.0, True, True)
+                produced = node.rows_produced
+                consumed = child.rows_produced
+                remaining = max(0.0, child_upper - consumed)
+                in_flight = 1.0 if consumed > produced else 0.0
+                produced_f = float(produced)
+                return produced_f, produced_f + remaining + in_flight
+
+            return derive_std
+        hist_lower, hist_upper = float(static[0]), float(static[1])
+
+        def derive_std():
+            _, child_upper = child_visit(1.0, 1.0, True, True)
+            produced = node.rows_produced
+            consumed = child.rows_produced
+            remaining = max(0.0, child_upper - consumed)
+            in_flight = 1.0 if consumed > produced else 0.0
+            produced_f = float(produced)
+            lower = max(produced_f, hist_lower)
+            upper = min(produced_f + remaining + in_flight, max(hist_upper, lower))
+            return lower, upper
+
+        return derive_std
+
+    if kind == _SORT:
+        child_visit = child_visits[0]
+
+        def derive_std():
+            child_lower, child_upper = child_visit(1.0, 1.0, True, True)
+            materialized = node.materialized_count()
+            if materialized is not None:
+                exact = float(materialized)
+                return exact, exact
+            return max(child_lower, float(node.rows_produced)), child_upper
+
+        return derive_std
+
+    if kind == _PROJECT:
+        child_visit = child_visits[0]
+
+        def derive_std():
+            child_lower, child_upper = child_visit(1.0, 1.0, True, True)
+            return max(child_lower, float(node.rows_produced)), child_upper
+
+        return derive_std
+
+    if kind == _TOPN:
+        child_visit = child_visits[0]
+        limit_f = float(node.limit)
+
+        def derive_std():
+            child_lower, child_upper = child_visit(1.0, 1.0, True, True)
+            materialized = node.materialized_count()
+            if materialized is not None:
+                exact = float(materialized)
+                return exact, exact
+            upper = min(limit_f, child_upper)
+            lower = max(float(node.rows_produced), min(limit_f, child_lower))
+            return lower, max(upper, lower)
+
+        return derive_std
+
+    if kind == _DISTINCT:
+        child_visit = child_visits[0]
+
+        def derive_std():
+            _, child_upper = child_visit(1.0, 1.0, True, True)
+            produced = float(node.rows_produced)
+            return produced, max(child_upper, produced)
+
+        return derive_std
+
+    if kind == _AGG_HASH or kind == _AGG_STREAM:
+        child_visit = child_visits[0]
+        grouped = bool(node.group_by)
+        hashed = kind == _AGG_HASH
+
+        def derive_std():
+            _, child_upper = child_visit(1.0, 1.0, True, True)
+            if not grouped:
+                return 1.0, 1.0
+            groups = 0.0
+            if hashed:
+                if node.input_consumed:
+                    exact = float(node.groups_seen())
+                    return exact, exact
+                groups = float(node.groups_seen())
+            lower = max(groups, float(node.rows_produced))
+            return lower, max(child_upper, lower, groups)
+
+        return derive_std
+
+    if kind == _HASH_JOIN:
+        build_visit, probe_visit = child_visits
+        linear = node.is_linear
+        preserve = node.preserve_probe
+
+        def derive_std():
+            _, build_upper = build_visit(1.0, 1.0, True, True)
+            probe_lower, probe_upper = probe_visit(1.0, 1.0, True, True)
+            if linear:
+                upper = max(build_upper, probe_upper)
+            else:
+                upper = build_upper * probe_upper
+            lower = float(node.rows_produced)
+            upper = max(upper, lower)
+            if preserve:
+                lower = max(lower, probe_lower)
+                upper = upper + probe_upper
+            return lower, upper
+
+        return derive_std
+
+    if kind == _MERGE_JOIN:
+        left_visit, right_visit = child_visits
+        linear = node.is_linear
+
+        def derive_std():
+            _, left_upper = left_visit(1.0, 1.0, True, True)
+            _, right_upper = right_visit(1.0, 1.0, True, True)
+            if linear:
+                upper = max(left_upper, right_upper)
+            else:
+                upper = left_upper * right_upper
+            produced = float(node.rows_produced)
+            return produced, max(upper, produced)
+
+        return derive_std
+
+    if kind == _INL_JOIN:
+        child_visit = child_visits[0]
+        inner_size = static
+        linear = node.is_linear
+
+        def derive_std():
+            _, outer_upper = child_visit(1.0, 1.0, True, True)
+            if linear:
+                upper = max(outer_upper, inner_size)
+            else:
+                upper = outer_upper * inner_size
+            produced = float(node.rows_produced)
+            return produced, max(upper, produced)
+
+        return derive_std
+
+    if kind == _NL_JOIN:
+        outer_visit, inner_visit = child_visits
+        linear = node.is_linear
+
+        def derive_std():
+            outer_lower, outer_upper = outer_visit(1.0, 1.0, True, True)
+            _, inner_upper = inner_visit(outer_lower, outer_upper, False, True)
+            if linear:
+                upper = max(outer_upper, inner_upper)
+            else:
+                upper = outer_upper * inner_upper
+            produced = float(node.rows_produced)
+            return produced, max(upper, produced)
+
+        return derive_std
+
+    if kind == _LIMIT:
+        child_visit = child_visits[0]
+        limit_f = float(node.limit)
+        offset = node.offset
+
+        def derive_std():
+            _, child_upper = child_visit(1.0, 1.0, True, False)
+            upper = min(limit_f, max(0.0, child_upper - offset))
+            produced = float(node.rows_produced)
+            return produced, max(upper, produced)
+
+        return derive_std
+
+    if kind == _UNION:
+
+        def derive_std():
+            lowers, uppers = 0.0, 0.0
+            for child_visit in child_visits:
+                child_lower, child_upper = child_visit(1.0, 1.0, True, True)
+                lowers += child_lower
+                uppers += child_upper
+            produced = float(node.rows_produced)
+            return max(lowers, produced), max(uppers, produced)
+
+        return derive_std
+
+    def derive_std():
+        uppers = 0.0
+        for child_visit in child_visits:
+            _, child_upper = child_visit(1.0, 1.0, True, True)
+            uppers += child_upper
+        produced = float(node.rows_produced)
+        return produced, max(uppers, produced)
+
+    return derive_std
+
+
 class BoundsTracker:
-    """Computes :class:`BoundsSnapshot`s for a plan during execution."""
+    """Incremental :class:`BoundsSnapshot` producer for a plan.
+
+    Construction caches every static quantity and compiles one specialized
+    visitor closure per node (see :func:`_compile_derive`).  :meth:`attach`
+    subscribes to a monitor's event stream; from then on each
+    tick/finish/rewind marks the event's operator and its ancestors dirty,
+    and :meth:`snapshot` re-derives bounds only for dirty subtrees whose
+    execution context changed — clean subtrees are answered from the memo in
+    O(1).  Unattached, every snapshot is a full recompute (still benefiting
+    from the static caches and the compiled visitors).
+    """
+
+    def __init__(self, plan: Plan, catalog: Optional[Catalog] = None) -> None:
+        self.plan = plan
+        self.catalog = catalog
+        # -- static caches (never change during execution) ----------------------
+        self._ops: List[Operator] = list(plan.operators())
+        self._count = len(self._ops)
+        self._idx: Dict[int, int] = {
+            op.operator_id: i for i, op in enumerate(self._ops)
+        }
+        self._kinds: List[int] = [_classify(op) for op in self._ops]
+        self._statics: List[object] = [
+            _static_payload(op, kind, catalog)
+            for op, kind in zip(self._ops, self._kinds)
+        ]
+        self._parent_idx: List[int] = [-1] * self._count
+        self._subtree_idx: List[List[int]] = []
+        for i, op in enumerate(self._ops):
+            for child in op.children:
+                self._parent_idx[self._idx[child.operator_id]] = i
+            self._subtree_idx.append([
+                self._idx[descendant.operator_id]
+                for descendant in op.walk()
+                if descendant is not op
+            ])
+        self._root_idx = self._idx[plan.root.operator_id]
+        self._all_true = (True,) * self._count
+        self._all_false = (False,) * self._count
+        # -- incremental runtime state ------------------------------------------
+        # The compiled visitors capture these list/dict objects by reference:
+        # they must only ever be mutated in place, never rebound.
+        self._monitor: Optional[ExecutionMonitor] = None
+        self._curr = 0
+        self._dirty: List[bool] = [True] * self._count
+        self._any_dirty = True
+        self._ctx_valid: List[bool] = [False] * self._count
+        self._total_lo: List[float] = [0.0] * self._count
+        self._total_hi: List[float] = [0.0] * self._count
+        self._node_bounds: List[Optional[NodeBounds]] = [None] * self._count
+        self._per_node: Dict[int, NodeBounds] = {}
+        self._visitors: List[Callable] = [None] * self._count
+        self._build_visitor(plan.root)
+        self._root_visit = self._visitors[self._root_idx]
+
+    # -- monitor wiring ------------------------------------------------------------
+
+    def attach(self, monitor: ExecutionMonitor) -> None:
+        """Feed this tracker from ``monitor``'s event stream.
+
+        Resets all runtime state: attach before the monitored execution
+        begins (the runner does this for every run).
+        """
+        self.detach()
+        self._monitor = monitor
+        monitor.add_tick_listener(self._on_event)
+        self._reset_runtime()
+
+    def detach(self) -> None:
+        if self._monitor is not None:
+            self._monitor.remove_tick_listener(self._on_event)
+            self._monitor = None
+
+    @property
+    def curr(self) -> int:
+        """Running counted-getnext total (only meaningful while attached)."""
+        return self._curr
+
+    def _reset_runtime(self) -> None:
+        self._curr = 0
+        self._dirty[:] = self._all_true
+        self._any_dirty = True
+        self._ctx_valid[:] = self._all_false
+        self._node_bounds[:] = (None,) * self._count
+        self._per_node.clear()
+
+    def _on_event(self, operator_id: int, event: str) -> None:
+        if event == EVENT_RESET:
+            self._reset_runtime()
+            return
+        i = self._idx.get(operator_id)
+        if i is None:
+            return
+        if event == EVENT_TICK:
+            self._curr += 1
+        # tick, finish and rewind all invalidate the node and its ancestors;
+        # stop as soon as an already-dirty ancestor is found (its own
+        # ancestors are dirty by induction).
+        dirty = self._dirty
+        parent = self._parent_idx
+        while i >= 0 and not dirty[i]:
+            dirty[i] = True
+            i = parent[i]
+        self._any_dirty = True
+
+    # -- public ------------------------------------------------------------------
+
+    def snapshot(self) -> BoundsSnapshot:
+        if self._monitor is None:
+            # No event feed: nothing tells us what changed, so everything is
+            # presumed dirty and curr is re-summed from live counters.
+            self._dirty[:] = self._all_true
+            self._any_dirty = True
+            curr = sum(op.rows_produced for op in self._ops)
+        else:
+            curr = self._curr
+        if self._any_dirty:
+            self._root_visit(1.0, 1.0, True, True)
+            self._dirty[:] = self._all_false
+            self._any_dirty = False
+        # math.fsum is exactly rounded and therefore order-independent: the
+        # incremental and reference trackers agree bit-for-bit even though
+        # they accumulate per-node entries in different orders.
+        lower = math.fsum(self._total_lo)
+        upper = math.fsum(self._total_hi)
+        # The work already done is itself a lower bound on the total.
+        lower = max(lower, float(curr))
+        upper = max(upper, lower)
+        # A frozen dataclass funnels __init__ through object.__setattr__;
+        # populating __dict__ directly halves the cost of this hot exit
+        # path and yields an indistinguishable instance.
+        snap = BoundsSnapshot.__new__(BoundsSnapshot)
+        fields = snap.__dict__
+        fields["curr"] = curr
+        fields["lower"] = lower
+        fields["upper"] = upper
+        fields["per_node"] = dict(self._per_node)
+        return snap
+
+    def snapshot_full(self) -> BoundsSnapshot:
+        """Force a full recompute (bypasses the dirty-set memo)."""
+        self._dirty[:] = self._all_true
+        self._any_dirty = True
+        return self.snapshot()
+
+    def dirty_flags(self) -> Tuple[bool, ...]:
+        """The current dirty-flag vector (pre-order), for diagnostics and
+        benchmark replay (see :meth:`restore_dirty`)."""
+        return tuple(self._dirty)
+
+    def restore_dirty(self, flags: Tuple[bool, ...]) -> None:
+        """Restore a vector captured by :meth:`dirty_flags`.
+
+        The overhead benchmark uses this to re-run the exact per-sample
+        recompute several times at one paused instant: a second plain
+        :meth:`snapshot` would be answered from the memo and measure
+        nothing.
+        """
+        if len(flags) != self._count:
+            raise ValueError("dirty-flag vector does not match this plan")
+        self._dirty[:] = flags
+        self._any_dirty = True in flags
+
+    # -- compiled recursion --------------------------------------------------------
+
+    def _build_visitor(self, node: Operator, standard: bool = True) -> Callable:
+        """Compile the visitor closure for ``node`` (children first).
+
+        The visitor wraps the node's specialized derive rule with the memo
+        check, the finished-subtree freeze and the total-bounds
+        bookkeeping; all per-node state lives in closure cells or captured
+        lists, so a visit touches no ``self``.
+
+        ``standard`` tracks, at compile time, whether this node can only
+        ever be visited under the root context ``(1.0, 1.0, True, True)``.
+        The root is; blocking drains (sort, top-n, hash aggregate, hash-join
+        build) re-impose it on their child whatever their own context is;
+        streaming edges preserve it; only a LIMIT's child (loses
+        ``full_scan``) and a ⋈NL's inner (loses ``single_exec``) break it.
+        Standard nodes get a leaner visitor: the 4-field context memo
+        degenerates to the dirty bit and the derive rule comes from
+        :func:`_compile_derive_std` with the context constants folded.
+        """
+        i = self._idx[node.operator_id]
+        kind = self._kinds[i]
+        children = node.children
+        if kind == _SORT or kind == _TOPN or kind == _AGG_HASH:
+            child_standard = [True] * len(children)
+        elif kind == _HASH_JOIN:
+            child_standard = [True, standard]
+        elif kind == _NL_JOIN:
+            child_standard = [standard, False]
+        elif kind == _LIMIT:
+            child_standard = [False] * len(children)
+        else:
+            child_standard = [standard] * len(children)
+        child_visits = [
+            self._build_visitor(child, child_std)
+            for child, child_std in zip(children, child_standard)
+        ]
+        dirty = self._dirty
+        ctx_valid = self._ctx_valid
+        node_bounds = self._node_bounds
+        per_node = self._per_node
+        total_lo = self._total_lo
+        total_hi = self._total_hi
+        op_id = node.operator_id
+        subtree = [
+            (j, self._ops[j], self._ops[j].operator_id)
+            for j in self._subtree_idx[i]
+        ]
+
+        def freeze() -> None:
+            # A finished node is never pulled again, so nothing below it can
+            # do further work either: freeze the whole subtree at its
+            # current tick counts.  (This also nails the case of a finished
+            # LIMIT whose descendants stopped mid-stream without finishing.)
+            for j, sub_op, sub_id in subtree:
+                ticks = float(sub_op.rows_produced)
+                entry = node_bounds[j]
+                if entry is None or entry.lower != ticks or entry.upper != ticks:
+                    entry = NodeBounds.__new__(NodeBounds)
+                    entry.__dict__["lower"] = ticks
+                    entry.__dict__["upper"] = ticks
+                    node_bounds[j] = entry
+                    per_node[sub_id] = entry
+                total_lo[j] = ticks
+                total_hi[j] = ticks
+                # The frozen entries bypass the memo bookkeeping; drop the
+                # descendants' contexts so a later un-freeze (⋈NL rewind)
+                # can never wrongly reuse pre-freeze memos.
+                ctx_valid[j] = False
+
+        if standard and kind == _SCAN:
+            n = self._statics[i]
+            scan_memo = [0.0, 0.0]
+
+            def visit(
+                exec_lower: float,
+                exec_upper: float,
+                single_exec: bool,
+                full_scan: bool,
+            ) -> Tuple[float, float]:
+                # A scan is a leaf (nothing to freeze) and its standard
+                # per-pass bounds are the constant (n, n), so the whole
+                # derive step folds away.
+                if not dirty[i] and ctx_valid[i]:
+                    return scan_memo[0], scan_memo[1]
+                if node.finished:
+                    lower = upper = float(node.rows_produced)
+                else:
+                    lower = upper = n
+                ticks = float(node.rows_produced)
+                total_lower = lower if lower >= ticks else ticks
+                total_upper = upper if upper >= total_lower else total_lower
+                entry = node_bounds[i]
+                if (
+                    entry is None
+                    or entry.lower != total_lower
+                    or entry.upper != total_upper
+                ):
+                    entry = NodeBounds.__new__(NodeBounds)
+                    entry.__dict__["lower"] = total_lower
+                    entry.__dict__["upper"] = total_upper
+                    node_bounds[i] = entry
+                    per_node[op_id] = entry
+                total_lo[i] = total_lower
+                total_hi[i] = total_upper
+                ctx_valid[i] = True
+                scan_memo[0] = lower
+                scan_memo[1] = upper
+                return lower, upper
+
+            self._visitors[i] = visit
+            return visit
+
+        if standard:
+            derive_std = _compile_derive_std(
+                node, kind, self._statics[i], child_visits
+            )
+            # memoized per-pass return: lower, upper
+            memo_std = [0.0, 0.0]
+
+            def visit(
+                exec_lower: float,
+                exec_upper: float,
+                single_exec: bool,
+                full_scan: bool,
+            ) -> Tuple[float, float]:
+                # The context is compile-time constant for this node, so a
+                # clean subtree needs no context comparison at all.
+                if not dirty[i] and ctx_valid[i]:
+                    return memo_std[0], memo_std[1]
+                if node.finished:
+                    freeze()
+                    lower = upper = float(node.rows_produced)
+                else:
+                    lower, upper = derive_std()
+                ticks = float(node.rows_produced)
+                # Folded from max(lower * 1.0, ticks): `max` returns its
+                # first argument on ties, so the conditional is
+                # value-identical.
+                total_lower = lower if lower >= ticks else ticks
+                total_upper = upper if upper >= total_lower else total_lower
+                entry = node_bounds[i]
+                if (
+                    entry is None
+                    or entry.lower != total_lower
+                    or entry.upper != total_upper
+                ):
+                    entry = NodeBounds.__new__(NodeBounds)
+                    entry.__dict__["lower"] = total_lower
+                    entry.__dict__["upper"] = total_upper
+                    node_bounds[i] = entry
+                    per_node[op_id] = entry
+                total_lo[i] = total_lower
+                total_hi[i] = total_upper
+                ctx_valid[i] = True
+                memo_std[0] = lower
+                memo_std[1] = upper
+                return lower, upper
+
+            self._visitors[i] = visit
+            return visit
+
+        derive = _compile_derive(node, kind, self._statics[i], child_visits)
+        # memoized context and per-pass return: el, eu, se, fs, lower, upper
+        memo = [0.0, 0.0, False, False, 0.0, 0.0]
+
+        def visit(
+            exec_lower: float,
+            exec_upper: float,
+            single_exec: bool,
+            full_scan: bool,
+        ) -> Tuple[float, float]:
+            if (
+                not dirty[i]
+                and ctx_valid[i]
+                and memo[0] == exec_lower
+                and memo[1] == exec_upper
+                and memo[2] == single_exec
+                and memo[3] == full_scan
+            ):
+                # Nothing in this subtree changed and it executes under the
+                # same context: the memoized per-pass bounds and every
+                # per-node entry below are still exact.
+                return memo[4], memo[5]
+            if single_exec and node.finished:
+                freeze()
+                lower = upper = float(node.rows_produced)
+            else:
+                lower, upper = derive(
+                    exec_lower, exec_upper, single_exec, full_scan
+                )
+            ticks = float(node.rows_produced)
+            total_lower = max(lower * exec_lower, ticks)
+            total_upper = max(upper * exec_upper, total_lower)
+            entry = node_bounds[i]
+            if (
+                entry is None
+                or entry.lower != total_lower
+                or entry.upper != total_upper
+            ):
+                entry = NodeBounds.__new__(NodeBounds)
+                entry.__dict__["lower"] = total_lower
+                entry.__dict__["upper"] = total_upper
+                node_bounds[i] = entry
+                per_node[op_id] = entry
+            total_lo[i] = total_lower
+            total_hi[i] = total_upper
+            ctx_valid[i] = True
+            memo[0] = exec_lower
+            memo[1] = exec_upper
+            memo[2] = single_exec
+            memo[3] = full_scan
+            memo[4] = lower
+            memo[5] = upper
+            return lower, upper
+
+        self._visitors[i] = visit
+        return visit
+
+
+class ReferenceBoundsTracker:
+    """Full-recompute oracle: re-walks the plan and re-resolves statistics
+    on every snapshot, exactly like the pre-incremental implementation.
+
+    Kept as the ground truth for equivalence tests and as the baseline the
+    sampling-overhead benchmark measures the incremental tracker against.
+    """
 
     def __init__(self, plan: Plan, catalog: Optional[Catalog] = None) -> None:
         self.plan = plan
         self.catalog = catalog
 
-    # -- public ------------------------------------------------------------------
-
     def snapshot(self) -> BoundsSnapshot:
         per_node: Dict[int, NodeBounds] = {}
-        self._visit(self.plan.root, 1.0, 1.0, single_exec=True, full_scan=True,
-                    out=per_node)
+        self._visit(self.plan.root, 1.0, 1.0, True, True, per_node)
         curr = sum(op.rows_produced for op in self.plan.operators())
-        lower = sum(bounds.lower for bounds in per_node.values())
-        upper = sum(bounds.upper for bounds in per_node.values())
+        lower = math.fsum(bounds.lower for bounds in per_node.values())
+        upper = math.fsum(bounds.upper for bounds in per_node.values())
         # The work already done is itself a lower bound on the total.
         lower = max(lower, float(curr))
         upper = max(upper, lower)
         return BoundsSnapshot(curr, lower, upper, per_node)
-
-    # -- recursion ----------------------------------------------------------------
 
     def _visit(
         self,
@@ -113,259 +1370,46 @@ class BoundsTracker:
         full_scan: bool,
         out: Dict[int, NodeBounds],
     ) -> Tuple[float, float]:
-        """Record bounds for ``node``'s subtree; return per-pass output bounds.
-
-        ``exec_lower/upper`` bound how many times this subtree executes;
-        ``single_exec`` says the runtime counters can be read as per-pass
-        values; ``full_scan`` says ancestors are guaranteed to drain this
-        node completely (false below a LIMIT).
-        """
-        lower, upper = self._node_bounds(node, single_exec, full_scan, out,
-                                         exec_lower, exec_upper)
-        ticks = float(node.rows_produced)
-        total_lower = max(lower * exec_lower, ticks)
-        total_upper = max(upper * exec_upper, total_lower)
-        out[node.operator_id] = NodeBounds(total_lower, total_upper)
-        return lower, upper
-
-    def _node_bounds(
-        self,
-        node: Operator,
-        single_exec: bool,
-        full_scan: bool,
-        out: Dict[int, NodeBounds],
-        exec_lower: float,
-        exec_upper: float,
-    ) -> Tuple[float, float]:
         produced = node.rows_produced if single_exec else 0
-        finished = node.finished and single_exec
-
-        def recurse(child: Operator, drains: bool = False) -> Tuple[float, float]:
-            # A blocking consumer drains its input no matter what happens
-            # above it, so `drains=True` restores the full-scan guarantee a
-            # LIMIT higher up would otherwise cancel — and, because blocking
-            # state is spooled across NL-join rescans, the drained subtree
-            # executes exactly once regardless of the rescan count.
-            if drains:
-                return self._visit(child, 1.0, 1.0, True, True, out)
-            return self._visit(
-                child, exec_lower, exec_upper, single_exec, full_scan, out
-            )
-
-        if finished:
-            # A finished node is never pulled again, so nothing below it can
-            # do further work either: freeze the whole subtree at its current
-            # tick counts.  (This also nails the case of a finished LIMIT
-            # whose descendants stopped mid-stream without finishing.)
+        if node.finished and single_exec:
             for descendant in node.walk():
                 if descendant is node:
                     continue
                 ticks = float(descendant.rows_produced)
                 out[descendant.operator_id] = NodeBounds(ticks, ticks)
-            return float(produced), float(produced)
-
-        if isinstance(node, (TableScan, RowSource)):
-            n = float(node.base_cardinality())
-            if full_scan:
-                return n, n
-            return float(produced), n
-
-        if isinstance(node, IndexSeek):
-            return self._index_seek_bounds(node, produced, full_scan)
-
-        if isinstance(node, Filter):
-            child_lower, child_upper = recurse(node.child)
-            consumed = node.child.rows_produced if single_exec else 0
-            remaining = max(0.0, child_upper - consumed)
-            # +1: a row the child just produced may be in flight inside this
-            # filter (observers fire inside the child's get_next, before the
-            # filter has decided the row's fate).
-            in_flight = 1.0 if single_exec and consumed > produced else 0.0
-            lower = float(produced)
-            upper = float(produced) + remaining + in_flight
-            histogram_bounds = self._filter_histogram_bounds(node)
-            if histogram_bounds is not None and single_exec and full_scan:
-                hist_lower, hist_upper = histogram_bounds
-                lower = max(lower, float(hist_lower))
-                upper = min(upper, max(float(hist_upper), lower))
-            return lower, upper
-
-        if isinstance(node, (Project, Sort)):
-            child_lower, child_upper = recurse(node.child, drains=isinstance(node, Sort))
-            if isinstance(node, Sort):
-                # Spooled once even under rescans: the materialized count is
-                # this node's exact per-pass output — but a LIMIT above may
-                # still cut the emission short, so it is only a lower bound
-                # when the full-scan guarantee is gone.
-                materialized = node.materialized_count()
-                if materialized is not None:
-                    if full_scan:
-                        return float(materialized), float(materialized)
-                    return float(produced), float(materialized)
-            if not full_scan:
-                return float(produced), child_upper
-            return max(child_lower, float(produced)), child_upper
-
-        if isinstance(node, TopN):
-            child_lower, child_upper = recurse(node.child, drains=True)
-            materialized = node.materialized_count()
-            if materialized is not None:
-                if full_scan:
-                    return float(materialized), float(materialized)
-                return float(produced), float(materialized)
-            upper = min(float(node.limit), child_upper)
-            lower = float(produced)
-            if full_scan:
-                lower = max(lower, min(float(node.limit), child_lower))
-            return lower, max(upper, lower)
-
-        if isinstance(node, Distinct):
-            _, child_upper = recurse(node.child)
-            return float(produced), max(child_upper, float(produced))
-
-        if isinstance(node, (HashAggregate, StreamAggregate)):
-            _, child_upper = recurse(node.child, drains=isinstance(node, HashAggregate))
-            if not node.group_by:
-                return (1.0 if full_scan else float(produced)), 1.0
-            groups = 0.0
-            if isinstance(node, HashAggregate):
-                # Also spooled once: group counts are per-pass exact.
-                if node.input_consumed:
-                    exact = float(node.groups_seen())
-                    if full_scan:
-                        return exact, exact
-                    return float(produced), exact
-                groups = float(node.groups_seen())
-            lower = max(groups, float(produced)) if full_scan else float(produced)
-            return lower, max(child_upper, lower, groups)
-
-        if isinstance(node, HashJoin):
-            build_lower, build_upper = recurse(node.build_child, drains=True)
-            probe_lower, probe_upper = recurse(node.probe_child)
-            lower, upper = self._join_output_bounds(
-                node, produced, build_upper, probe_upper
-            )
-            if node.preserve_probe:
-                # Probe-side outer join: every probe row emits at least one
-                # output row (a match or a NULL-padded copy).
-                if full_scan:
-                    lower = max(lower, probe_lower)
-                upper = upper + probe_upper
-            return lower, upper
-
-        if isinstance(node, MergeJoin):
-            left_lower, left_upper = recurse(node.left)
-            right_lower, right_upper = recurse(node.right)
-            return self._join_output_bounds(node, produced, left_upper, right_upper)
-
-        if isinstance(node, IndexNestedLoopsJoin):
-            outer_lower, outer_upper = recurse(node.child)
-            inner_size = float(len(node.index.table))
-            if node.is_linear:
-                upper = max(outer_upper, inner_size)
-            else:
-                upper = outer_upper * inner_size
-            return float(produced), max(upper, float(produced))
-
-        if isinstance(node, NestedLoopsJoin):
-            outer_lower, outer_upper = self._visit(
-                node.left, exec_lower, exec_upper, single_exec, full_scan, out
-            )
-            # The inner subtree runs once per outer row; its counters are
-            # cumulative across rescans, so per-pass refinement is off.  If a
-            # LIMIT above can cut the join mid-stream, the latest rescan may
-            # be incomplete, so only outer_lower - 1 passes are guaranteed.
-            guaranteed_passes = outer_lower if full_scan else max(0.0, outer_lower - 1)
-            inner_lower, inner_upper = self._visit(
-                node.right,
-                exec_lower * guaranteed_passes,
-                exec_upper * outer_upper,
-                single_exec=False,
-                full_scan=True,
-                out=out,
-            )
-            return self._join_output_bounds(node, produced, outer_upper, inner_upper)
-
-        if isinstance(node, Limit):
-            # Descendants may be cut off mid-stream: drop their full-scan
-            # lower bounds (blocking descendants re-enable it themselves via
-            # `finished`/materialized refinements).
-            _, child_upper = self._visit(
-                node.child, exec_lower, exec_upper, single_exec, False, out
-            )
-            upper = min(float(node.limit), max(0.0, child_upper - node.offset))
-            return float(produced), max(upper, float(produced))
-
-        if isinstance(node, UnionAll):
-            lowers, uppers = 0.0, 0.0
-            for child in node.children:
-                child_lower, child_upper = recurse(child)
-                lowers += child_lower
-                uppers += child_upper
-            return max(lowers, float(produced)), max(uppers, float(produced))
-
-        # Unknown operator: be conservative.
-        lowers, uppers = 0.0, 0.0
-        for child in node.children:
-            child_lower, child_upper = recurse(child)
-            lowers += child_lower
-            uppers += child_upper
-        return float(produced), max(uppers, float(produced))
-
-    # -- helpers ----------------------------------------------------------------------
-
-    def _index_seek_bounds(
-        self, node: IndexSeek, produced: int, full_scan: bool
-    ) -> Tuple[float, float]:
-        statistic = None
-        if self.catalog is not None:
-            statistic = self.catalog.statistic(node.index.table.name, node.index.column)
-        if isinstance(statistic, Histogram):
-            lower, upper = statistic.range_bounds(node.low, node.high)
+            lower = upper = float(produced)
         else:
-            exact = node.exact_match_count()
-            lower, upper = exact, exact
-        if not full_scan:
-            lower = 0
-        return max(float(lower), float(produced)), max(float(upper), float(produced))
+            kind = _classify(node)
 
-    def _filter_histogram_bounds(
-        self, node: Filter
-    ) -> Optional[Tuple[int, int]]:
-        """Guaranteed output bounds for a range filter over a base scan.
+            def visit(
+                child: Operator,
+                child_exec_lower: float,
+                child_exec_upper: float,
+                child_single_exec: bool,
+                child_full_scan: bool,
+            ) -> Tuple[float, float]:
+                return self._visit(
+                    child,
+                    child_exec_lower,
+                    child_exec_upper,
+                    child_single_exec,
+                    child_full_scan,
+                    out,
+                )
 
-        Applies only when the filter's predicate is a single range-shaped
-        comparison on a column of the table its child scans: the catalog
-        histogram was built over exactly those rows, so bucket arithmetic
-        yields *guaranteed* bounds on the matching row count (footnote 2).
-        """
-        from repro.engine.expressions import as_column_range
-
-        if self.catalog is None or not isinstance(node.child, TableScan):
-            return None
-        shape = as_column_range(node.predicate)
-        if shape is None:
-            return None
-        column, low, high, low_inclusive, high_inclusive = shape
-        if not (low_inclusive and high_inclusive):
-            # Bucket bounds are inclusive; exclusive ends would need value
-            # adjustment per type — skip rather than risk unsoundness.
-            return None
-        table_name = node.child.table.name
-        bare = column.split(".")[-1]
-        if not node.child.schema.has_column(column):
-            return None
-        statistic = self.catalog.statistic(table_name, bare)
-        if not isinstance(statistic, Histogram):
-            return None
-        return statistic.range_bounds(low, high)
-
-    @staticmethod
-    def _join_output_bounds(
-        node: Operator, produced: int, left_upper: float, right_upper: float
-    ) -> Tuple[float, float]:
-        if node.is_linear:
-            upper = max(left_upper, right_upper)
-        else:
-            upper = left_upper * right_upper
-        return float(produced), max(upper, float(produced))
+            lower, upper = _derive(
+                node,
+                kind,
+                _static_payload(node, kind, self.catalog),
+                produced,
+                single_exec,
+                full_scan,
+                exec_lower,
+                exec_upper,
+                visit,
+            )
+        ticks = float(node.rows_produced)
+        total_lower = max(lower * exec_lower, ticks)
+        total_upper = max(upper * exec_upper, total_lower)
+        out[node.operator_id] = NodeBounds(total_lower, total_upper)
+        return lower, upper

@@ -1,6 +1,11 @@
 """The tool-kit of progress estimators the paper analyzes."""
 
-from repro.core.estimators.base import Observation, ProgressEstimator, clamp_progress
+from repro.core.estimators.base import (
+    Observation,
+    ProgressEstimator,
+    clamp_progress,
+    progress_interval,
+)
 from repro.core.estimators.dne import DneBoundedEstimator, DneEstimator
 from repro.core.estimators.feedback import (
     FeedbackEstimator,
@@ -45,6 +50,7 @@ __all__ = [
     "TrivialEstimator",
     "clamp_progress",
     "plan_signature",
+    "progress_interval",
     "full_toolkit",
     "standard_toolkit",
 ]

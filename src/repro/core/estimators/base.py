@@ -61,3 +61,23 @@ def clamp_progress(value: float) -> float:
     if value != value:  # NaN guard
         return 0.0
     return max(0.0, min(1.0, value))
+
+
+def progress_interval(curr: float, bounds: BoundsSnapshot) -> Tuple[float, float]:
+    """The sound progress interval ``[Curr/UB, Curr/LB]``, degenerate-safe.
+
+    Since ``LB ≤ total(Q) ≤ UB``, the true progress lies in that interval.
+    Degenerate bounds must not invert it: a zero or infinite UB contributes
+    no floor (low = 0), a zero LB no ceiling (high = 1), and if the inputs
+    are inconsistent (``UB < LB``, or ``Curr`` beyond a stale bound) the
+    endpoints are reordered so that ``low ≤ high`` always holds.
+    """
+    low = 0.0
+    if bounds.upper > 0 and bounds.upper != float("inf"):
+        low = clamp_progress(curr / bounds.upper)
+    high = 1.0
+    if bounds.lower > 0:
+        high = clamp_progress(curr / bounds.lower)
+    if low > high:
+        low, high = high, low
+    return low, high

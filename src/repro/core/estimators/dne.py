@@ -15,7 +15,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.core.estimators.base import Observation, ProgressEstimator, clamp_progress
+from repro.core.estimators.base import (
+    Observation,
+    ProgressEstimator,
+    clamp_progress,
+    progress_interval,
+)
 from repro.core.pipelines import Pipeline
 
 
@@ -79,7 +84,5 @@ class DneBoundedEstimator(ProgressEstimator):
 
     def estimate(self, observation: Observation) -> float:
         raw = self._dne.estimate(observation)
-        bounds = observation.bounds
-        low = observation.curr / bounds.upper if bounds.upper > 0 else 0.0
-        high = observation.curr / bounds.lower if bounds.lower > 0 else 1.0
+        low, high = progress_interval(observation.curr, observation.bounds)
         return clamp_progress(min(max(raw, low), high))

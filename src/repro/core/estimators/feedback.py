@@ -23,7 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.core.estimators.base import Observation, ProgressEstimator, clamp_progress
+from repro.core.estimators.base import (
+    Observation,
+    ProgressEstimator,
+    clamp_progress,
+    progress_interval,
+)
 from repro.core.estimators.safe import SafeEstimator
 from repro.engine.operators.base import Operator
 from repro.engine.plan import Plan
@@ -104,7 +109,5 @@ class FeedbackEstimator(ProgressEstimator):
             # retreat to the worst-case-optimal answer.
             return self._safe.estimate(observation)
         raw = observation.curr / expected
-        bounds = observation.bounds
-        low = observation.curr / bounds.upper if bounds.upper > 0 else 0.0
-        high = observation.curr / bounds.lower if bounds.lower > 0 else 1.0
+        low, high = progress_interval(observation.curr, observation.bounds)
         return clamp_progress(min(max(raw, low), high))

@@ -50,9 +50,28 @@ def trace_to_csv(trace: ProgressTrace, path: Optional[str] = None) -> str:
     return text
 
 
+def trace_to_jsonl(trace: ProgressTrace, path: Optional[str] = None) -> str:
+    """Render the trace as JSON Lines (one sample object per line).
+
+    The structured sibling of :func:`trace_to_csv`: the same per-sample
+    rows, but each line is a self-contained JSON object, so traces can be
+    streamed, appended and grepped.  (For *live* JSONL emission during a
+    run, attach a :class:`repro.core.observe.JsonlTraceWriter` to the
+    runner instead.)
+    """
+    lines = [
+        json.dumps(row, sort_keys=True) for row in trace_to_rows(trace)
+    ]
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text)
+    return text
+
+
 def report_to_dict(report: ProgressReport) -> Dict[str, object]:
     """A JSON-serializable summary of one instrumented run."""
-    return {
+    record: Dict[str, object] = {
         "plan": report.plan_name,
         "work_model": report.work_model,
         "total": report.total,
@@ -60,6 +79,9 @@ def report_to_dict(report: ProgressReport) -> Dict[str, object]:
         "samples": len(report.trace),
         "metrics": report.summary(),
     }
+    if report.profile is not None:
+        record["profile"] = report.profile.to_dict()
+    return record
 
 
 def report_to_json(report: ProgressReport, path: Optional[str] = None,

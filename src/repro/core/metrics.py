@@ -31,9 +31,13 @@ def ratio_error(estimate: float, actual: float) -> float:
 
 @dataclass(frozen=True)
 class TraceSample:
-    """One sampled instant of an instrumented execution."""
+    """One sampled instant of an instrumented execution.
 
-    curr: int
+    ``curr`` is an integer tick count under the GetNext model but a float
+    under weighted work models (bytes processed).
+    """
+
+    curr: float
     actual: float
     estimates: Dict[str, float]
     lower_bound: float = 0.0
@@ -44,7 +48,7 @@ class TraceSample:
 class ProgressTrace:
     """All samples of one instrumented run, plus the oracle total."""
 
-    total: int
+    total: float
     samples: List[TraceSample] = field(default_factory=list)
 
     def estimator_names(self) -> List[str]:

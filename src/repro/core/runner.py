@@ -15,20 +15,37 @@ Evaluation protocol (the one behind every figure and table in the paper):
 
 The estimators never see the oracle; it is used only to label samples with
 the true progress.
+
+The instrumented run is wired for efficiency and observability: the
+:class:`~repro.core.bounds.BoundsTracker` is attached to the monitor's event
+stream (so each sample re-derives bounds only for subtrees that changed),
+blocking-operator transitions force a sample via the monitor's
+pipeline-boundary hook, every estimator call is wall-time profiled into a
+:class:`~repro.core.observe.RunProfile`, and structured
+:class:`~repro.core.observe.ProgressEvent`\\ s stream to any attached sinks
+(e.g. a :class:`~repro.core.observe.JsonlTraceWriter`).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.bounds import BoundsTracker
 from repro.core.estimators.base import Observation, ProgressEstimator
 from repro.core.metrics import ProgressTrace, TraceSample
 from repro.core.model import mu as compute_mu
+from repro.core.observe import (
+    PipelineSnapshot,
+    ProgressEvent,
+    ProgressEventSink,
+    RunProfile,
+    emit_to_all,
+)
 from repro.core.pipelines import Pipeline, decompose
-from repro.engine.executor import measure_total_work
-from repro.engine.monitor import ExecutionMonitor
+from repro.engine.executor import measure_total_work, pipeline_boundary_operators
+from repro.engine.monitor import EVENT_TICK, ExecutionMonitor
 from repro.engine.operators.base import ExecutionContext
 from repro.engine.plan import Plan
 from repro.errors import ProgressError
@@ -41,18 +58,26 @@ class ProgressReport:
     """Everything one instrumented run produced."""
 
     plan_name: str
-    total: int
+    total: float
     mu: Optional[float]
     trace: ProgressTrace
     #: name of the work model the quantities are expressed in
     work_model: str = "getnext"
+    #: wall-time accounting of the run and its instrumentation
+    profile: Optional[RunProfile] = None
 
     def summary(self) -> Dict[str, Dict[str, float]]:
         return self.trace.summary()
 
 
 class ProgressRunner:
-    """Runs plans under progress instrumentation."""
+    """Runs plans under progress instrumentation.
+
+    A runner is reusable: every :meth:`run` builds a fresh monitor, attaches
+    a fresh bounds tracker, and re-prepares the estimators.  ``clock`` is
+    injectable (default :func:`time.perf_counter`) so profiling and the
+    tick-rate/ETA gauges are deterministic under test.
+    """
 
     def __init__(
         self,
@@ -61,6 +86,8 @@ class ProgressRunner:
         catalog: Optional[Catalog] = None,
         target_samples: int = 200,
         work_model=None,
+        sinks: Sequence[ProgressEventSink] = (),
+        clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         if not estimators:
             raise ProgressError("at least one estimator is required")
@@ -72,6 +99,8 @@ class ProgressRunner:
         self.catalog = catalog
         self.target_samples = max(1, target_samples)
         self.work_model = work_model
+        self.sinks = list(sinks)
+        self.clock = clock
 
     def run(self) -> ProgressReport:
         weighted = None
@@ -80,6 +109,8 @@ class ProgressRunner:
 
             weighted = WeightedWork(self.plan, self.work_model)
         total_ticks = measure_total_work(self.plan)
+        # Keep weighted totals exact — truncating to int used to make the
+        # terminal `actual` overshoot 1.0 under the bytes model.
         total: float = float(total_ticks)
         if weighted is not None:
             total = weighted.total()
@@ -95,14 +126,70 @@ class ProgressRunner:
         )
         pipelines: List[Pipeline] = decompose(self.plan)
         tracker = BoundsTracker(self.plan, self.catalog)
-        scanned_leaves = self.plan.scanned_leaves()
+        scanned_leaf_ids = {
+            leaf.operator_id for leaf in self.plan.scanned_leaves()
+        }
         for estimator in self.estimators:
             estimator.prepare(self.plan)
 
         trace = ProgressTrace(total=total)
         cadence = max(1, total_ticks // self.target_samples)
+        profile = RunProfile()
+        clock = self.clock
+        sinks = self.sinks
+        model_name = self.work_model.name if self.work_model else "getnext"
+        started_at = clock()
+        # Incremental μ̂-denominator: counting leaf ticks as they happen
+        # avoids re-summing leaf counters on every sample.
+        leaf_consumed = [0]
+        seq = [0]
 
-        def sample(monitor: ExecutionMonitor) -> None:
+        def on_tick(operator_id: int, event: str) -> None:
+            if event == EVENT_TICK and operator_id in scanned_leaf_ids:
+                leaf_consumed[0] += 1
+
+        def emit(kind: str, curr: float, actual: float,
+                 estimate_values: Dict[str, float],
+                 lower: float, upper: float,
+                 snapshots=()) -> None:
+            if not sinks:
+                return
+            elapsed = clock() - started_at
+            rate = curr / elapsed if elapsed > 0 and curr > 0 else None
+            eta = None
+            interval = (None, None)
+            if rate is not None:
+                primary = (
+                    estimate_values.get(self.estimators[0].name)
+                    if estimate_values
+                    else None
+                )
+                if primary:
+                    eta = max(0.0, curr / primary - curr) / rate
+                interval = (
+                    max(0.0, lower - curr) / rate,
+                    max(0.0, upper - curr) / rate,
+                )
+            emit_to_all(sinks, ProgressEvent(
+                seq=seq[0],
+                kind=kind,
+                plan=self.plan.name,
+                elapsed_seconds=elapsed,
+                curr=curr,
+                total=total,
+                actual=actual,
+                lower_bound=lower,
+                upper_bound=upper,
+                estimates=estimate_values,
+                pipelines=snapshots,
+                ticks_per_second=rate,
+                eta_seconds=eta,
+                eta_interval_seconds=interval,
+            ))
+            seq[0] += 1
+
+        def sample(monitor: ExecutionMonitor, final: bool = False) -> None:
+            sample_started = clock()
             snapshot = tracker.snapshot()
             if weighted is not None:
                 curr = weighted.current()
@@ -114,33 +201,82 @@ class ProgressRunner:
                 bounds=snapshot,
                 pipelines=pipelines,
                 estimates=estimates,
-                leaf_input_consumed=sum(
-                    leaf.rows_produced for leaf in scanned_leaves
-                ),
+                leaf_input_consumed=leaf_consumed[0],
             )
+            estimate_values: Dict[str, float] = {}
+            for estimator in self.estimators:
+                call_started = clock()
+                estimate_values[estimator.name] = estimator.estimate(observation)
+                profile.profile_for(estimator.name).record(
+                    clock() - call_started
+                )
+            # Float noise in weighted models can leave curr/total a hair off
+            # 1.0 at the end of the run; the terminal sample is by
+            # definition at progress 1.
+            if final:
+                actual = 1.0
+            else:
+                actual = min(curr / total, 1.0) if total else 1.0
             trace.samples.append(
                 TraceSample(
                     curr=curr,
-                    actual=curr / total if total else 1.0,
-                    estimates={
-                        estimator.name: estimator.estimate(observation)
-                        for estimator in self.estimators
-                    },
+                    actual=actual,
+                    estimates=estimate_values,
                     lower_bound=observation.bounds.lower,
                     upper_bound=observation.bounds.upper,
                 )
             )
+            profile.samples += 1
+            emit(
+                "sample", curr, actual, estimate_values,
+                observation.bounds.lower, observation.bounds.upper,
+                tuple(
+                    PipelineSnapshot.capture(pipeline, estimates)
+                    for pipeline in pipelines
+                ),
+            )
+            profile.sample_seconds += clock() - sample_started
 
         monitor = ExecutionMonitor()
+        monitor.mark_pipeline_boundaries(pipeline_boundary_operators(self.plan))
+        monitor.add_tick_listener(on_tick)
+        tracker.attach(monitor)
         monitor.add_observer(sample, every=cadence)
+        emit("run_start", 0.0, 0.0, {}, 0.0, 0.0)
         context = ExecutionContext(monitor)
-        for _ in self.plan.root.iterate(context):
-            pass
-        if not trace.samples or trace.samples[-1].actual < 1.0:
-            sample(monitor)
-        model_name = self.work_model.name if self.work_model else "getnext"
-        return ProgressReport(self.plan.name, int(total), mu_value, trace,
-                              model_name)
+        try:
+            for _ in self.plan.root.iterate(context):
+                pass
+            final_curr = (
+                weighted.current() if weighted is not None
+                else float(monitor.total_ticks)
+            )
+            last = trace.samples[-1] if trace.samples else None
+            if last is None or last.curr != final_curr:
+                sample(monitor, final=True)
+            elif last.actual != 1.0:
+                # Same instant already sampled, only its label is off by
+                # float noise: pin it to 1.0 instead of duplicating the
+                # sample.
+                trace.samples[-1] = TraceSample(
+                    curr=last.curr,
+                    actual=1.0,
+                    estimates=last.estimates,
+                    lower_bound=last.lower_bound,
+                    upper_bound=last.upper_bound,
+                )
+        finally:
+            tracker.detach()
+            monitor.remove_tick_listener(on_tick)
+        profile.elapsed_seconds = clock() - started_at
+        profile.ticks = monitor.total_ticks
+        final = trace.samples[-1]
+        emit("run_end", final.curr, final.actual, final.estimates,
+             final.lower_bound, final.upper_bound)
+        for sink in sinks:
+            sink.close()
+        return ProgressReport(self.plan.name, total, mu_value, trace,
+                              model_name, profile)
 
 
 def run_with_estimators(
@@ -148,6 +284,9 @@ def run_with_estimators(
     estimators: Sequence[ProgressEstimator],
     catalog: Optional[Catalog] = None,
     target_samples: int = 200,
+    sinks: Sequence[ProgressEventSink] = (),
 ) -> ProgressReport:
     """One-call convenience wrapper around :class:`ProgressRunner`."""
-    return ProgressRunner(plan, estimators, catalog, target_samples).run()
+    return ProgressRunner(
+        plan, estimators, catalog, target_samples, sinks=sinks
+    ).run()

@@ -17,6 +17,7 @@ model-agnostic.
 from __future__ import annotations
 
 import abc
+import math
 from typing import Dict
 
 from repro.core.bounds import BoundsSnapshot
@@ -84,17 +85,24 @@ class WeightedWork:
         )
 
     def weighted_bounds(self, snapshot: BoundsSnapshot) -> BoundsSnapshot:
-        """A cardinality BoundsSnapshot re-weighted into work units."""
-        lower = 0.0
-        upper = 0.0
-        for operator_id, bounds in snapshot.per_node.items():
-            weight = self._weights.get(operator_id, 1.0)
-            lower += weight * bounds.lower
-            upper += weight * bounds.upper
+        """A cardinality BoundsSnapshot re-weighted into work units.
+
+        ``curr`` stays a float: truncating it to int used to break the
+        Curr ≤ LB invariant check by up to a full work unit under the
+        bytes model.
+        """
+        lower = math.fsum(
+            self._weights.get(operator_id, 1.0) * bounds.lower
+            for operator_id, bounds in snapshot.per_node.items()
+        )
+        upper = math.fsum(
+            self._weights.get(operator_id, 1.0) * bounds.upper
+            for operator_id, bounds in snapshot.per_node.items()
+        )
         curr = self.current()
         lower = max(lower, curr)
         upper = max(upper, lower)
-        return BoundsSnapshot(int(curr), lower, upper, snapshot.per_node)
+        return BoundsSnapshot(curr, lower, upper, snapshot.per_node)
 
     def total(self) -> float:
         """Weighted ``total(Q)`` — runs the plan once (evaluation oracle)."""

@@ -1,6 +1,11 @@
 """Execution engine: expressions, physical operators, plans and executor."""
 
-from repro.engine.executor import ExecutionResult, execute, measure_total_work
+from repro.engine.executor import (
+    ExecutionResult,
+    execute,
+    measure_total_work,
+    pipeline_boundary_operators,
+)
 from repro.engine.monitor import ExecutionMonitor
 from repro.engine.plan import Plan
 
@@ -10,4 +15,5 @@ __all__ = [
     "Plan",
     "execute",
     "measure_total_work",
+    "pipeline_boundary_operators",
 ]

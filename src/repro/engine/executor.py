@@ -8,12 +8,29 @@ goes through :func:`execute` or :func:`measure_total_work`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.engine.monitor import ExecutionMonitor
 from repro.engine.operators.base import ExecutionContext
 from repro.engine.plan import Plan
 from repro.storage.table import Row
+
+
+def pipeline_boundary_operators(plan: Plan) -> Set[int]:
+    """Operator ids whose ``finish`` event is a pipeline boundary.
+
+    A blocking operator finishing means the pipeline it drives has ended;
+    one of its inputs finishing means the pipeline feeding it has been fully
+    drained (the build of a hash join, the input of a sort).  Both are the
+    blocking-operator transitions progress observers must not miss, so the
+    monitor forces an observer round when any of them finishes.
+    """
+    boundary: Set[int] = set()
+    for operator in plan.blocking_operators():
+        boundary.add(operator.operator_id)
+        for child in operator.children:
+            boundary.add(child.operator_id)
+    return boundary
 
 
 @dataclass
@@ -34,6 +51,7 @@ def execute(
 ) -> ExecutionResult:
     """Run ``plan`` to completion; return rows and getnext accounting."""
     context = context or ExecutionContext()
+    context.monitor.mark_pipeline_boundaries(pipeline_boundary_operators(plan))
     rows = plan.root.run(context)
     monitor = context.monitor
     per_operator = {

@@ -10,13 +10,33 @@ Only calls that return a row are counted; the final end-of-stream call is
 free.  Which operators count at all is an operator-level property (e.g. the
 inner index lookups of an index-nested-loops join are not plan operators and
 therefore never tick; see DESIGN.md §4).
+
+Beyond cadence observers, the monitor carries a low-level *event* channel:
+tick listeners receive every state transition — ``tick`` (a counted row),
+``finish`` (an operator returned end-of-stream), ``rewind`` (a subtree
+restarted for a ⋈NL rescan), ``reset`` (counters zeroed) — as
+``listener(operator_id, event)``.  This is the feed the incremental
+:class:`repro.core.bounds.BoundsTracker` uses to maintain dirty sets instead
+of re-walking the plan on every sample.
+
+Operators marked as *pipeline boundaries* (blocking operators and the nodes
+that feed them) additionally force all observers to run the moment they
+finish, so blocking-operator transitions are always sampled regardless of
+the observer cadence.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 Observer = Callable[["ExecutionMonitor"], None]
+#: ``listener(operator_id, event)`` with event one of the EVENT_* constants
+TickListener = Callable[[int, str], None]
+
+EVENT_TICK = "tick"
+EVENT_FINISH = "finish"
+EVENT_REWIND = "rewind"
+EVENT_RESET = "reset"
 
 
 class ExecutionMonitor:
@@ -27,6 +47,8 @@ class ExecutionMonitor:
         self._labels: Dict[int, str] = {}
         self.total_ticks = 0
         self._observers: List[Tuple[int, Observer]] = []
+        self._tick_listeners: List[TickListener] = []
+        self._boundary_ops: frozenset = frozenset()
 
     # -- operator registration -------------------------------------------------
 
@@ -41,9 +63,29 @@ class ExecutionMonitor:
         """One counted getnext call returned a row on ``operator_id``."""
         self._counts[operator_id] = self._counts.get(operator_id, 0) + 1
         self.total_ticks += 1
+        for listener in self._tick_listeners:
+            listener(operator_id, EVENT_TICK)
         for every, observer in self._observers:
             if self.total_ticks % every == 0:
                 observer(self)
+
+    def record_finish(self, operator_id: int) -> None:
+        """``operator_id`` returned end-of-stream (not a counted tick).
+
+        If the operator was marked as a pipeline boundary, all observers run
+        immediately: blocking-operator transitions (a sort finishing its
+        input, a hash join completing its build) are sampled even when they
+        fall between cadence points.
+        """
+        for listener in self._tick_listeners:
+            listener(operator_id, EVENT_FINISH)
+        if operator_id in self._boundary_ops:
+            self.notify_now()
+
+    def record_rewind(self, operator_id: int) -> None:
+        """``operator_id`` restarted for a rescan (⋈NL inner side)."""
+        for listener in self._tick_listeners:
+            listener(operator_id, EVENT_REWIND)
 
     def notify_now(self) -> None:
         """Force all observers to run (used at pipeline/plan boundaries)."""
@@ -61,6 +103,21 @@ class ExecutionMonitor:
     def clear_observers(self) -> None:
         self._observers = []
 
+    # -- event listeners ----------------------------------------------------------
+
+    def add_tick_listener(self, listener: TickListener) -> None:
+        """Subscribe to every tick/finish/rewind/reset event (hot path)."""
+        self._tick_listeners.append(listener)
+
+    def remove_tick_listener(self, listener: TickListener) -> None:
+        self._tick_listeners = [l for l in self._tick_listeners if l is not listener]
+
+    # -- pipeline boundaries ------------------------------------------------------
+
+    def mark_pipeline_boundaries(self, operator_ids: Iterable[int]) -> None:
+        """Operators whose ``finish`` constitutes a pipeline boundary."""
+        self._boundary_ops = frozenset(operator_ids)
+
     # -- inspection ----------------------------------------------------------------
 
     def count_for(self, operator_id: int) -> int:
@@ -75,9 +132,11 @@ class ExecutionMonitor:
         return self._labels.get(operator_id, "op#%d" % (operator_id,))
 
     def reset(self) -> None:
-        """Zero all counters (observers are kept)."""
+        """Zero all counters (observers and listeners are kept)."""
         self._counts = {key: 0 for key in self._counts}
         self.total_ticks = 0
+        for listener in self._tick_listeners:
+            listener(0, EVENT_RESET)
 
     def __repr__(self) -> str:
         return "ExecutionMonitor(%d ticks over %d operators)" % (

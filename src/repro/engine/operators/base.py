@@ -97,6 +97,8 @@ class Operator(abc.ABC):
         row = self._next()
         if row is None:
             self.finished = True
+            if self._context is not None:
+                self._context.monitor.record_finish(self.operator_id)
             return None
         self.rows_produced += 1
         if self.counted and self._context is not None:
@@ -120,6 +122,7 @@ class Operator(abc.ABC):
         if self._context is None:
             raise ExecutionError("%s: rewind before open" % (self.label(),))
         self.finished = False
+        self._context.monitor.record_rewind(self.operator_id)
         for child in self.children:
             child.rewind()
         self._rewind()

@@ -1,0 +1,119 @@
+"""Degenerate runtime bounds must never invert an estimator's clamp interval.
+
+``dne+bounds`` and ``feedback`` constrain their raw estimate to
+``[Curr/UB, Curr/LB]``.  With degenerate inputs — LB = 0, UB = 0, UB = ∞,
+stale bounds below Curr — a naive ``min(max(raw, low), high)`` silently
+returns ``high`` even when ``high < low``.  :func:`progress_interval`
+guarantees an ordered interval; these tests pin that contract.
+"""
+
+import math
+
+import pytest
+
+from repro.core import (
+    BoundsSnapshot,
+    DneBoundedEstimator,
+    FeedbackEstimator,
+    Observation,
+    QueryHistory,
+    progress_interval,
+)
+from repro.core.pipelines import decompose
+from repro.engine.operators import TableScan
+from repro.engine.plan import Plan
+from repro.storage import Table, schema_of
+
+
+def make_observation(curr, lower, upper):
+    table = Table("t", schema_of("t", "k:int"), [(v,) for v in range(10)])
+    plan = Plan(TableScan(table), "degenerate")
+    return plan, Observation(
+        curr=curr,
+        bounds=BoundsSnapshot(curr, lower, upper, {}),
+        pipelines=decompose(plan),
+    )
+
+
+class TestProgressInterval:
+    def test_normal_bounds(self):
+        _, obs = make_observation(50, 100.0, 200.0)
+        assert progress_interval(obs.curr, obs.bounds) == (0.25, 0.5)
+
+    def test_zero_lower_gives_no_ceiling(self):
+        _, obs = make_observation(5, 0.0, 100.0)
+        low, high = progress_interval(obs.curr, obs.bounds)
+        assert (low, high) == (0.05, 1.0)
+
+    def test_zero_upper_gives_no_floor(self):
+        _, obs = make_observation(5, 0.0, 0.0)
+        assert progress_interval(obs.curr, obs.bounds) == (0.0, 1.0)
+
+    def test_infinite_upper_gives_no_floor(self):
+        _, obs = make_observation(5, 10.0, math.inf)
+        low, high = progress_interval(obs.curr, obs.bounds)
+        assert low == 0.0
+        assert high == 0.5
+
+    def test_stale_bounds_below_curr_never_invert(self):
+        # Curr beyond UB (inconsistent/stale input): low would be > 1.
+        _, obs = make_observation(300, 0.0, 200.0)
+        low, high = progress_interval(obs.curr, obs.bounds)
+        assert low <= high
+        assert 0.0 <= low <= 1.0 and 0.0 <= high <= 1.0
+
+    def test_inverted_input_bounds_are_reordered(self):
+        # UB < LB should be impossible upstream, but the interval must
+        # stay ordered even if it happens.
+        _, obs = make_observation(50, 200.0, 100.0)
+        low, high = progress_interval(obs.curr, obs.bounds)
+        assert low <= high
+
+
+class TestDneBoundedDegenerate:
+    @pytest.mark.parametrize("curr,lower,upper", [
+        (0, 0.0, 0.0),
+        (5, 0.0, 0.0),
+        (5, 0.0, math.inf),
+        (5, 0.0, 2.0),       # curr past a stale upper bound
+        (300, 0.0, 200.0),
+        (50, 200.0, 100.0),  # inverted
+    ])
+    def test_estimate_stays_in_unit_interval(self, curr, lower, upper):
+        _, obs = make_observation(curr, lower, upper)
+        value = DneBoundedEstimator().estimate(obs)
+        assert 0.0 <= value <= 1.0
+
+    def test_degenerate_bounds_do_not_pin_estimate_to_zero(self):
+        # Regression: with lower == 0 the old clamp computed high = 1.0 but
+        # with curr > upper > 0 it computed low = curr/upper > 1, and
+        # min(max(raw, low), high) returned high — accidentally correct —
+        # while upper == 0 returned low = 0 — pinning a healthy dne to the
+        # floor.  The interval must simply not constrain when degenerate.
+        plan, obs = make_observation(5, 0.0, 0.0)
+        raw = DneBoundedEstimator().estimate(obs)
+        # Driver has produced nothing: dne says 0; the degenerate bounds
+        # must not lift it above the raw estimate's clamp range.
+        assert 0.0 <= raw <= 1.0
+
+
+class TestFeedbackDegenerate:
+    def test_feedback_with_degenerate_bounds(self):
+        plan, obs = make_observation(5, 0.0, 0.0)
+        history = QueryHistory()
+        history.record(plan, 10)
+        estimator = FeedbackEstimator(history)
+        estimator.prepare(plan)
+        value = estimator.estimate(obs)
+        assert 0.0 <= value <= 1.0
+        # With no usable bounds the remembered total should win: 5/10.
+        assert value == pytest.approx(0.5)
+
+    def test_feedback_with_stale_bounds_stays_in_range(self):
+        plan, obs = make_observation(300, 0.0, 200.0)
+        history = QueryHistory()
+        history.record(plan, 1000)
+        estimator = FeedbackEstimator(history)
+        estimator.prepare(plan)
+        value = estimator.estimate(obs)
+        assert 0.0 <= value <= 1.0

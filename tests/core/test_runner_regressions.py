@@ -1,0 +1,151 @@
+"""Runner correctness regressions: terminal-sample logic and exact totals.
+
+The original runner compared ``trace.samples[-1].actual < 1.0`` with a
+float ``actual`` and truncated weighted totals with ``int(total)`` — under
+the bytes model that duplicated (or mislabeled) the terminal sample and
+made the last ``actual`` overshoot 1.  These tests pin the fixed contract:
+exactly one sample per instant, terminal sample labeled exactly 1.0, totals
+kept exact.
+"""
+
+import pytest
+
+from repro.core import (
+    BytesModel,
+    DneEstimator,
+    ProgressRunner,
+    run_with_estimators,
+    standard_toolkit,
+)
+from repro.engine.expressions import col
+from repro.engine.operators import HashJoin, Sort, SortKey, TableScan
+from repro.engine.plan import Plan
+from repro.storage import Table, schema_of
+
+
+def make_plan(n=60, name="runner-reg"):
+    table = Table("t", schema_of("t", "k:int"), [(v % 7,) for v in range(n)])
+    return Plan(TableScan(table), name)
+
+
+def sorted_plan(n=40):
+    table = Table("t", schema_of("t", "k:int"), [(v % 5,) for v in range(n)])
+    return Plan(Sort(TableScan(table), [SortKey(col("t.k"))]), "runner-sort")
+
+
+class TestTerminalSample:
+    def test_terminal_sample_is_exactly_one(self):
+        report = run_with_estimators(make_plan(), standard_toolkit(),
+                                     target_samples=10)
+        assert report.trace.samples[-1].actual == 1.0
+        assert report.trace.samples[-1].curr == report.total
+
+    def test_no_duplicate_terminal_sample(self):
+        # Cadence divides the total exactly: the last cadence sample IS the
+        # terminal instant and must not be sampled twice.
+        report = run_with_estimators(make_plan(60), [DneEstimator()],
+                                     target_samples=60)
+        currs = [sample.curr for sample in report.trace.samples]
+        assert len(currs) == len(set(currs))
+        assert report.trace.samples[-1].actual == 1.0
+
+    def test_bytes_model_terminal_sample_exact(self):
+        report = ProgressRunner(
+            make_plan(), standard_toolkit(), target_samples=10,
+            work_model=BytesModel(),
+        ).run()
+        last = report.trace.samples[-1]
+        assert last.actual == 1.0
+        assert last.curr == report.total
+        currs = [sample.curr for sample in report.trace.samples]
+        assert len(currs) == len(set(currs))
+
+    def test_actual_never_overshoots_one(self):
+        report = ProgressRunner(
+            sorted_plan(), standard_toolkit(), target_samples=25,
+            work_model=BytesModel(),
+        ).run()
+        for sample in report.trace.samples:
+            assert 0.0 <= sample.actual <= 1.0
+        actuals = [sample.actual for sample in report.trace.samples]
+        assert actuals == sorted(actuals)
+
+
+class TestExactTotals:
+    def test_weighted_total_not_truncated(self):
+        plan = make_plan()
+        model = BytesModel()
+        report = ProgressRunner(
+            plan, standard_toolkit(), target_samples=10, work_model=model,
+        ).run()
+        # 60 rows × 8 bytes/int: exact, and kept as the true weighted sum
+        # rather than int-truncated.
+        assert report.total == 60 * 8.0
+        assert isinstance(report.total, float)
+
+    def test_weighted_curr_not_truncated(self):
+        from repro.core.workmodels import WeightedWork
+        from repro.core import BoundsTracker
+
+        plan = sorted_plan()
+        weighted = WeightedWork(plan, BytesModel())
+        # Consume a prefix so the counters are mid-run.
+        from repro.engine.operators.base import ExecutionContext
+
+        context = ExecutionContext()
+        plan.root.open(context)
+        for _ in range(5):
+            plan.root.get_next()
+        snapshot = weighted.weighted_bounds(BoundsTracker(plan).snapshot())
+        plan.root.close()
+        assert snapshot.curr == weighted.current()
+        assert snapshot.curr <= snapshot.lower
+
+
+class TestBoundaryForcedSamples:
+    def test_blocking_transition_is_sampled_despite_coarse_cadence(self):
+        # One sample target → cadence ≈ total ticks.  Without the
+        # pipeline-boundary hook the sort's input-drained transition
+        # would fall between cadence points and never be observed.
+        plan = sorted_plan(40)
+        report = run_with_estimators(plan, [DneEstimator()], target_samples=1)
+        assert any(0.0 < sample.actual < 1.0 for sample in report.trace.samples)
+
+    def test_runner_is_reusable_with_boundaries(self):
+        runner = ProgressRunner(sorted_plan(), standard_toolkit(),
+                                target_samples=10)
+        first = runner.run()
+        second = runner.run()
+        assert len(first.trace.samples) == len(second.trace.samples)
+        assert first.trace.samples[-1].actual == 1.0
+        assert second.trace.samples[-1].actual == 1.0
+        for a, b in zip(first.trace.samples, second.trace.samples):
+            assert a.curr == b.curr
+            assert a.estimates == b.estimates
+
+
+class TestLeafInputTracking:
+    def test_incremental_leaf_count_matches_live_counters(self):
+        plan = Plan(HashJoin(
+            TableScan(Table("b", schema_of("b", "k:int"),
+                            [(v,) for v in range(10)])),
+            TableScan(Table("p", schema_of("p", "k:int"),
+                            [(v % 10,) for v in range(30)])),
+            col("b.k"), col("p.k"),
+        ), "leaf-track")
+        seen = []
+
+        class Probe(DneEstimator):
+            name = "probe"
+
+            def estimate(self, observation):
+                expected = sum(
+                    leaf.rows_produced for leaf in plan.scanned_leaves()
+                )
+                seen.append((observation.leaf_input_consumed, expected))
+                return super().estimate(observation)
+
+        run_with_estimators(plan, [Probe()], target_samples=20)
+        assert seen
+        for got, expected in seen:
+            assert got == expected

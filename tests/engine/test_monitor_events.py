@@ -1,0 +1,141 @@
+"""The monitor's event channel: tick/finish/rewind/reset listeners and
+pipeline-boundary forced sampling."""
+
+from repro.engine.executor import execute, pipeline_boundary_operators
+from repro.engine.expressions import col
+from repro.engine.monitor import (
+    EVENT_FINISH,
+    EVENT_RESET,
+    EVENT_REWIND,
+    EVENT_TICK,
+    ExecutionMonitor,
+)
+from repro.engine.operators import (
+    ExecutionContext,
+    HashJoin,
+    NestedLoopsJoin,
+    Sort,
+    SortKey,
+    TableScan,
+)
+from repro.engine.plan import Plan
+from repro.storage import Table, schema_of
+
+
+def make_table(name="t", n=5):
+    return Table(name, schema_of(name, "k:int"), [(v,) for v in range(n)])
+
+
+def collect_events(plan_root, monitor=None):
+    monitor = monitor or ExecutionMonitor()
+    events = []
+    monitor.add_tick_listener(lambda op, kind: events.append((op, kind)))
+    for _ in plan_root.iterate(ExecutionContext(monitor)):
+        pass
+    return events
+
+
+class TestEventStream:
+    def test_every_counted_row_emits_a_tick(self):
+        table = make_table()
+        scan = TableScan(table)
+        events = collect_events(scan)
+        ticks = [e for e in events if e[1] == EVENT_TICK]
+        assert len(ticks) == len(table)
+        assert all(op == scan.operator_id for op, _ in ticks)
+
+    def test_end_of_stream_emits_one_finish(self):
+        scan = TableScan(make_table())
+        monitor = ExecutionMonitor()
+        events = []
+        monitor.add_tick_listener(lambda op, kind: events.append((op, kind)))
+        context = ExecutionContext(monitor)
+        scan.open(context)
+        while scan.get_next() is not None:
+            pass
+        # Pulling past end-of-stream must not re-emit finish.
+        assert scan.get_next() is None
+        assert scan.get_next() is None
+        scan.close()
+        finishes = [e for e in events if e[1] == EVENT_FINISH]
+        assert finishes == [(scan.operator_id, EVENT_FINISH)]
+
+    def test_nested_loops_rescan_emits_rewinds(self):
+        outer, inner = make_table("o", 3), make_table("i", 2)
+        inner_scan = TableScan(inner)
+        join = NestedLoopsJoin(TableScan(outer), inner_scan)
+        events = collect_events(join)
+        rewinds = [op for op, kind in events if kind == EVENT_REWIND]
+        # The join rewinds its inner subtree once per outer row.
+        assert rewinds.count(inner_scan.operator_id) == len(outer)
+
+    def test_reset_emits_reset_event(self):
+        monitor = ExecutionMonitor()
+        events = []
+        monitor.add_tick_listener(lambda op, kind: events.append((op, kind)))
+        monitor.register(1, "x")
+        monitor.record(1)
+        monitor.reset()
+        assert events[-1] == (0, EVENT_RESET)
+        assert monitor.total_ticks == 0
+
+    def test_remove_tick_listener(self):
+        monitor = ExecutionMonitor()
+        events = []
+        listener = lambda op, kind: events.append((op, kind))
+        monitor.add_tick_listener(listener)
+        monitor.register(1, "x")
+        monitor.record(1)
+        monitor.remove_tick_listener(listener)
+        monitor.record(1)
+        assert len(events) == 1
+
+
+class TestPipelineBoundaries:
+    def test_boundary_set_contains_blocking_ops_and_inputs(self):
+        table = make_table()
+        scan = TableScan(table)
+        sort = Sort(scan, [SortKey(col("t.k"))])
+        plan = Plan(sort)
+        boundary = pipeline_boundary_operators(plan)
+        assert sort.operator_id in boundary
+        assert scan.operator_id in boundary
+
+    def test_boundary_finish_forces_observer_round(self):
+        table = make_table()
+        scan = TableScan(table)
+        sort = Sort(scan, [SortKey(col("t.k"))])
+        plan = Plan(sort)
+        monitor = ExecutionMonitor()
+        monitor.mark_pipeline_boundaries(pipeline_boundary_operators(plan))
+        observed = []
+        # Cadence far above total ticks: only forced rounds can fire.
+        monitor.add_observer(lambda m: observed.append(m.total_ticks), every=10_000)
+        for _ in plan.root.iterate(ExecutionContext(monitor)):
+            pass
+        # The scan feeding the sort finished (input drained) and the sort
+        # itself finished: both transitions must have been sampled.
+        assert len(observed) >= 2
+        assert observed[0] == len(table)
+
+    def test_non_boundary_finish_does_not_force_observers(self):
+        scan = TableScan(make_table())
+        monitor = ExecutionMonitor()  # no boundaries marked
+        observed = []
+        monitor.add_observer(lambda m: observed.append(m.total_ticks), every=10_000)
+        for _ in scan.iterate(ExecutionContext(monitor)):
+            pass
+        assert observed == []
+
+    def test_execute_marks_boundaries(self):
+        table = make_table()
+        build, probe = make_table("b", 4), make_table("p", 6)
+        join = HashJoin(TableScan(build), TableScan(probe),
+                        col("b.k"), col("p.k"))
+        plan = Plan(join)
+        monitor = ExecutionMonitor()
+        observed = []
+        monitor.add_observer(lambda m: observed.append(m.total_ticks), every=10_000)
+        execute(plan, ExecutionContext(monitor))
+        # The build side draining is a boundary transition inside execute().
+        assert observed
