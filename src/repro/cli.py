@@ -50,6 +50,7 @@ from repro.core import (
     standard_toolkit,
 )
 from repro.core.runner import ProgressReport
+from repro.engine.executor import DEFAULT_ENGINE, ENGINES
 from repro.sql import plan_query
 from repro.workloads import (
     SKYSERVER_QUERIES,
@@ -121,7 +122,9 @@ def cmd_demo(args: argparse.Namespace) -> int:
     print("\nphysical plan for Q%d:" % (args.query,))
     print(plan.explain())
     print()
-    report = run_with_estimators(plan, standard_toolkit(), db.catalog)
+    report = run_with_estimators(
+        plan, standard_toolkit(), db.catalog, engine=args.engine
+    )
     _print_progress_table(report)
     return 0
 
@@ -131,12 +134,14 @@ def cmd_sql(args: argparse.Namespace) -> int:
     plan = plan_query(args.query, db.catalog, name="cli-sql")
     print(plan.explain())
     print()
-    report = run_with_estimators(plan, standard_toolkit(), db.catalog)
+    report = run_with_estimators(
+        plan, standard_toolkit(), db.catalog, engine=args.engine
+    )
     _print_progress_table(report)
     if args.rows:
         from repro.engine.executor import execute
 
-        result = execute(plan)
+        result = execute(plan, engine=args.engine)
         print("\nfirst %d rows:" % (min(args.rows, result.row_count),))
         for row in result.rows[: args.rows]:
             print(" ", row)
@@ -160,6 +165,7 @@ def cmd_progress(args: argparse.Namespace) -> int:
         db.catalog,
         target_samples=args.samples,
         sinks=sinks,
+        engine=args.engine,
     )
     report = runner.run()
     _print_progress_table(report)
@@ -244,14 +250,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="zipf skew parameter z")
         p.add_argument("--seed", type=int, default=42)
 
+    def add_engine_option(p):
+        p.add_argument("--engine", choices=ENGINES, default=None,
+                       help="execution engine (default: $REPRO_ENGINE or %s)"
+                       % (DEFAULT_ENGINE,))
+
     demo = subparsers.add_parser("demo", help="monitor a TPC-H query")
     add_db_options(demo)
+    add_engine_option(demo)
     demo.add_argument("--query", type=int, default=1, choices=range(1, 23),
                       metavar="N", help="TPC-H query number (1-22)")
     demo.set_defaults(func=cmd_demo)
 
     sql = subparsers.add_parser("sql", help="run SQL with progress monitoring")
     add_db_options(sql)
+    add_engine_option(sql)
     sql.add_argument("query", help="SQL text against the TPC-H schema")
     sql.add_argument("--rows", type=int, default=0,
                      help="also print the first N result rows")
@@ -261,6 +274,7 @@ def build_parser() -> argparse.ArgumentParser:
         "progress", help="run with full progress observability"
     )
     add_db_options(progress)
+    add_engine_option(progress)
     progress.add_argument("sql", nargs="?", default=None,
                           help="SQL text (default: the --tpch query)")
     progress.add_argument("--tpch", type=int, default=1, choices=range(1, 23),

@@ -1020,12 +1020,16 @@ class BoundsTracker:
         """
         self.detach()
         self._monitor = monitor
-        monitor.add_tick_listener(self._on_event)
+        # The batch channel: per-event work here is additive (curr) or
+        # idempotent (dirty marking), so coalesced ticks from the fused
+        # engine's record_batch are exact — and the interpreted engine
+        # delivers the same events with n == 1.
+        monitor.add_batch_listener(self._on_batch)
         self._reset_runtime()
 
     def detach(self) -> None:
         if self._monitor is not None:
-            self._monitor.remove_tick_listener(self._on_event)
+            self._monitor.remove_batch_listener(self._on_batch)
             self._monitor = None
 
     @property
@@ -1042,6 +1046,9 @@ class BoundsTracker:
         self._per_node.clear()
 
     def _on_event(self, operator_id: int, event: str) -> None:
+        self._on_batch(operator_id, event, 1 if event == EVENT_TICK else 0)
+
+    def _on_batch(self, operator_id: int, event: str, n: int) -> None:
         if event == EVENT_RESET:
             self._reset_runtime()
             return
@@ -1049,7 +1056,7 @@ class BoundsTracker:
         if i is None:
             return
         if event == EVENT_TICK:
-            self._curr += 1
+            self._curr += n
         # tick, finish and rewind all invalidate the node and its ancestors;
         # stop as soon as an already-dirty ancestor is found (its own
         # ancestors are dirty by induction).

@@ -98,6 +98,35 @@ def _driver_node_total(driver: Operator, estimates: Optional[Dict[int, float]]) 
     return hint if hint is not None else 0.0
 
 
+#: type → small dispatch code for :func:`runtime_output_hint`.  The hint
+#: runs several times per progress sample; repeated ``isinstance`` checks
+#: against ABC-backed operator classes dominate its cost, so the class is
+#: classified once and remembered.
+_HINT_LEAF, _HINT_SEEK, _HINT_SORT, _HINT_TOPN, _HINT_AGG, _HINT_OTHER = (
+    range(6)
+)
+_HINT_KINDS: Dict[type, int] = {}
+
+
+def _hint_kind(cls: type) -> int:
+    kind = _HINT_KINDS.get(cls)
+    if kind is None:
+        if issubclass(cls, (TableScan, RowSource)):
+            kind = _HINT_LEAF
+        elif issubclass(cls, IndexSeek):
+            kind = _HINT_SEEK
+        elif issubclass(cls, TopN):
+            kind = _HINT_TOPN
+        elif issubclass(cls, Sort):
+            kind = _HINT_SORT
+        elif issubclass(cls, HashAggregate):
+            kind = _HINT_AGG
+        else:
+            kind = _HINT_OTHER
+        _HINT_KINDS[cls] = kind
+    return kind
+
+
 def runtime_output_hint(
     operator: Operator, estimates: Optional[Dict[int, float]]
 ) -> Optional[float]:
@@ -110,21 +139,22 @@ def runtime_output_hint(
     """
     if operator.finished:
         return float(operator.rows_produced)
-    if isinstance(operator, (TableScan, RowSource)):
+    kind = _hint_kind(operator.__class__)
+    if kind == _HINT_LEAF:
         return float(operator.base_cardinality())
-    if isinstance(operator, IndexSeek):
+    if kind == _HINT_SEEK:
         return float(operator.exact_match_count())
-    if isinstance(operator, (Sort, TopN)):
+    if kind == _HINT_SORT or kind == _HINT_TOPN:
         materialized = operator.materialized_count()
         if materialized is not None:
             return float(materialized)
-        if isinstance(operator, TopN):
+        if kind == _HINT_TOPN:
             child_hint = runtime_output_hint(operator.child, estimates)
             if child_hint is not None:
                 return min(float(operator.limit), child_hint)
             return float(operator.limit)
         return runtime_output_hint(operator.child, estimates)
-    if isinstance(operator, HashAggregate):
+    if kind == _HINT_AGG:
         if not operator.group_by:
             return 1.0
         if operator.input_consumed:

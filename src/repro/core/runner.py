@@ -29,6 +29,7 @@ pipeline-boundary hook, every estimator call is wall-time profiled into a
 from __future__ import annotations
 
 import time
+import weakref
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -44,13 +45,40 @@ from repro.core.observe import (
     emit_to_all,
 )
 from repro.core.pipelines import Pipeline, decompose
-from repro.engine.executor import measure_total_work, pipeline_boundary_operators
+from repro.engine.executor import (
+    measure_total_work,
+    pipeline_boundary_operators,
+    resolve_engine,
+)
 from repro.engine.monitor import EVENT_TICK, ExecutionMonitor
 from repro.engine.operators.base import ExecutionContext
 from repro.engine.plan import Plan
 from repro.errors import ProgressError
 from repro.stats.estimate import CardinalityEstimator
 from repro.storage.catalog import Catalog
+
+
+#: oracle ``total(Q)`` per plan object — measuring it runs the whole query,
+#: so tracing N estimators (or N runs) over one plan should pay that price
+#: once.  Keyed weakly: a collected plan drops its entry.  Totals do not
+#: depend on the engine or on scan order (a reshuffling RandomOrderScan
+#: changes row order, never row counts), so one entry serves every run.
+_TOTAL_WORK_CACHE: "weakref.WeakKeyDictionary[Plan, int]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def cached_total_work(plan: Plan, engine: Optional[str] = None) -> int:
+    """``measure_total_work`` with a per-plan-object memo."""
+    try:
+        return _TOTAL_WORK_CACHE[plan]
+    except (KeyError, TypeError):
+        total = measure_total_work(plan, engine=engine)
+        try:
+            _TOTAL_WORK_CACHE[plan] = total
+        except TypeError:
+            pass
+        return total
 
 
 @dataclass
@@ -88,6 +116,7 @@ class ProgressRunner:
         work_model=None,
         sinks: Sequence[ProgressEventSink] = (),
         clock: Callable[[], float] = time.perf_counter,
+        engine: Optional[str] = None,
     ) -> None:
         if not estimators:
             raise ProgressError("at least one estimator is required")
@@ -101,6 +130,7 @@ class ProgressRunner:
         self.work_model = work_model
         self.sinks = list(sinks)
         self.clock = clock
+        self.engine = resolve_engine(engine)
 
     def run(self) -> ProgressReport:
         weighted = None
@@ -108,7 +138,7 @@ class ProgressRunner:
             from repro.core.workmodels import WeightedWork
 
             weighted = WeightedWork(self.plan, self.work_model)
-        total_ticks = measure_total_work(self.plan)
+        total_ticks = cached_total_work(self.plan, engine=self.engine)
         # Keep weighted totals exact — truncating to int used to make the
         # terminal `actual` overshoot 1.0 under the bytes model.
         total: float = float(total_ticks)
@@ -144,9 +174,9 @@ class ProgressRunner:
         leaf_consumed = [0]
         seq = [0]
 
-        def on_tick(operator_id: int, event: str) -> None:
+        def on_tick(operator_id: int, event: str, n: int) -> None:
             if event == EVENT_TICK and operator_id in scanned_leaf_ids:
-                leaf_consumed[0] += 1
+                leaf_consumed[0] += n
 
         def emit(kind: str, curr: float, actual: float,
                  estimate_values: Dict[str, float],
@@ -227,26 +257,34 @@ class ProgressRunner:
                 )
             )
             profile.samples += 1
-            emit(
-                "sample", curr, actual, estimate_values,
-                observation.bounds.lower, observation.bounds.upper,
-                tuple(
-                    PipelineSnapshot.capture(pipeline, estimates)
-                    for pipeline in pipelines
-                ),
-            )
+            if sinks:
+                # Capturing per-pipeline snapshots costs real work per
+                # sample; only do it when someone is listening.
+                emit(
+                    "sample", curr, actual, estimate_values,
+                    observation.bounds.lower, observation.bounds.upper,
+                    tuple(
+                        PipelineSnapshot.capture(pipeline, estimates)
+                        for pipeline in pipelines
+                    ),
+                )
             profile.sample_seconds += clock() - sample_started
 
         monitor = ExecutionMonitor()
         monitor.mark_pipeline_boundaries(pipeline_boundary_operators(self.plan))
-        monitor.add_tick_listener(on_tick)
+        monitor.add_batch_listener(on_tick)
         tracker.attach(monitor)
         monitor.add_observer(sample, every=cadence)
         emit("run_start", 0.0, 0.0, {}, 0.0, 0.0)
         context = ExecutionContext(monitor)
         try:
-            for _ in self.plan.root.iterate(context):
-                pass
+            if self.engine == "fused":
+                from repro.engine.compiled import run_fused
+
+                run_fused(self.plan.root, context)
+            else:
+                for _ in self.plan.root.iterate(context):
+                    pass
             final_curr = (
                 weighted.current() if weighted is not None
                 else float(monitor.total_ticks)
@@ -267,7 +305,7 @@ class ProgressRunner:
                 )
         finally:
             tracker.detach()
-            monitor.remove_tick_listener(on_tick)
+            monitor.remove_batch_listener(on_tick)
         profile.elapsed_seconds = clock() - started_at
         profile.ticks = monitor.total_ticks
         final = trace.samples[-1]
@@ -285,8 +323,9 @@ def run_with_estimators(
     catalog: Optional[Catalog] = None,
     target_samples: int = 200,
     sinks: Sequence[ProgressEventSink] = (),
+    engine: Optional[str] = None,
 ) -> ProgressReport:
     """One-call convenience wrapper around :class:`ProgressRunner`."""
     return ProgressRunner(
-        plan, estimators, catalog, target_samples, sinks=sinks
+        plan, estimators, catalog, target_samples, sinks=sinks, engine=engine
     ).run()

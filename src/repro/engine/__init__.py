@@ -1,19 +1,25 @@
 """Execution engine: expressions, physical operators, plans and executor."""
 
 from repro.engine.executor import (
+    DEFAULT_ENGINE,
+    ENGINES,
     ExecutionResult,
     execute,
     measure_total_work,
     pipeline_boundary_operators,
+    resolve_engine,
 )
 from repro.engine.monitor import ExecutionMonitor
 from repro.engine.plan import Plan
 
 __all__ = [
+    "DEFAULT_ENGINE",
+    "ENGINES",
     "ExecutionMonitor",
     "ExecutionResult",
     "Plan",
     "execute",
     "measure_total_work",
     "pipeline_boundary_operators",
+    "resolve_engine",
 ]

@@ -3,17 +3,43 @@
 The executor is the only place that wires plans, contexts and monitors
 together; everything above it (the progress runner, the benchmark harness)
 goes through :func:`execute` or :func:`measure_total_work`.
+
+Two engines produce identical results (rows, per-operator counts, observer
+firing instants, event streams — see ``tests/engine/test_compiled_engine``):
+
+* ``"fused"`` (default) — the pipeline compiler in
+  :mod:`repro.engine.compiled`: operator chains fused into generators,
+  accounting batched between observer cadence points;
+* ``"interpreted"`` — the row-at-a-time Volcano reference path.
+
+``REPRO_ENGINE=interpreted`` in the environment flips the default.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.engine.monitor import ExecutionMonitor
 from repro.engine.operators.base import ExecutionContext
 from repro.engine.plan import Plan
+from repro.errors import ExecutionError
 from repro.storage.table import Row
+
+ENGINES = ("fused", "interpreted")
+
+#: process-wide default engine, overridable via the environment
+DEFAULT_ENGINE = os.environ.get("REPRO_ENGINE", "fused")
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    engine = engine or DEFAULT_ENGINE
+    if engine not in ENGINES:
+        raise ExecutionError(
+            "unknown engine %r (expected one of %s)" % (engine, ENGINES)
+        )
+    return engine
 
 
 def pipeline_boundary_operators(plan: Plan) -> Set[int]:
@@ -47,12 +73,20 @@ class ExecutionResult:
 
 
 def execute(
-    plan: Plan, context: Optional[ExecutionContext] = None
+    plan: Plan,
+    context: Optional[ExecutionContext] = None,
+    engine: Optional[str] = None,
 ) -> ExecutionResult:
     """Run ``plan`` to completion; return rows and getnext accounting."""
+    engine = resolve_engine(engine)
     context = context or ExecutionContext()
     context.monitor.mark_pipeline_boundaries(pipeline_boundary_operators(plan))
-    rows = plan.root.run(context)
+    if engine == "fused":
+        from repro.engine.compiled import run_fused
+
+        rows = run_fused(plan.root, context)
+    else:
+        rows = plan.root.run(context)
     monitor = context.monitor
     per_operator = {
         monitor.label_for(operator_id): ticks
@@ -61,14 +95,25 @@ def execute(
     return ExecutionResult(rows, monitor.total_ticks, per_operator)
 
 
-def measure_total_work(plan: Plan) -> int:
+def measure_total_work(plan: Plan, engine: Optional[str] = None) -> int:
     """``total(Q)``: the exact number of counted getnext calls for ``plan``.
 
     Runs the plan once on a private monitor.  This is the oracle quantity a
     progress estimator is *not* allowed to precompute (it would require
     running the query, §2.4); it exists for evaluation only.
+
+    Pipeline boundaries are marked exactly as :func:`execute` marks them, so
+    an observer attached to the private monitor (none by default) would see
+    the same boundary-forced rounds on either entry point.
     """
+    engine = resolve_engine(engine)
     context = ExecutionContext(ExecutionMonitor())
-    for _ in plan.root.iterate(context):
-        pass
+    context.monitor.mark_pipeline_boundaries(pipeline_boundary_operators(plan))
+    if engine == "fused":
+        from repro.engine.compiled import run_fused
+
+        run_fused(plan.root, context)
+    else:
+        for _ in plan.root.iterate(context):
+            pass
     return context.monitor.total_ticks

@@ -25,6 +25,53 @@ BoundFn = Callable[[Sequence[object]], object]
 COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
 ARITHMETIC_OPS = ("+", "-", "*", "/", "%")
 
+_COMPARE_FNS = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_ARITHMETIC_FNS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: None if b == 0 else a / b,
+    "%": lambda a, b: None if b == 0 else a % b,
+}
+
+
+def _make_col_lit_factories():
+    """Per-operator closure factories for ``row[pos] <op> constant``.
+
+    The hottest comparison shape in every workload; generating the operator
+    inline (instead of calling a shared ``compare`` lambda) saves one
+    Python frame per evaluated row.
+    """
+    factories = {}
+    for op_name, symbol in (
+        ("=", "=="), ("<>", "!="), ("<", "<"),
+        ("<=", "<="), (">", ">"), (">=", ">="),
+    ):
+        namespace: dict = {}
+        exec(
+            "def factory(position, constant):\n"
+            "    def evaluate_col_lit(row):\n"
+            "        a = row[position]\n"
+            "        if a is None:\n"
+            "            return None\n"
+            "        return a %s constant\n"
+            "    return evaluate_col_lit\n" % (symbol,),
+            namespace,
+        )
+        factories[op_name] = namespace["factory"]
+    return factories
+
+
+_COL_LIT_COMPARE_FACTORIES = _make_col_lit_factories()
+
 
 class Expression(abc.ABC):
     """Base class for all scalar expression nodes."""
@@ -132,26 +179,63 @@ class Comparison(Expression):
         self.right = right
 
     def bind(self, schema: Schema) -> BoundFn:
+        compare = _COMPARE_FNS[self.op]
+        # Bind-time constant folding: a literal operand is evaluated here,
+        # not per row, and a literal NULL makes the whole comparison NULL.
+        # ``col <op> literal`` — the overwhelmingly common shape — collapses
+        # to a single closure with zero nested calls.
+        if isinstance(self.right, Literal):
+            b = self.right.value
+            if b is None:
+                return lambda row: None
+            if isinstance(self.left, ColumnRef):
+                position = schema.index_of(self.left.name)
+                return _COL_LIT_COMPARE_FACTORIES[self.op](position, b)
+            left = self.left.bind(schema)
+
+            def evaluate_lit_right(row: Sequence[object]) -> object:
+                a = left(row)
+                if a is None:
+                    return None
+                return compare(a, b)
+
+            return evaluate_lit_right
+        if isinstance(self.left, Literal):
+            a = self.left.value
+            if a is None:
+                return lambda row: None
+            right = self.right.bind(schema)
+
+            def evaluate_lit_left(row: Sequence[object]) -> object:
+                b = right(row)
+                if b is None:
+                    return None
+                return compare(a, b)
+
+            return evaluate_lit_left
+        if isinstance(self.left, ColumnRef) and isinstance(
+            self.right, ColumnRef
+        ):
+            left_pos = schema.index_of(self.left.name)
+            right_pos = schema.index_of(self.right.name)
+
+            def evaluate_col_col(row: Sequence[object]) -> object:
+                a = row[left_pos]
+                b = row[right_pos]
+                if a is None or b is None:
+                    return None
+                return compare(a, b)
+
+            return evaluate_col_col
         left = self.left.bind(schema)
         right = self.right.bind(schema)
-        op = self.op
 
         def evaluate(row: Sequence[object]) -> object:
             a = left(row)
             b = right(row)
             if a is None or b is None:
                 return None
-            if op == "=":
-                return a == b
-            if op == "<>":
-                return a != b
-            if op == "<":
-                return a < b  # type: ignore[operator]
-            if op == "<=":
-                return a <= b  # type: ignore[operator]
-            if op == ">":
-                return a > b  # type: ignore[operator]
-            return a >= b  # type: ignore[operator]
+            return compare(a, b)
 
         return evaluate
 
@@ -173,28 +257,46 @@ class Arithmetic(Expression):
         self.right = right
 
     def bind(self, schema: Schema) -> BoundFn:
+        # One closure per operator: string dispatch at bind time, not per
+        # row.  / and % keep their division-by-zero-is-NULL guard.  Literal
+        # operands fold at bind time (``1 - discount`` evaluates one nested
+        # call per row, not two).
+        arith = _ARITHMETIC_FNS[self.op]
+        if isinstance(self.right, Literal):
+            b = self.right.value
+            if b is None:
+                return lambda row: None
+            left = self.left.bind(schema)
+
+            def evaluate_lit_right(row: Sequence[object]) -> object:
+                a = left(row)
+                if a is None:
+                    return None
+                return arith(a, b)
+
+            return evaluate_lit_right
+        if isinstance(self.left, Literal):
+            a = self.left.value
+            if a is None:
+                return lambda row: None
+            right = self.right.bind(schema)
+
+            def evaluate_lit_left(row: Sequence[object]) -> object:
+                b = right(row)
+                if b is None:
+                    return None
+                return arith(a, b)
+
+            return evaluate_lit_left
         left = self.left.bind(schema)
         right = self.right.bind(schema)
-        op = self.op
 
         def evaluate(row: Sequence[object]) -> object:
             a = left(row)
             b = right(row)
             if a is None or b is None:
                 return None
-            if op == "+":
-                return a + b  # type: ignore[operator]
-            if op == "-":
-                return a - b  # type: ignore[operator]
-            if op == "*":
-                return a * b  # type: ignore[operator]
-            if op == "/":
-                if b == 0:
-                    return None
-                return a / b  # type: ignore[operator]
-            if b == 0:
-                return None
-            return a % b  # type: ignore[operator]
+            return arith(a, b)
 
         return evaluate
 
@@ -215,6 +317,60 @@ class And(Expression):
 
     def bind(self, schema: Schema) -> BoundFn:
         bound = [operand.bind(schema) for operand in self.operands]
+        # Unrolled conjunctions for the common arities: no list iteration,
+        # no saw_null flag updates in the inner loop.  Semantics match the
+        # generic loop exactly (short-circuit on the first False, NULL only
+        # when no operand is False and at least one is NULL).
+        if len(bound) == 2:
+            f0, f1 = bound
+
+            def evaluate2(row: Sequence[object]) -> object:
+                a = f0(row)
+                if a is False:
+                    return False
+                b = f1(row)
+                if b is False:
+                    return False
+                return None if (a is None or b is None) else True
+
+            return evaluate2
+        if len(bound) == 3:
+            f0, f1, f2 = bound
+
+            def evaluate3(row: Sequence[object]) -> object:
+                a = f0(row)
+                if a is False:
+                    return False
+                b = f1(row)
+                if b is False:
+                    return False
+                c = f2(row)
+                if c is False:
+                    return False
+                return None if (a is None or b is None or c is None) else True
+
+            return evaluate3
+        if len(bound) == 4:
+            f0, f1, f2, f3 = bound
+
+            def evaluate4(row: Sequence[object]) -> object:
+                a = f0(row)
+                if a is False:
+                    return False
+                b = f1(row)
+                if b is False:
+                    return False
+                c = f2(row)
+                if c is False:
+                    return False
+                d = f3(row)
+                if d is False:
+                    return False
+                return None if (
+                    a is None or b is None or c is None or d is None
+                ) else True
+
+            return evaluate4
 
         def evaluate(row: Sequence[object]) -> object:
             saw_null = False
@@ -245,6 +401,36 @@ class Or(Expression):
 
     def bind(self, schema: Schema) -> BoundFn:
         bound = [operand.bind(schema) for operand in self.operands]
+        # Mirror of And.bind's unrolled fast paths.
+        if len(bound) == 2:
+            f0, f1 = bound
+
+            def evaluate2(row: Sequence[object]) -> object:
+                a = f0(row)
+                if a is True:
+                    return True
+                b = f1(row)
+                if b is True:
+                    return True
+                return None if (a is None or b is None) else False
+
+            return evaluate2
+        if len(bound) == 3:
+            f0, f1, f2 = bound
+
+            def evaluate3(row: Sequence[object]) -> object:
+                a = f0(row)
+                if a is True:
+                    return True
+                b = f1(row)
+                if b is True:
+                    return True
+                c = f2(row)
+                if c is True:
+                    return True
+                return None if (a is None or b is None or c is None) else False
+
+            return evaluate3
 
         def evaluate(row: Sequence[object]) -> object:
             saw_null = False
@@ -317,6 +503,33 @@ class Between(Expression):
         self.high = high
 
     def bind(self, schema: Schema) -> BoundFn:
+        # Literal bounds (the usual case) fold at bind time, leaving a
+        # closure with a single nested call — or none when the operand is a
+        # bare column reference.
+        if isinstance(self.low, Literal) and isinstance(self.high, Literal):
+            lo = self.low.value
+            hi = self.high.value
+            if lo is None or hi is None:
+                return lambda row: None
+            if isinstance(self.operand, ColumnRef):
+                position = schema.index_of(self.operand.name)
+
+                def evaluate_col(row: Sequence[object]) -> object:
+                    value = row[position]
+                    if value is None:
+                        return None
+                    return lo <= value <= hi  # type: ignore[operator]
+
+                return evaluate_col
+            bound = self.operand.bind(schema)
+
+            def evaluate_lit(row: Sequence[object]) -> object:
+                value = bound(row)
+                if value is None:
+                    return None
+                return lo <= value <= hi  # type: ignore[operator]
+
+            return evaluate_lit
         bound = self.operand.bind(schema)
         low = self.low.bind(schema)
         high = self.high.bind(schema)
@@ -348,8 +561,18 @@ class InList(Expression):
         self.values = tuple(values)
 
     def bind(self, schema: Schema) -> BoundFn:
-        bound = self.operand.bind(schema)
         allowed = set(self.values)
+        if isinstance(self.operand, ColumnRef):
+            position = schema.index_of(self.operand.name)
+
+            def evaluate_col(row: Sequence[object]) -> object:
+                value = row[position]
+                if value is None:
+                    return None
+                return value in allowed
+
+            return evaluate_col
+        bound = self.operand.bind(schema)
 
         def evaluate(row: Sequence[object]) -> object:
             value = bound(row)

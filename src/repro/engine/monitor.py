@@ -19,6 +19,13 @@ restarted for a ⋈NL rescan), ``reset`` (counters zeroed) — as
 :class:`repro.core.bounds.BoundsTracker` uses to maintain dirty sets instead
 of re-walking the plan on every sample.
 
+A parallel *batch* channel (``add_batch_listener``) delivers the same
+events with EVENT_TICK coalesced per ``record_batch`` call; together with
+:meth:`ExecutionMonitor.ticks_until_next_observer` it lets the fused engine
+(:mod:`repro.engine.compiled`) account whole row batches in O(1) while
+firing every cadence observer at exactly the same tick numbers as the
+row-at-a-time path.
+
 Operators marked as *pipeline boundaries* (blocking operators and the nodes
 that feed them) additionally force all observers to run the moment they
 finish, so blocking-operator transitions are always sampled regardless of
@@ -32,6 +39,9 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 Observer = Callable[["ExecutionMonitor"], None]
 #: ``listener(operator_id, event)`` with event one of the EVENT_* constants
 TickListener = Callable[[int, str], None]
+#: ``listener(operator_id, event, n)`` — ``n`` is the number of coalesced
+#: ticks for EVENT_TICK and 0 for finish/rewind/reset
+BatchListener = Callable[[int, str, int], None]
 
 EVENT_TICK = "tick"
 EVENT_FINISH = "finish"
@@ -48,6 +58,7 @@ class ExecutionMonitor:
         self.total_ticks = 0
         self._observers: List[Tuple[int, Observer]] = []
         self._tick_listeners: List[TickListener] = []
+        self._batch_listeners: List[BatchListener] = []
         self._boundary_ops: frozenset = frozenset()
 
     # -- operator registration -------------------------------------------------
@@ -62,12 +73,59 @@ class ExecutionMonitor:
     def record(self, operator_id: int) -> None:
         """One counted getnext call returned a row on ``operator_id``."""
         self._counts[operator_id] = self._counts.get(operator_id, 0) + 1
-        self.total_ticks += 1
-        for listener in self._tick_listeners:
-            listener(operator_id, EVENT_TICK)
-        for every, observer in self._observers:
-            if self.total_ticks % every == 0:
-                observer(self)
+        total = self.total_ticks + 1
+        self.total_ticks = total
+        if self._tick_listeners:
+            for listener in self._tick_listeners:
+                listener(operator_id, EVENT_TICK)
+        if self._batch_listeners:
+            for listener in self._batch_listeners:
+                listener(operator_id, EVENT_TICK, 1)
+        if self._observers:
+            for every, observer in self._observers:
+                if total % every == 0:
+                    observer(self)
+
+    def record_batch(self, operator_id: int, n: int) -> None:
+        """``n`` counted getnext calls on ``operator_id``, coalesced.
+
+        Equivalent to ``n`` calls to :meth:`record`, except that batch
+        listeners are invoked once with the coalesced count and cadence
+        observers fire at most once per batch.  Callers who need observers
+        at *exactly* the interpreted tick numbers (the fused engine) must
+        keep ``n`` within :meth:`ticks_until_next_observer`, so the batch
+        lands precisely on the next cadence multiple.  Per-tick listeners
+        still receive one event per tick.
+        """
+        if n <= 0:
+            return
+        self._counts[operator_id] = self._counts.get(operator_id, 0) + n
+        before = self.total_ticks
+        total = before + n
+        self.total_ticks = total
+        if self._tick_listeners:
+            for listener in self._tick_listeners:
+                for _ in range(n):
+                    listener(operator_id, EVENT_TICK)
+        if self._batch_listeners:
+            for listener in self._batch_listeners:
+                listener(operator_id, EVENT_TICK, n)
+        if self._observers:
+            for every, observer in self._observers:
+                if total // every != before // every:
+                    observer(self)
+
+    def ticks_until_next_observer(self) -> Optional[int]:
+        """Ticks left before any cadence observer is due, or None if none.
+
+        This is the batching headroom: a ``record_batch`` of at most this
+        many ticks fires each observer at exactly the tick number the
+        row-at-a-time path would have.
+        """
+        if not self._observers:
+            return None
+        total = self.total_ticks
+        return min(every - total % every for every, _ in self._observers)
 
     def record_finish(self, operator_id: int) -> None:
         """``operator_id`` returned end-of-stream (not a counted tick).
@@ -79,6 +137,8 @@ class ExecutionMonitor:
         """
         for listener in self._tick_listeners:
             listener(operator_id, EVENT_FINISH)
+        for listener in self._batch_listeners:
+            listener(operator_id, EVENT_FINISH, 0)
         if operator_id in self._boundary_ops:
             self.notify_now()
 
@@ -86,6 +146,8 @@ class ExecutionMonitor:
         """``operator_id`` restarted for a rescan (⋈NL inner side)."""
         for listener in self._tick_listeners:
             listener(operator_id, EVENT_REWIND)
+        for listener in self._batch_listeners:
+            listener(operator_id, EVENT_REWIND, 0)
 
     def notify_now(self) -> None:
         """Force all observers to run (used at pipeline/plan boundaries)."""
@@ -112,6 +174,22 @@ class ExecutionMonitor:
     def remove_tick_listener(self, listener: TickListener) -> None:
         self._tick_listeners = [l for l in self._tick_listeners if l is not listener]
 
+    def add_batch_listener(self, listener: BatchListener) -> None:
+        """Subscribe as ``listener(operator_id, event, n)``.
+
+        Batch listeners see EVENT_TICK coalesced (one call per recorded
+        batch, with the tick count as ``n``); finish/rewind/reset arrive
+        individually with ``n == 0``.  Consumers whose per-tick work is
+        additive (counters) or idempotent (dirty marking) should prefer
+        this channel — it is what keeps the fused engine's accounting flat.
+        """
+        self._batch_listeners.append(listener)
+
+    def remove_batch_listener(self, listener: BatchListener) -> None:
+        self._batch_listeners = [
+            l for l in self._batch_listeners if l is not listener
+        ]
+
     # -- pipeline boundaries ------------------------------------------------------
 
     def mark_pipeline_boundaries(self, operator_ids: Iterable[int]) -> None:
@@ -137,6 +215,8 @@ class ExecutionMonitor:
         self.total_ticks = 0
         for listener in self._tick_listeners:
             listener(0, EVENT_RESET)
+        for listener in self._batch_listeners:
+            listener(0, EVENT_RESET, 0)
 
     def __repr__(self) -> str:
         return "ExecutionMonitor(%d ticks over %d operators)" % (

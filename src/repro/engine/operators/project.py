@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from operator import itemgetter
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.engine.expressions import BoundFn, ColumnRef, Expression
 from repro.engine.operators.base import Operator, UnaryOperator
@@ -48,6 +49,7 @@ class Project(UnaryOperator):
         super().__init__(Schema.of(qualifier, columns), child)
         self.outputs = list(outputs)
         self._bound: List[BoundFn] = []
+        self._project: Optional[Callable[[Row], Row]] = None
 
     @property
     def name(self) -> str:
@@ -57,12 +59,37 @@ class Project(UnaryOperator):
         return "Project(%s)" % (", ".join(name for name, _ in self.outputs),)
 
     def _open(self) -> None:
+        schema = self.child.schema
         self._bound = [
-            expression.bind(self.child.schema) for _, expression in self.outputs
+            expression.bind(schema) for _, expression in self.outputs
         ]
+        # Specialize the whole-row projector once per open: a pure column
+        # selection becomes a C-level itemgetter, small computed projections
+        # an unrolled tuple build.  Both engines route rows through it.
+        expressions = [expression for _, expression in self.outputs]
+        if all(isinstance(e, ColumnRef) for e in expressions):
+            positions = [schema.index_of(e.name) for e in expressions]
+            if len(positions) == 1:
+                p = positions[0]
+                self._project = lambda row: (row[p],)
+            else:
+                self._project = itemgetter(*positions)
+        elif len(self._bound) == 1:
+            (f0,) = self._bound
+            self._project = lambda row: (f0(row),)
+        elif len(self._bound) == 2:
+            f0, f1 = self._bound
+            self._project = lambda row: (f0(row), f1(row))
+        elif len(self._bound) == 3:
+            f0, f1, f2 = self._bound
+            self._project = lambda row: (f0(row), f1(row), f2(row))
+        else:
+            bound = self._bound
+            self._project = lambda row: tuple([fn(row) for fn in bound])
 
     def _next(self) -> Optional[Row]:
         row = self.child.get_next()
         if row is None:
             return None
-        return tuple(fn(row) for fn in self._bound)
+        assert self._project is not None
+        return self._project(row)

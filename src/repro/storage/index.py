@@ -31,12 +31,19 @@ class HashIndex:
         self.column = column
         self._position = table.schema.index_of(column)
         self._buckets: Dict[object, List[int]] = {}
+        # Rows bucketed alongside the positions: lookup() is the ⋈INL inner
+        # loop, and copying a prebuilt row list beats re-indexing the heap
+        # on every probe.
+        self._row_buckets: Dict[object, List[Row]] = {}
         for i, row in enumerate(table.rows):
-            self._buckets.setdefault(row[self._position], []).append(i)
+            key = row[self._position]
+            self._buckets.setdefault(key, []).append(i)
+            self._row_buckets.setdefault(key, []).append(row)
 
     def lookup(self, key: object) -> List[Row]:
         """All base rows whose key column equals ``key`` (heap order)."""
-        return [self.table[i] for i in self._buckets.get(key, [])]
+        rows = self._row_buckets.get(key)
+        return list(rows) if rows is not None else []
 
     def lookup_positions(self, key: object) -> List[int]:
         return list(self._buckets.get(key, []))

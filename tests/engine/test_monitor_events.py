@@ -91,6 +91,159 @@ class TestEventStream:
         assert len(events) == 1
 
 
+class TestBatchChannel:
+    def test_record_batch_coalesces_ticks_for_batch_listeners(self):
+        monitor = ExecutionMonitor()
+        batched, per_tick = [], []
+        monitor.add_batch_listener(lambda op, kind, n: batched.append((op, kind, n)))
+        monitor.add_tick_listener(lambda op, kind: per_tick.append((op, kind)))
+        monitor.register(7, "x")
+        monitor.record_batch(7, 5)
+        assert batched == [(7, EVENT_TICK, 5)]
+        # The per-tick channel still sees every individual tick.
+        assert per_tick == [(7, EVENT_TICK)] * 5
+        assert monitor.count_for(7) == 5
+        assert monitor.total_ticks == 5
+
+    def test_record_batch_zero_or_negative_is_a_no_op(self):
+        monitor = ExecutionMonitor()
+        batched = []
+        monitor.add_batch_listener(lambda op, kind, n: batched.append((op, kind, n)))
+        monitor.register(7, "x")
+        monitor.record_batch(7, 0)
+        monitor.record_batch(7, -3)
+        assert batched == []
+        assert monitor.total_ticks == 0
+
+    def test_finish_rewind_reset_arrive_with_zero_count(self):
+        monitor = ExecutionMonitor()
+        batched = []
+        monitor.add_batch_listener(lambda op, kind, n: batched.append((op, kind, n)))
+        monitor.record_finish(3)
+        monitor.record_rewind(4)
+        monitor.reset()
+        assert batched == [
+            (3, EVENT_FINISH, 0),
+            (4, EVENT_REWIND, 0),
+            (0, EVENT_RESET, 0),
+        ]
+
+    def test_record_batch_fires_observer_on_cadence_crossing(self):
+        monitor = ExecutionMonitor()
+        fired = []
+        monitor.add_observer(lambda m: fired.append(m.total_ticks), every=10)
+        monitor.register(1, "x")
+        monitor.record_batch(1, 9)
+        assert fired == []
+        # Landing exactly on the multiple fires at the interpreted instant.
+        monitor.record_batch(1, 1)
+        assert fired == [10]
+        # A batch crossing a multiple fires once, at the batch end.
+        monitor.record_batch(1, 15)
+        assert fired == [10, 25]
+
+    def test_ticks_until_next_observer_is_the_batching_headroom(self):
+        monitor = ExecutionMonitor()
+        assert monitor.ticks_until_next_observer() is None
+        monitor.add_observer(lambda m: None, every=10)
+        monitor.add_observer(lambda m: None, every=7)
+        monitor.register(1, "x")
+        assert monitor.ticks_until_next_observer() == 7
+        monitor.record_batch(1, 6)
+        assert monitor.ticks_until_next_observer() == 1
+        monitor.record_batch(1, 1)  # 7 ticks: the every=7 observer just ran
+        assert monitor.ticks_until_next_observer() == 3  # every=10 is next
+
+    def test_remove_batch_listener(self):
+        monitor = ExecutionMonitor()
+        batched = []
+        listener = lambda op, kind, n: batched.append((op, kind, n))
+        monitor.add_batch_listener(listener)
+        monitor.register(1, "x")
+        monitor.record_batch(1, 2)
+        monitor.remove_batch_listener(listener)
+        monitor.record_batch(1, 2)
+        assert batched == [(1, EVENT_TICK, 2)]
+
+
+def accumulated_event_stream(build_plan, engine, every=None):
+    """Run ``build_plan()`` under ``engine``; return the event accumulation.
+
+    The batch channel's tick counts are folded into per-operator
+    accumulators (operators keyed by pre-order position, so streams from
+    two separately built plans compare); every finish/rewind event is
+    recorded together with the accumulation at that instant.  Optionally a
+    cadence observer snapshots ``total_ticks`` at each firing.
+    """
+    plan = build_plan()
+    position = {
+        op.operator_id: i for i, op in enumerate(plan.operators())
+    }
+    monitor = ExecutionMonitor()
+    counts = {}
+    events = []
+    firings = []
+
+    def on_event(operator_id, kind, n):
+        if kind == EVENT_TICK:
+            key = position[operator_id]
+            counts[key] = counts.get(key, 0) + n
+        else:
+            events.append(
+                (kind, position.get(operator_id, -1),
+                 tuple(sorted(counts.items())))
+            )
+
+    monitor.add_batch_listener(on_event)
+    if every is not None:
+        monitor.add_observer(lambda m: firings.append(m.total_ticks), every=every)
+    execute(plan, ExecutionContext(monitor), engine=engine)
+    events.append(("end", -1, tuple(sorted(counts.items()))))
+    return events, firings
+
+
+class TestEngineEventParity:
+    """⋈NL rescans: the fused engine must flush pending ticks before every
+    rewind/finish event, so the accumulated counts at each event instant —
+    not just the final totals — agree with the interpreter's."""
+
+    @staticmethod
+    def _nl_plan():
+        join = NestedLoopsJoin(
+            TableScan(make_table("o", 9)),
+            TableScan(make_table("i", 6)),
+            col("o.k") == col("i.k"),
+        )
+        return Plan(join)
+
+    def test_nl_rescan_accumulation_is_engine_invariant(self):
+        interpreted, _ = accumulated_event_stream(self._nl_plan, "interpreted")
+        fused, _ = accumulated_event_stream(self._nl_plan, "fused")
+        assert fused == interpreted
+        # Sanity: the stream actually contains one inner rewind per outer row.
+        rewinds = [e for e in interpreted if e[0] == EVENT_REWIND]
+        assert len(rewinds) == 9
+
+    def test_nl_rescan_observer_instants_are_engine_invariant(self):
+        interpreted = accumulated_event_stream(
+            self._nl_plan, "interpreted", every=5
+        )
+        fused = accumulated_event_stream(self._nl_plan, "fused", every=5)
+        assert fused == interpreted
+        assert fused[1]  # the cadence observer did fire
+
+    def test_nl_cross_product_rescan_accumulation(self):
+        def build():
+            join = NestedLoopsJoin(
+                TableScan(make_table("o", 4)), TableScan(make_table("i", 3))
+            )
+            return Plan(join)
+
+        interpreted = accumulated_event_stream(build, "interpreted", every=3)
+        fused = accumulated_event_stream(build, "fused", every=3)
+        assert fused == interpreted
+
+
 class TestPipelineBoundaries:
     def test_boundary_set_contains_blocking_ops_and_inputs(self):
         table = make_table()
