@@ -1,8 +1,8 @@
 """Quickstart: run a SQL query with a live progress bar.
 
-Builds a small employees/departments database, plans a SQL query through
-the built-in front end, and executes it while the paper's three progress
-estimators (dne, pmax, safe) report their running estimates.
+Builds a small employees/departments database, opens a session through the
+stable ``repro.connect`` facade, and executes a SQL query while the paper's
+three progress estimators (dne, pmax, safe) report their running estimates.
 
 Run:  python examples/quickstart.py
 """
@@ -11,8 +11,7 @@ from __future__ import annotations
 
 import random
 
-from repro.core import run_with_estimators, standard_toolkit
-from repro.sql import plan_query
+import repro
 from repro.stats import StatisticsManager
 from repro.storage import Catalog, Table, schema_of
 
@@ -62,14 +61,13 @@ LIMIT 10
 
 
 def main() -> None:
-    catalog = build_database()
-    plan = plan_query(QUERY, catalog, name="quickstart")
+    session = repro.connect(catalog=build_database(), target_samples=20)
+    plan = session.sql(QUERY, name="quickstart")
     print("physical plan:")
     print(plan.explain())
     print()
 
-    report = run_with_estimators(plan, standard_toolkit(), catalog,
-                                 target_samples=20)
+    report = session.run(plan)
     print("%8s  %8s  %8s  %8s  %8s" % ("ticks", "actual", "dne", "pmax", "safe"))
     for sample in report.trace.samples:
         print(

@@ -1,0 +1,196 @@
+"""The stable public facade: ``repro.connect(...) -> Session``.
+
+Everything an application needs lives here, with keyword-only options and
+no imports from engine/runner internals:
+
+    import repro
+
+    session = repro.connect(catalog=catalog)
+    plan = session.sql("SELECT COUNT(*) FROM t")      # plan only
+    result = session.execute(plan)                    # rows + accounting
+    report = session.run(plan)                        # instrumented run
+    handle = session.submit(plan, deadline=5.0)       # concurrent service
+    handle.progress(); handle.cancel(); handle.result()
+
+Stability policy (see ``docs/api.md``): names exported from ``repro`` and
+``repro.api`` only change with a :class:`DeprecationWarning` shim for at
+least one minor release.  Importing from ``repro.core.runner`` /
+``repro.engine.executor`` directly keeps working but carries no such
+promise.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.core.estimators import ProgressEstimator, standard_toolkit
+from repro.core.observe import ProgressEventSink
+from repro.core.runner import ProgressReport, ProgressRunner
+from repro.engine.executor import ExecutionResult, execute, resolve_engine
+from repro.engine.plan import Plan
+from repro.errors import ReproError
+from repro.service import QueryHandle, QueryService
+from repro.storage.catalog import Catalog
+
+Query = Union[Plan, str]
+
+
+def connect(
+    *,
+    catalog: Optional[Catalog] = None,
+    engine: Optional[str] = None,
+    target_samples: int = 200,
+    max_workers: int = 4,
+    queue_depth: int = 16,
+) -> "Session":
+    """Open a :class:`Session` against ``catalog``.
+
+    ``engine`` picks the execution engine for every operation on the
+    session (default: ``$REPRO_ENGINE`` or the fused compiler);
+    ``max_workers``/``queue_depth`` size the concurrent query service
+    behind :meth:`Session.submit` (started lazily on first use).
+    """
+    return Session(
+        catalog=catalog,
+        engine=engine,
+        target_samples=target_samples,
+        max_workers=max_workers,
+        queue_depth=queue_depth,
+    )
+
+
+class Session:
+    """One connection-like scope: a catalog, an engine choice, a service."""
+
+    def __init__(
+        self,
+        *,
+        catalog: Optional[Catalog] = None,
+        engine: Optional[str] = None,
+        target_samples: int = 200,
+        max_workers: int = 4,
+        queue_depth: int = 16,
+    ) -> None:
+        self.catalog = catalog if catalog is not None else Catalog()
+        self.engine = resolve_engine(engine)
+        self.target_samples = target_samples
+        self._max_workers = max_workers
+        self._queue_depth = queue_depth
+        self._service: Optional[QueryService] = None
+        self._closed = False
+
+    # -- planning ----------------------------------------------------------------
+
+    def sql(self, text: str, *, name: Optional[str] = None) -> Plan:
+        """Plan SQL text against the session catalog (no execution)."""
+        from repro.sql import plan_query
+
+        return plan_query(text, self.catalog, name=name or "session-sql")
+
+    def _plan_for(self, query: Query, *, name: Optional[str] = None) -> Plan:
+        if isinstance(query, Plan):
+            return query
+        if isinstance(query, str):
+            return self.sql(query, name=name)
+        raise ReproError(
+            "query must be a Plan or SQL text, not %r"
+            % (type(query).__name__,)
+        )
+
+    # -- synchronous execution -----------------------------------------------------
+
+    def execute(
+        self,
+        query: Query,
+        *,
+        name: Optional[str] = None,
+        engine: Optional[str] = None,
+    ) -> ExecutionResult:
+        """Run to completion; rows plus getnext accounting, no estimators."""
+        plan = self._plan_for(query, name=name)
+        return execute(plan, engine=engine or self.engine)
+
+    def run(
+        self,
+        query: Query,
+        *,
+        name: Optional[str] = None,
+        estimators: Optional[Sequence[ProgressEstimator]] = None,
+        target_samples: Optional[int] = None,
+        sinks: Sequence[ProgressEventSink] = (),
+        engine: Optional[str] = None,
+    ) -> ProgressReport:
+        """One instrumented run: execute while sampling every estimator."""
+        plan = self._plan_for(query, name=name)
+        toolkit: List[ProgressEstimator] = (
+            list(estimators) if estimators is not None else standard_toolkit()
+        )
+        return ProgressRunner(
+            plan,
+            toolkit,
+            self.catalog,
+            target_samples=(
+                target_samples if target_samples is not None
+                else self.target_samples
+            ),
+            sinks=sinks,
+            engine=engine or self.engine,
+        ).run()
+
+    # -- concurrent execution ------------------------------------------------------
+
+    @property
+    def service(self) -> QueryService:
+        """The session's query service (started on first access)."""
+        if self._closed:
+            raise ReproError("session is closed")
+        if self._service is None:
+            self._service = QueryService(
+                self.catalog,
+                max_workers=self._max_workers,
+                queue_depth=self._queue_depth,
+                engine=self.engine,
+                target_samples=self.target_samples,
+            )
+        return self._service
+
+    def submit(
+        self,
+        query: Query,
+        *,
+        name: Optional[str] = None,
+        estimators: Optional[Sequence[ProgressEstimator]] = None,
+        deadline: Optional[float] = None,
+        block: bool = False,
+        timeout: Optional[float] = None,
+    ) -> QueryHandle:
+        """Admit a query onto the concurrent service; returns its handle."""
+        plan = self._plan_for(query, name=name)
+        return self.service.submit(
+            plan,
+            name=name,
+            estimators=estimators,
+            deadline=deadline,
+            block=block,
+            timeout=timeout,
+        )
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the service down (idempotent); the session becomes inert."""
+        self._closed = True
+        if self._service is not None:
+            self._service.shutdown()
+            self._service = None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return "Session(engine=%r, catalog=%r)" % (
+            self.engine, getattr(self.catalog, "name", None),
+        )

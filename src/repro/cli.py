@@ -10,6 +10,9 @@ Commands:
                     JSONL event trace, tick-rate/ETA gauges, per-estimator
                     wall-time profile;
 * ``explain``     — just show the physical plan for a SQL query;
+* ``serve``       — stress the concurrent query service: admit a workload
+                    mix onto a bounded worker pool and poll live progress,
+                    with optional mid-flight cancellation and deadlines;
 * ``tpch-mu``     — print Table 2 (μ per TPC-H query);
 * ``sky-mu``      — print Table 3 (μ per SkyServer query);
 * ``experiments`` — regenerate paper artifacts (figures/tables/ablations).
@@ -19,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from repro.bench import (
@@ -50,7 +54,7 @@ from repro.core import (
     standard_toolkit,
 )
 from repro.core.runner import ProgressReport
-from repro.engine.executor import DEFAULT_ENGINE, ENGINES
+from repro.engine.executor import ENGINES, default_engine
 from repro.sql import plan_query
 from repro.workloads import (
     SKYSERVER_QUERIES,
@@ -192,6 +196,71 @@ def cmd_progress(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Stress harness for the concurrent query service."""
+    from repro.service import QueryService, QueryState
+
+    db = generate_tpch(scale=args.scale, skew=args.skew, seed=args.seed)
+    numbers = [int(part) for part in args.queries.split(",") if part]
+    service = QueryService(
+        db.catalog,
+        max_workers=args.workers,
+        queue_depth=max(args.queue_depth, len(numbers) * args.repeat),
+        engine=args.engine,
+        target_samples=args.samples,
+        default_deadline=args.deadline,
+    )
+    handles = []
+    for round_index in range(args.repeat):
+        for number in numbers:
+            plan = build_query(db, number)  # fresh plan object per query
+            handles.append(service.submit(
+                plan, name="Q%d#%d" % (number, round_index), block=True,
+            ))
+    print("admitted %d queries onto %d workers (engine=%s)"
+          % (len(handles), args.workers, service.engine))
+    cancel_target = None
+    if args.cancel is not None and 0 <= args.cancel < len(handles):
+        cancel_target = handles[args.cancel]
+    while not all(handle.done for handle in handles):
+        if cancel_target is not None and cancel_target.progress() is not None:
+            cancel_target.cancel()
+            print("cancelled %s mid-flight" % (cancel_target.name,))
+            cancel_target = None
+        line = []
+        for handle in handles:
+            sample = handle.sample() or handle.progress()
+            if handle.done or sample is None:
+                line.append("%s:%s" % (handle.name, handle.state.value))
+            else:
+                line.append("%s:%4.1f%%" % (handle.name, sample.actual * 100))
+        print("  ".join(line))
+        time.sleep(args.poll)
+    print()
+    print("%-10s %-10s %9s %9s" % ("query", "state", "ticks", "samples"))
+    for handle in handles:
+        if handle.state is QueryState.DONE:
+            report = handle.result()
+            print("%-10s %-10s %9d %9d" % (
+                handle.name, handle.state.value,
+                report.profile.ticks if report.profile else 0,
+                len(report.trace.samples),
+            ))
+        else:
+            print("%-10s %-10s %9s %9s" % (
+                handle.name, handle.state.value, "-", "-",
+            ))
+    service.shutdown()
+    stats = service.stats()
+    print("stats: " + "  ".join(
+        "%s=%d" % (key, stats[key]) for key in sorted(stats)
+    ))
+    if all(handle.done for handle in handles):
+        print("all queries reached a terminal state")
+        return 0
+    return 1
+
+
 def cmd_explain(args: argparse.Namespace) -> int:
     db = generate_tpch(scale=args.scale, skew=args.skew, seed=args.seed)
     plan = plan_query(args.query, db.catalog, name="cli-explain")
@@ -253,7 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
     def add_engine_option(p):
         p.add_argument("--engine", choices=ENGINES, default=None,
                        help="execution engine (default: $REPRO_ENGINE or %s)"
-                       % (DEFAULT_ENGINE,))
+                       % (default_engine(),))
 
     demo = subparsers.add_parser("demo", help="monitor a TPC-H query")
     add_db_options(demo)
@@ -284,6 +353,27 @@ def build_parser() -> argparse.ArgumentParser:
     progress.add_argument("--samples", type=int, default=200,
                           help="target number of samples")
     progress.set_defaults(func=cmd_progress)
+
+    serve = subparsers.add_parser(
+        "serve", help="stress the concurrent query service"
+    )
+    add_db_options(serve)
+    add_engine_option(serve)
+    serve.add_argument("--queries", default="1,3,6,10,12,14,19,6",
+                       help="comma-separated TPC-H query numbers")
+    serve.add_argument("--repeat", type=int, default=1,
+                       help="submit the whole mix this many times")
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--queue-depth", type=int, default=16)
+    serve.add_argument("--samples", type=int, default=50,
+                       help="target progress samples per query")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="per-query deadline in seconds")
+    serve.add_argument("--cancel", type=int, default=None, metavar="I",
+                       help="cancel the I-th admitted query mid-flight")
+    serve.add_argument("--poll", type=float, default=0.2,
+                       help="seconds between live progress polls")
+    serve.set_defaults(func=cmd_serve)
 
     explain = subparsers.add_parser("explain", help="show the physical plan")
     add_db_options(explain)

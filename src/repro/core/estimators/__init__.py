@@ -4,7 +4,9 @@ from repro.core.estimators.base import (
     Observation,
     ProgressEstimator,
     clamp_progress,
+    degenerate_reason,
     progress_interval,
+    require_sound_bounds,
 )
 from repro.core.estimators.dne import DneBoundedEstimator, DneEstimator
 from repro.core.estimators.feedback import (
@@ -49,8 +51,10 @@ __all__ = [
     "SafeEstimator",
     "TrivialEstimator",
     "clamp_progress",
+    "degenerate_reason",
     "plan_signature",
     "progress_interval",
+    "require_sound_bounds",
     "full_toolkit",
     "standard_toolkit",
 ]

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.bounds import BoundsSnapshot
 from repro.core.pipelines import Pipeline
 from repro.engine.plan import Plan
+from repro.errors import DegenerateBoundsError
 
 
 @dataclass
@@ -61,6 +62,39 @@ def clamp_progress(value: float) -> float:
     if value != value:  # NaN guard
         return 0.0
     return max(0.0, min(1.0, value))
+
+
+def degenerate_reason(curr: float, bounds: BoundsSnapshot) -> Optional[str]:
+    """Why these bounds cannot constrain an estimate, or None if they can.
+
+    Degenerate cases: a non-positive or infinite UB, a non-positive LB, an
+    inverted pair (``UB < LB``), or bounds stale below ``Curr``.  The clamp
+    path (:func:`progress_interval`) survives all of them by widening to the
+    unconstrained interval; strict estimators instead surface them as a
+    typed :class:`repro.errors.DegenerateBoundsError` so a supervising
+    service can degrade the toolkit precisely.
+    """
+    if bounds.upper <= 0:
+        return "upper bound is not positive"
+    if bounds.upper == float("inf"):
+        return "upper bound is infinite"
+    if bounds.lower <= 0:
+        return "lower bound is not positive"
+    if bounds.upper < bounds.lower:
+        return "bounds are inverted (UB < LB)"
+    if curr > bounds.upper:
+        return "bounds are stale (Curr beyond UB)"
+    return None
+
+
+def require_sound_bounds(curr: float, bounds: BoundsSnapshot) -> None:
+    """Raise :class:`DegenerateBoundsError` unless the bounds can constrain.
+
+    The raise path behind every ``strict=True`` estimator.
+    """
+    reason = degenerate_reason(curr, bounds)
+    if reason is not None:
+        raise DegenerateBoundsError(reason, curr, bounds.lower, bounds.upper)
 
 
 def progress_interval(curr: float, bounds: BoundsSnapshot) -> Tuple[float, float]:

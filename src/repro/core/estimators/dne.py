@@ -20,6 +20,7 @@ from repro.core.estimators.base import (
     ProgressEstimator,
     clamp_progress,
     progress_interval,
+    require_sound_bounds,
 )
 from repro.core.pipelines import Pipeline
 
@@ -75,14 +76,22 @@ class DneBoundedEstimator(ProgressEstimator):
     ``[Curr/UB, Curr/LB]``; constraining dne to that interval gives it the
     same worst-case ratio bound as the interval width (Property 6's
     "constraining dne to be within the upper and lower bounds").
+
+    By default degenerate bounds (zero, infinite, inverted, stale) simply do
+    not constrain — the interval widens and the raw dne answer survives.
+    With ``strict=True`` they raise :class:`repro.errors.DegenerateBoundsError`
+    instead, the typed signal the query service's degradation path catches.
     """
 
     name = "dne+bounds"
 
-    def __init__(self) -> None:
+    def __init__(self, *, strict: bool = False) -> None:
         self._dne = DneEstimator()
+        self.strict = strict
 
     def estimate(self, observation: Observation) -> float:
+        if self.strict:
+            require_sound_bounds(observation.curr, observation.bounds)
         raw = self._dne.estimate(observation)
         low, high = progress_interval(observation.curr, observation.bounds)
         return clamp_progress(min(max(raw, low), high))

@@ -28,8 +28,10 @@ from repro.core.estimators.base import (
     ProgressEstimator,
     clamp_progress,
     progress_interval,
+    require_sound_bounds,
 )
 from repro.core.estimators.safe import SafeEstimator
+from repro.errors import EstimatorConfigError
 from repro.engine.operators.base import Operator
 from repro.engine.plan import Plan
 
@@ -65,7 +67,7 @@ class QueryHistory:
 
     def __init__(self, smoothing: float = 0.5) -> None:
         if not 0 < smoothing <= 1:
-            raise ValueError("smoothing must be in (0, 1]")
+            raise EstimatorConfigError("smoothing must be in (0, 1]")
         self.smoothing = smoothing
         self._entries: Dict[str, HistoryEntry] = {}
 
@@ -94,8 +96,9 @@ class FeedbackEstimator(ProgressEstimator):
 
     name = "feedback"
 
-    def __init__(self, history: QueryHistory) -> None:
+    def __init__(self, history: QueryHistory, *, strict: bool = False) -> None:
         self.history = history
+        self.strict = strict
         self._expected: Optional[float] = None
         self._safe = SafeEstimator()
 
@@ -103,6 +106,8 @@ class FeedbackEstimator(ProgressEstimator):
         self._expected = self.history.expected_total(plan)
 
     def estimate(self, observation: Observation) -> float:
+        if self.strict:
+            require_sound_bounds(observation.curr, observation.bounds)
         expected = self._expected
         if expected is None or expected <= 0 or observation.curr > expected:
             # No history, or the run has outlived it: the feedback is wrong,

@@ -68,12 +68,22 @@ _TOTAL_WORK_CACHE: "weakref.WeakKeyDictionary[Plan, int]" = (
 )
 
 
-def cached_total_work(plan: Plan, engine: Optional[str] = None) -> int:
-    """``measure_total_work`` with a per-plan-object memo."""
+def cached_total_work(
+    plan: Plan,
+    engine: Optional[str] = None,
+    *,
+    monitor_factory: Optional[Callable[[], ExecutionMonitor]] = None,
+) -> int:
+    """``measure_total_work`` with a per-plan-object memo.
+
+    ``monitor_factory`` supplies the private oracle monitor (the service
+    passes one that checks cancellation/deadlines on every record).
+    """
     try:
         return _TOTAL_WORK_CACHE[plan]
     except (KeyError, TypeError):
-        total = measure_total_work(plan, engine=engine)
+        monitor = monitor_factory() if monitor_factory is not None else None
+        total = measure_total_work(plan, engine=engine, monitor=monitor)
         try:
             _TOTAL_WORK_CACHE[plan] = total
         except TypeError:
@@ -98,6 +108,69 @@ class ProgressReport:
         return self.trace.summary()
 
 
+class RunnerProbe:
+    """Live sampling surface over one in-flight instrumented run.
+
+    Handed to the ``on_probe`` hook just before execution begins.  A probe
+    can assemble a :class:`TraceSample` *on demand* — outside the runner's
+    cadence — from the incremental bounds tracker and a toolkit of
+    estimators.  It performs no locking itself: the probe touches the same
+    tracker memo the executor's cadence observer mutates, so cross-thread
+    callers must hold whatever lock serializes the monitor (the query
+    service scopes both paths under its monitor's lock).
+    """
+
+    def __init__(
+        self,
+        plan: Plan,
+        monitor: ExecutionMonitor,
+        tracker: BoundsTracker,
+        pipelines: List[Pipeline],
+        estimates,
+        estimators: Sequence[ProgressEstimator],
+        total: float,
+        weighted,
+        leaf_consumed: List[int],
+    ) -> None:
+        self.plan = plan
+        self.monitor = monitor
+        self.tracker = tracker
+        self.pipelines = pipelines
+        self.estimates = estimates
+        self.estimators = list(estimators)
+        self.total = total
+        self._weighted = weighted
+        self._leaf_consumed = leaf_consumed
+
+    def live_sample(self) -> TraceSample:
+        """One on-demand sample at the current instant (not thread-safe)."""
+        snapshot = self.tracker.snapshot()
+        if self._weighted is not None:
+            curr = self._weighted.current()
+            snapshot = self._weighted.weighted_bounds(snapshot)
+        else:
+            curr = self.monitor.total_ticks
+        observation = Observation(
+            curr=curr,
+            bounds=snapshot,
+            pipelines=self.pipelines,
+            estimates=self.estimates,
+            leaf_input_consumed=self._leaf_consumed[0],
+        )
+        values = {
+            estimator.name: estimator.estimate(observation)
+            for estimator in self.estimators
+        }
+        actual = min(curr / self.total, 1.0) if self.total else 1.0
+        return TraceSample(
+            curr=curr,
+            actual=actual,
+            estimates=values,
+            lower_bound=observation.bounds.lower,
+            upper_bound=observation.bounds.upper,
+        )
+
+
 class ProgressRunner:
     """Runs plans under progress instrumentation.
 
@@ -117,6 +190,9 @@ class ProgressRunner:
         sinks: Sequence[ProgressEventSink] = (),
         clock: Callable[[], float] = time.perf_counter,
         engine: Optional[str] = None,
+        monitor_factory: Optional[Callable[[], ExecutionMonitor]] = None,
+        on_probe: Optional[Callable[["RunnerProbe"], None]] = None,
+        probe_estimators: Optional[Sequence[ProgressEstimator]] = None,
     ) -> None:
         if not estimators:
             raise ProgressError("at least one estimator is required")
@@ -131,6 +207,16 @@ class ProgressRunner:
         self.sinks = list(sinks)
         self.clock = clock
         self.engine = resolve_engine(engine)
+        #: builds every monitor this runner uses (instrumented *and* oracle);
+        #: the service injects one whose record/record_batch check
+        #: cancellation and deadlines under a lock
+        self.monitor_factory = monitor_factory or ExecutionMonitor
+        #: called with a :class:`RunnerProbe` right before execution starts
+        self.on_probe = on_probe
+        #: estimators the probe samples with (defaults to the trace toolkit;
+        #: pass fresh instances when stateful estimators must not see
+        #: out-of-cadence observations)
+        self.probe_estimators = probe_estimators
 
     def run(self) -> ProgressReport:
         weighted = None
@@ -138,7 +224,10 @@ class ProgressRunner:
             from repro.core.workmodels import WeightedWork
 
             weighted = WeightedWork(self.plan, self.work_model)
-        total_ticks = cached_total_work(self.plan, engine=self.engine)
+        total_ticks = cached_total_work(
+            self.plan, engine=self.engine,
+            monitor_factory=self.monitor_factory,
+        )
         # Keep weighted totals exact — truncating to int used to make the
         # terminal `actual` overshoot 1.0 under the bytes model.
         total: float = float(total_ticks)
@@ -270,11 +359,21 @@ class ProgressRunner:
                 )
             profile.sample_seconds += clock() - sample_started
 
-        monitor = ExecutionMonitor()
+        monitor = self.monitor_factory()
         monitor.mark_pipeline_boundaries(pipeline_boundary_operators(self.plan))
         monitor.add_batch_listener(on_tick)
         tracker.attach(monitor)
         monitor.add_observer(sample, every=cadence)
+        if self.on_probe is not None:
+            probe_estimators = self.estimators
+            if self.probe_estimators is not None:
+                probe_estimators = list(self.probe_estimators)
+                for estimator in probe_estimators:
+                    estimator.prepare(self.plan)
+            self.on_probe(RunnerProbe(
+                self.plan, monitor, tracker, pipelines, estimates,
+                probe_estimators, total, weighted, leaf_consumed,
+            ))
         emit("run_start", 0.0, 0.0, {}, 0.0, 0.0)
         context = ExecutionContext(monitor)
         try:
@@ -303,6 +402,13 @@ class ProgressRunner:
                     lower_bound=last.lower_bound,
                     upper_bound=last.upper_bound,
                 )
+        except BaseException:
+            # Aborted runs (cancellation, deadline, operator failure) must
+            # still release their sinks — a JSONL writer left open would
+            # leak the handle for the rest of a service's life.
+            for sink in sinks:
+                sink.close()
+            raise
         finally:
             tracker.detach()
             monitor.remove_batch_listener(on_tick)

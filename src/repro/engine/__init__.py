@@ -1,9 +1,11 @@
 """Execution engine: expressions, physical operators, plans and executor."""
 
+import warnings
+
 from repro.engine.executor import (
-    DEFAULT_ENGINE,
     ENGINES,
     ExecutionResult,
+    default_engine,
     execute,
     measure_total_work,
     pipeline_boundary_operators,
@@ -13,13 +15,25 @@ from repro.engine.monitor import ExecutionMonitor
 from repro.engine.plan import Plan
 
 __all__ = [
-    "DEFAULT_ENGINE",
     "ENGINES",
     "ExecutionMonitor",
     "ExecutionResult",
     "Plan",
+    "default_engine",
     "execute",
     "measure_total_work",
     "pipeline_boundary_operators",
     "resolve_engine",
 ]
+
+
+def __getattr__(name: str):
+    if name == "DEFAULT_ENGINE":
+        warnings.warn(
+            "repro.engine.DEFAULT_ENGINE is deprecated; call "
+            "repro.engine.default_engine() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return default_engine()
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))

@@ -18,6 +18,7 @@ firing instants, event streams — see ``tests/engine/test_compiled_engine``):
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
@@ -29,17 +30,47 @@ from repro.storage.table import Row
 
 ENGINES = ("fused", "interpreted")
 
-#: process-wide default engine, overridable via the environment
-DEFAULT_ENGINE = os.environ.get("REPRO_ENGINE", "fused")
+_ENGINE_ENV_VAR = "REPRO_ENGINE"
+_FALLBACK_ENGINE = "fused"
 
 
-def resolve_engine(engine: Optional[str]) -> str:
-    engine = engine or DEFAULT_ENGINE
+def default_engine() -> str:
+    """The engine used when no explicit choice is made.
+
+    Read from ``$REPRO_ENGINE`` at call time (not import time), so tests
+    and long-lived services can flip the default without re-importing.
+    """
+    return os.environ.get(_ENGINE_ENV_VAR, _FALLBACK_ENGINE)
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """The single resolution point for every ``engine=`` keyword.
+
+    ``None`` means "the default" (``$REPRO_ENGINE`` or ``"fused"``); any
+    other value must be one of :data:`ENGINES`.  All entry points —
+    :func:`execute`, :func:`measure_total_work`, the progress runner, the
+    session facade and the CLI — funnel through here.
+    """
+    engine = engine or default_engine()
     if engine not in ENGINES:
         raise ExecutionError(
             "unknown engine %r (expected one of %s)" % (engine, ENGINES)
         )
     return engine
+
+
+def __getattr__(name: str):
+    # Deprecated module attribute, kept as a shim: the old import-time
+    # constant could silently disagree with a later $REPRO_ENGINE change.
+    if name == "DEFAULT_ENGINE":
+        warnings.warn(
+            "repro.engine.executor.DEFAULT_ENGINE is deprecated; call "
+            "default_engine() (or resolve_engine(None)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return default_engine()
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
 
 
 def pipeline_boundary_operators(plan: Plan) -> Set[int]:
@@ -95,7 +126,12 @@ def execute(
     return ExecutionResult(rows, monitor.total_ticks, per_operator)
 
 
-def measure_total_work(plan: Plan, engine: Optional[str] = None) -> int:
+def measure_total_work(
+    plan: Plan,
+    engine: Optional[str] = None,
+    *,
+    monitor: Optional[ExecutionMonitor] = None,
+) -> int:
     """``total(Q)``: the exact number of counted getnext calls for ``plan``.
 
     Runs the plan once on a private monitor.  This is the oracle quantity a
@@ -104,10 +140,13 @@ def measure_total_work(plan: Plan, engine: Optional[str] = None) -> int:
 
     Pipeline boundaries are marked exactly as :func:`execute` marks them, so
     an observer attached to the private monitor (none by default) would see
-    the same boundary-forced rounds on either entry point.
+    the same boundary-forced rounds on either entry point.  ``monitor``
+    substitutes the private monitor — the query service passes one whose
+    ``record`` checks cancellation and deadlines, so even the oracle phase
+    of an instrumented run stays responsive.
     """
     engine = resolve_engine(engine)
-    context = ExecutionContext(ExecutionMonitor())
+    context = ExecutionContext(monitor or ExecutionMonitor())
     context.monitor.mark_pipeline_boundaries(pipeline_boundary_operators(plan))
     if engine == "fused":
         from repro.engine.compiled import run_fused

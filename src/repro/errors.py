@@ -49,3 +49,48 @@ class PlanningError(ReproError):
 
 class ProgressError(ReproError):
     """A progress estimator was used incorrectly."""
+
+
+class EstimatorConfigError(ProgressError, ValueError):
+    """An estimator (or its history/toolkit) was configured with invalid
+    parameters.
+
+    Also derives from :class:`ValueError` so call sites written against the
+    old untyped raise keep working.
+    """
+
+
+class DegenerateBoundsError(ProgressError):
+    """Runtime bounds are degenerate: zero, infinite, inverted, or stale.
+
+    Raised only by estimators constructed with ``strict=True``; the default
+    (non-strict) estimators clamp instead.  The query service catches
+    exactly this type to degrade a query's toolkit to the safe estimator
+    without killing the query.
+    """
+
+    def __init__(self, reason: str, curr: float, lower: float, upper: float) -> None:
+        super().__init__(
+            "%s (curr=%s, LB=%s, UB=%s)" % (reason, curr, lower, upper)
+        )
+        self.reason = reason
+        self.curr = curr
+        self.lower = lower
+        self.upper = upper
+
+
+class ServiceError(ReproError):
+    """A failure inside the concurrent query service."""
+
+
+class AdmissionError(ServiceError):
+    """The service refused to admit a query (queue full, duplicate plan,
+    or the service is shut down)."""
+
+
+class QueryCancelled(ServiceError):
+    """The query was cancelled cooperatively before it completed."""
+
+
+class QueryTimeout(ServiceError):
+    """The query exceeded its deadline and was stopped at a tick boundary."""

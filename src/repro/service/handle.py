@@ -1,0 +1,216 @@
+"""Query handles: the client-side view of one admitted query.
+
+A :class:`QueryHandle` is created at admission and crosses three threads:
+the submitter (cancel, wait, poll), the worker that executes the query, and
+any number of monitor threads sampling progress.  Its life cycle is
+
+    QUEUED -> RUNNING -> DONE | CANCELLED | FAILED | TIMED_OUT
+
+with exactly one transition into a terminal state; ``wait``/``result`` park
+on an event that fires at that transition.  Progress is exposed two ways:
+
+* :meth:`progress` — the most recent cadence sample the executor published
+  (free to read; identical to an entry of the final trace);
+* :meth:`sample` — a *fresh* sample taken right now, lock-scoped against
+  the executor so the incremental bounds tracker and the estimator toolkit
+  are never raced (see ``repro.service.monitor``).
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Dict, List, Optional
+
+from repro.core.metrics import TraceSample
+from repro.core.runner import ProgressReport, RunnerProbe
+from repro.errors import QueryCancelled, QueryTimeout, ServiceError
+
+
+class QueryState(enum.Enum):
+    """Life-cycle states of a submitted query."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    CANCELLED = "cancelled"
+    FAILED = "failed"
+    TIMED_OUT = "timed_out"
+
+    @property
+    def terminal(self) -> bool:
+        return self in _TERMINAL
+
+
+_TERMINAL = frozenset(
+    {QueryState.DONE, QueryState.CANCELLED, QueryState.FAILED,
+     QueryState.TIMED_OUT}
+)
+
+
+class QueryHandle:
+    """Ticket for one admitted query; safe to use from any thread."""
+
+    def __init__(self, query_id: int, name: str, plan) -> None:
+        self.query_id = query_id
+        self.name = name
+        self.plan = plan
+        #: read by the service monitor on *every* recorded tick batch — a
+        #: plain attribute so the hot path pays one attribute load, not a
+        #: lock round trip
+        self.cancel_requested = False
+        #: monotonic instant after which the monitor raises QueryTimeout
+        #: (set by the worker when execution starts)
+        self.deadline_at: Optional[float] = None
+        #: seconds granted for execution, or None for no deadline
+        self.deadline_seconds: Optional[float] = None
+        #: estimator name -> reason, filled when the toolkit degrades
+        self.degraded: Dict[str, str] = {}
+        self._state = QueryState.QUEUED
+        self._state_lock = threading.Lock()
+        self._done = threading.Event()
+        self._report: Optional[ProgressReport] = None
+        self._error: Optional[BaseException] = None
+        self._latest: Optional[TraceSample] = None
+        self._samples_published = 0
+        self._probe: Optional[RunnerProbe] = None
+        self._probe_lock: Optional[threading.RLock] = None
+        # per-query run configuration, filled in by the service at admission
+        self._target_samples = 200
+        self._estimators: Optional[List] = None
+
+    # -- state -----------------------------------------------------------------
+
+    @property
+    def state(self) -> QueryState:
+        return self._state
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the query reaches a terminal state."""
+        return self._done.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> ProgressReport:
+        """The finished run's report; raises the terminal error otherwise.
+
+        Raises :class:`repro.errors.QueryCancelled` /
+        :class:`repro.errors.QueryTimeout` for those terminal states, the
+        original exception for FAILED, and :class:`ServiceError` if the
+        wait timed out.
+        """
+        if not self.wait(timeout):
+            raise ServiceError(
+                "query %r still %s after %ss"
+                % (self.name, self._state.value, timeout)
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._report is not None
+        return self._report
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        return self._error
+
+    def cancel(self) -> bool:
+        """Request cooperative cancellation.
+
+        Returns True if the query had not yet reached a terminal state; the
+        executor honours the request at the next tick-batch boundary (or at
+        dequeue time if the query never started).
+        """
+        with self._state_lock:
+            self.cancel_requested = True
+            return not self._state.terminal
+
+    # -- progress --------------------------------------------------------------
+
+    def progress(self) -> Optional[TraceSample]:
+        """The most recent cadence sample, or None before the first one.
+
+        Each returned sample is — bit for bit — an entry of the trace a
+        single-threaded run of the same plan produces at the same tick
+        instant.
+        """
+        return self._latest
+
+    @property
+    def samples_published(self) -> int:
+        return self._samples_published
+
+    def sample(self) -> Optional[TraceSample]:
+        """Take a fresh progress sample *now*, from any thread.
+
+        Lock-scoped against the executor: the sample sees a consistent
+        bounds-tracker state even while the query is ticking.  Returns None
+        unless the query is RUNNING.  The probe uses its own toolkit
+        instances, so out-of-cadence sampling never perturbs the recorded
+        trace.
+        """
+        probe, lock = self._probe, self._probe_lock
+        if probe is None or lock is None or self._state is not QueryState.RUNNING:
+            return None
+        with lock:
+            # Re-check under the lock: the worker detaches the probe before
+            # finalizing, so a probe observed here is still wired.
+            if self._probe is None:
+                return None
+            return probe.live_sample()
+
+    # -- worker-side hooks (not public API) --------------------------------------
+
+    def _attach_probe(self, probe: RunnerProbe, lock: threading.RLock) -> None:
+        self._probe_lock = lock
+        self._probe = probe
+
+    def _detach_probe(self) -> None:
+        lock = self._probe_lock
+        if lock is not None:
+            with lock:
+                self._probe = None
+
+    def _publish(self, sample: TraceSample) -> None:
+        self._latest = sample
+        self._samples_published += 1
+
+    def _mark_running(self) -> bool:
+        with self._state_lock:
+            if self.cancel_requested:
+                return False
+            self._state = QueryState.RUNNING
+            return True
+
+    def _finalize(
+        self,
+        state: QueryState,
+        report: Optional[ProgressReport] = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        if not state.terminal:
+            raise ServiceError("cannot finalize into %s" % (state,))
+        with self._state_lock:
+            if self._state.terminal:
+                return
+            self._state = state
+            self._report = report
+            self._error = error
+        self._done.set()
+
+    def __repr__(self) -> str:
+        return "QueryHandle(#%d %r, %s)" % (
+            self.query_id, self.name, self._state.value,
+        )
+
+
+def cancelled_error(handle: QueryHandle) -> QueryCancelled:
+    return QueryCancelled("query %r was cancelled" % (handle.name,))
+
+
+def timeout_error(handle: QueryHandle) -> QueryTimeout:
+    return QueryTimeout(
+        "query %r exceeded its %.3fs deadline"
+        % (handle.name, handle.deadline_seconds or 0.0)
+    )

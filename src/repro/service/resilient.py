@@ -1,0 +1,84 @@
+"""Estimator degradation: never kill a query because its estimator failed.
+
+The robustness rule of the service (and of §5.3's fallback argument): a
+progress estimate is advisory, the query result is not.  Each trace
+estimator is therefore wrapped in a :class:`ResilientEstimator` that
+
+* passes estimates through untouched while the inner estimator behaves —
+  a healthy query's trace is bit-identical to an unwrapped run;
+* on the first raise — a typed
+  :class:`repro.errors.DegenerateBoundsError` from a strict toolkit, or
+  any other exception from a buggy estimator — *degrades* the slot to the
+  safe estimator (``Curr/√(LB·UB)``, worst-case optimal, defined for every
+  bounds state) for the rest of the run, records the reason on the query
+  handle, and reports the degradation to the service's event stream.
+
+Degradation is sticky per run: once an estimator has proven unreliable for
+this query, flip-flopping between its answers and safe's would make the
+progress series non-comparable across samples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.estimators.base import (
+    Observation,
+    ProgressEstimator,
+    progress_interval,
+)
+from repro.core.estimators.safe import SafeEstimator
+
+#: callback(estimator_name, reason) invoked once, at degradation time
+DegradeCallback = Callable[[str, str], None]
+
+
+class ResilientEstimator(ProgressEstimator):
+    """Wraps one estimator; falls back to safe on any estimation failure."""
+
+    def __init__(
+        self,
+        inner: ProgressEstimator,
+        on_degrade: Optional[DegradeCallback] = None,
+    ) -> None:
+        self.inner = inner
+        self.name = inner.name
+        self.on_degrade = on_degrade
+        self.degraded_reason: Optional[str] = None
+        self._safe = SafeEstimator()
+
+    @property
+    def degraded(self) -> bool:
+        return self.degraded_reason is not None
+
+    def prepare(self, plan) -> None:
+        self.inner.prepare(plan)
+        self._safe.prepare(plan)
+
+    def _degrade(self, reason: str) -> None:
+        self.degraded_reason = reason
+        if self.on_degrade is not None:
+            self.on_degrade(self.name, reason)
+
+    def estimate(self, observation: Observation) -> float:
+        if self.degraded_reason is None:
+            try:
+                return self.inner.estimate(observation)
+            except Exception as exc:
+                self._degrade("%s: %s" % (type(exc).__name__, exc))
+        try:
+            return self._safe.estimate(observation)
+        except Exception:
+            # safe is arithmetic over two floats and should never raise;
+            # if it somehow does, answer from the sound interval's midpoint
+            # (progress_interval is total by construction).
+            low, high = progress_interval(observation.curr, observation.bounds)
+            return (low + high) / 2.0
+
+    def interval(self, observation: Observation):
+        if self.degraded_reason is None:
+            try:
+                return self.inner.interval(observation)
+            except Exception as exc:
+                self._degrade("%s: %s" % (type(exc).__name__, exc))
+        return self._safe.interval(observation)

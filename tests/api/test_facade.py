@@ -1,0 +1,165 @@
+"""The stable ``repro.api`` facade and its compatibility shims.
+
+Two contracts are pinned here: the README quickstart runs **verbatim**
+through the facade, and retired spellings (``DEFAULT_ENGINE``) keep
+working behind a :class:`DeprecationWarning` while the facade itself stays
+warning-free.
+"""
+
+from __future__ import annotations
+
+import warnings
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.engine.executor import (
+    ENGINES,
+    default_engine,
+    resolve_engine,
+)
+from repro.engine.plan import Plan
+from repro.errors import ReproError
+from repro.service import QueryState
+from repro.stats import StatisticsManager
+from repro.storage import Catalog, Table, schema_of
+
+README = Path(__file__).resolve().parents[2] / "README.md"
+
+
+def small_catalog(rows=2000):
+    catalog = Catalog("api-test")
+    catalog.add_table(Table(
+        "t",
+        schema_of("t", "x:int", "g:int"),
+        [(i, i % 7) for i in range(rows)],
+    ))
+    StatisticsManager(catalog).analyze_all()
+    return catalog
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_runs_verbatim(self, capsys):
+        text = README.read_text()
+        section = text.split("## Quickstart", 1)[1]
+        code = section.split("```python", 1)[1].split("```", 1)[0]
+        # The quickstart is the facade's showcase: it must not touch any
+        # deprecated spelling.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            exec(compile(code, str(README), "exec"), {})
+        out = capsys.readouterr().out
+        assert "total getnext calls:" in out
+        assert "state: done" in out
+
+
+class TestSession:
+    def test_connect_is_keyword_only(self):
+        with pytest.raises(TypeError):
+            repro.connect(Catalog())
+
+    def test_sql_returns_plan_without_executing(self):
+        with repro.connect(catalog=small_catalog()) as session:
+            plan = session.sql("SELECT COUNT(*) FROM t")
+            assert isinstance(plan, Plan)
+
+    def test_execute_returns_rows_and_accounting(self):
+        with repro.connect(catalog=small_catalog()) as session:
+            result = session.execute("SELECT g, COUNT(*) FROM t GROUP BY g")
+            assert result.row_count == 7
+            assert result.total_getnext > 0
+
+    def test_run_accepts_plan_or_sql(self):
+        with repro.connect(catalog=small_catalog()) as session:
+            from_text = session.run(
+                "SELECT COUNT(*) FROM t", target_samples=10
+            )
+            from_plan = session.run(
+                session.sql("SELECT COUNT(*) FROM t"), target_samples=10
+            )
+            assert from_text.total == from_plan.total
+            assert from_text.trace.samples == from_plan.trace.samples
+
+    def test_run_rejects_other_query_types(self):
+        with repro.connect(catalog=small_catalog()) as session:
+            with pytest.raises(ReproError):
+                session.run(42)
+
+    def test_submit_round_trip_matches_run(self):
+        with repro.connect(catalog=small_catalog(), target_samples=10) as session:
+            solo = session.run("SELECT COUNT(*) FROM t")
+            handle = session.submit("SELECT COUNT(*) FROM t")
+            report = handle.result(timeout=60.0)
+            assert handle.state is QueryState.DONE
+            assert report.trace.samples == solo.trace.samples
+
+    def test_close_shuts_service_down(self):
+        session = repro.connect(catalog=small_catalog())
+        handle = session.submit("SELECT COUNT(*) FROM t")
+        assert handle.wait(60.0)
+        session.close()
+        with pytest.raises(ReproError):
+            session.service
+
+    def test_package_reexports(self):
+        assert repro.connect is not None
+        assert repro.Session is not None
+        assert repro.QueryService is not None
+        assert repro.QueryState is QueryState
+        assert issubclass(repro.AdmissionError, repro.ReproError)
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+
+class TestEngineResolution:
+    def test_resolve_engine_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "interpreted")
+        assert resolve_engine("fused") == "fused"
+
+    def test_resolve_engine_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "interpreted")
+        assert resolve_engine(None) == "interpreted"
+        monkeypatch.delenv("REPRO_ENGINE")
+        assert resolve_engine(None) == "fused"
+
+    def test_resolve_engine_rejects_unknown(self):
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            resolve_engine("bogus")
+
+    def test_default_engine_reads_env_at_call_time(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "interpreted")
+        assert default_engine() == "interpreted"
+
+    def test_session_engine_uses_resolution(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "interpreted")
+        session = repro.connect(catalog=small_catalog())
+        assert session.engine == "interpreted"
+        session.close()
+
+
+class TestDeprecationShims:
+    def test_executor_default_engine_warns(self):
+        import repro.engine.executor as executor
+
+        with pytest.warns(DeprecationWarning, match="resolve_engine"):
+            value = executor.DEFAULT_ENGINE
+        assert value in ENGINES
+        assert value == default_engine()
+
+    def test_engine_package_default_engine_warns(self):
+        import repro.engine as engine
+
+        with pytest.warns(DeprecationWarning):
+            value = engine.DEFAULT_ENGINE
+        assert value in ENGINES
+
+    def test_facade_paths_are_warning_free(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with repro.connect(catalog=small_catalog()) as session:
+                session.execute("SELECT COUNT(*) FROM t")
+                session.run("SELECT COUNT(*) FROM t", target_samples=5)
+                session.submit("SELECT COUNT(*) FROM t").result(timeout=60.0)

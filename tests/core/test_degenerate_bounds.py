@@ -17,7 +17,14 @@ from repro.core import (
     FeedbackEstimator,
     Observation,
     QueryHistory,
+    degenerate_reason,
     progress_interval,
+    require_sound_bounds,
+)
+from repro.errors import (
+    DegenerateBoundsError,
+    EstimatorConfigError,
+    ProgressError,
 )
 from repro.core.pipelines import decompose
 from repro.engine.operators import TableScan
@@ -117,3 +124,65 @@ class TestFeedbackDegenerate:
         estimator.prepare(plan)
         value = estimator.estimate(obs)
         assert 0.0 <= value <= 1.0
+
+
+class TestStrictMode:
+    """``strict=True`` surfaces degeneracy as a typed error instead of
+    widening the clamp — the hook the service's degradation logic keys on."""
+
+    @pytest.mark.parametrize("curr,lower,upper,fragment", [
+        (5, 0.0, 0.0, "not positive"),
+        (5, 10.0, math.inf, "infinite"),
+        (5, 0.0, 100.0, "lower bound"),
+        (50, 200.0, 100.0, "inverted"),
+        (300, 100.0, 200.0, "stale"),
+    ])
+    def test_degenerate_reason_explains(self, curr, lower, upper, fragment):
+        _, obs = make_observation(curr, lower, upper)
+        reason = degenerate_reason(obs.curr, obs.bounds)
+        assert reason is not None and fragment in reason
+
+    def test_sound_bounds_have_no_reason(self):
+        _, obs = make_observation(50, 100.0, 200.0)
+        assert degenerate_reason(obs.curr, obs.bounds) is None
+        require_sound_bounds(obs.curr, obs.bounds)  # must not raise
+
+    def test_require_sound_bounds_raises_typed_error(self):
+        _, obs = make_observation(5, 0.0, 0.0)
+        with pytest.raises(DegenerateBoundsError) as excinfo:
+            require_sound_bounds(obs.curr, obs.bounds)
+        error = excinfo.value
+        assert isinstance(error, ProgressError)
+        assert (error.curr, error.lower, error.upper) == (5, 0.0, 0.0)
+        assert "curr=5" in str(error)
+
+    def test_strict_dne_bounded_raises(self):
+        _, obs = make_observation(5, 0.0, math.inf)
+        with pytest.raises(DegenerateBoundsError):
+            DneBoundedEstimator(strict=True).estimate(obs)
+
+    def test_strict_feedback_raises(self):
+        plan, obs = make_observation(5, 0.0, 0.0)
+        history = QueryHistory()
+        history.record(plan, 10)
+        estimator = FeedbackEstimator(history, strict=True)
+        estimator.prepare(plan)
+        with pytest.raises(DegenerateBoundsError):
+            estimator.estimate(obs)
+
+    def test_non_strict_default_still_clamps(self):
+        _, obs = make_observation(5, 0.0, 0.0)
+        assert 0.0 <= DneBoundedEstimator().estimate(obs) <= 1.0
+
+
+class TestConfigErrors:
+    def test_bad_smoothing_raises_typed_config_error(self):
+        with pytest.raises(EstimatorConfigError):
+            QueryHistory(smoothing=0.0)
+
+    def test_config_error_stays_a_value_error(self):
+        # Pre-existing callers catch ValueError; the typed error must not
+        # break them.
+        with pytest.raises(ValueError):
+            QueryHistory(smoothing=2.0)
+        assert issubclass(EstimatorConfigError, ProgressError)

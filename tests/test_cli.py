@@ -51,6 +51,29 @@ class TestMuTables:
         assert "mu per SkyServer query" in out
 
 
+class TestServe:
+    def test_serve_runs_to_terminal_states(self, capsys):
+        code = main([
+            "serve", "--scale", "0.0003", "--queries", "1,6",
+            "--workers", "2", "--poll", "0.01",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "admitted 2 queries onto 2 workers" in out
+        assert "all queries reached a terminal state" in out
+        assert "done=2" in out
+
+    def test_serve_with_cancellation(self, capsys):
+        code = main([
+            "serve", "--scale", "0.0003", "--queries", "1,6",
+            "--workers", "1", "--poll", "0.01", "--cancel", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cancelled Q1#0 mid-flight" in out
+        assert "all queries reached a terminal state" in out
+
+
 class TestExperiments:
     def test_single_experiment(self, capsys):
         assert main(["experiments", "predictive-orders"]) == 0
