@@ -1,0 +1,184 @@
+"""Service-throughput benchmark: process backend vs. thread backend.
+
+The thread backend gives the query service concurrency but — the engine
+being pure Python — no parallelism: the GIL serializes every tick, so
+aggregate throughput is flat in worker count.  ``backend="process"`` runs
+each query in a worker process; on a multi-core machine the same eight
+concurrent TPC-H queries should finish in a fraction of the wall time.
+
+Measurement protocol:
+
+* the workload is eight concurrent TPC-H queries (the service test suite's
+  stress set) admitted back-to-back onto a 4-worker service, full
+  dne/pmax/safe instrumentation throughout;
+* a fresh plan per submission (operators hold runtime state), fresh
+  service per repetition, three repetitions per backend, minimum wall
+  time taken; the garbage collector is collected then disabled around each
+  timed region;
+* throughput = total ticks / wall seconds; the speedup is the ratio of
+  aggregate throughputs, which equals the wall-time ratio since the tick
+  totals are asserted identical across backends;
+* correctness is asserted *inside* the benchmark: every query's trace
+  under the process backend must be bit-identical to a solo
+  single-threaded run of the same plan — parallelism changes scheduling,
+  never measurements.
+
+The numbers land in ``benchmarks/results/BENCH_service_parallel.json``.
+The acceptance bar — ≥2× aggregate throughput — is asserted only when the
+machine has at least four usable cores: the speedup *is* multi-core
+parallelism, and a 1-2 core runner cannot exhibit it (the artifact records
+the measurement either way; the bit-identity assertion always applies).
+"""
+
+import gc
+import json
+import os
+import time
+
+from repro.bench.harness import save_artifact
+from repro.core import ProgressRunner, standard_toolkit
+from repro.service import QueryService
+from repro.stats import StatisticsManager
+from repro.workloads import build_query, generate_tpch
+
+#: big enough that per-query execution dominates the fixed per-query IPC
+#: cost (dispatch, event forwarding, report pickle) by an order of magnitude
+TPCH_SCALE = 0.01
+QUERIES = [1, 3, 5, 6, 10, 12, 14, 19]
+WORKERS = 4
+TARGET_SAMPLES = 40
+REPS = 3
+#: the ≥2× gate needs real cores to stand on
+MIN_CORES_FOR_GATE = 4
+SPEEDUP_GATE = 2.0
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _make_db(scale_factor):
+    db = generate_tpch(scale=TPCH_SCALE * scale_factor, skew=2.0, seed=42)
+    StatisticsManager(db.catalog).analyze_all()
+    return db
+
+
+def _solo_traces(db):
+    """Reference single-threaded traces, one per workload query."""
+    traces = {}
+    for number in QUERIES:
+        report = ProgressRunner(
+            build_query(db, number),
+            standard_toolkit(),
+            db.catalog,
+            target_samples=TARGET_SAMPLES,
+        ).run()
+        traces[number] = report.trace.samples
+    return traces
+
+
+def _timed_round(db, backend):
+    """One full workload through a fresh service; returns (seconds, reports)."""
+    service = QueryService(
+        db.catalog,
+        backend=backend,
+        max_workers=WORKERS,
+        queue_depth=len(QUERIES),
+        target_samples=TARGET_SAMPLES,
+    )
+    try:
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            started = time.perf_counter()
+            handles = [
+                service.submit(build_query(db, number), name="Q%d" % number)
+                for number in QUERIES
+            ]
+            reports = {
+                number: handle.result(timeout=600)
+                for number, handle in zip(QUERIES, handles)
+            }
+            elapsed = time.perf_counter() - started
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+    finally:
+        service.shutdown()
+    return elapsed, reports
+
+
+def measure_parallelism(scale_factor=1.0):
+    db = _make_db(scale_factor)
+    solo = _solo_traces(db)
+    results = {}
+    for backend in ("thread", "process"):
+        best_seconds = float("inf")
+        ticks = None
+        for _ in range(REPS):
+            elapsed, reports = _timed_round(db, backend)
+            best_seconds = min(best_seconds, elapsed)
+            round_ticks = sum(
+                int(report.total) for report in reports.values()
+            )
+            assert ticks is None or ticks == round_ticks
+            ticks = round_ticks
+            # The core guarantee, re-checked under timing conditions:
+            # concurrent traces are bit-identical to solo traces.
+            for number, report in reports.items():
+                assert report.trace.samples == solo[number], (
+                    "Q%d: %s-backend trace differs from solo run"
+                    % (number, backend)
+                )
+        results[backend] = {
+            "wall_seconds": best_seconds,
+            "total_ticks": ticks,
+            "ticks_per_second": ticks / best_seconds,
+        }
+    assert results["thread"]["total_ticks"] == results["process"]["total_ticks"]
+    speedup = (
+        results["process"]["ticks_per_second"]
+        / results["thread"]["ticks_per_second"]
+    )
+    return {
+        "tpch_scale": TPCH_SCALE * scale_factor,
+        "queries": QUERIES,
+        "workers": WORKERS,
+        "target_samples": TARGET_SAMPLES,
+        "reps": REPS,
+        "usable_cores": usable_cores(),
+        "backends": results,
+        "speedup": speedup,
+        "speedup_gate": SPEEDUP_GATE,
+        "gate_enforced": usable_cores() >= MIN_CORES_FOR_GATE,
+    }
+
+
+def test_service_parallel_throughput(benchmark, scale_factor):
+    result = benchmark.pedantic(
+        lambda: measure_parallelism(scale_factor=scale_factor),
+        rounds=1, iterations=1,
+    )
+    save_artifact(
+        "BENCH_service_parallel.json",
+        json.dumps(result, indent=2, sort_keys=True),
+    )
+    for backend in ("thread", "process"):
+        entry = result["backends"][backend]
+        print("%-8s %9d ticks  %7.3fs  %12.0f ticks/s" % (
+            backend, entry["total_ticks"], entry["wall_seconds"],
+            entry["ticks_per_second"],
+        ))
+    print("speedup: %.2fx on %d cores (gate %s)" % (
+        result["speedup"], result["usable_cores"],
+        "enforced" if result["gate_enforced"] else "recorded only",
+    ))
+    # Acceptance bar: ≥2× aggregate throughput from real parallelism.
+    # Only meaningful with cores to parallelize over; the bit-identity
+    # assertions inside measure_parallelism ran unconditionally.
+    if result["gate_enforced"]:
+        assert result["speedup"] >= SPEEDUP_GATE

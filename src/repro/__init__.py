@@ -28,6 +28,8 @@ _EXPORTS = {
     "QueryHandle": ("repro.service", "QueryHandle"),
     "QueryService": ("repro.service", "QueryService"),
     "QueryState": ("repro.service", "QueryState"),
+    "BACKENDS": ("repro.service", "BACKENDS"),
+    "CatalogSpec": ("repro.service", "CatalogSpec"),
     "ReproError": ("repro.errors", "ReproError"),
     "AdmissionError": ("repro.errors", "AdmissionError"),
     "QueryCancelled": ("repro.errors", "QueryCancelled"),

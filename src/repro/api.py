@@ -29,7 +29,7 @@ from repro.core.runner import ProgressReport, ProgressRunner
 from repro.engine.executor import ExecutionResult, execute, resolve_engine
 from repro.engine.plan import Plan
 from repro.errors import ReproError
-from repro.service import QueryHandle, QueryService
+from repro.service import QueryHandle, QueryService, resolve_backend
 from repro.storage.catalog import Catalog
 
 Query = Union[Plan, str]
@@ -42,6 +42,8 @@ def connect(
     target_samples: int = 200,
     max_workers: int = 4,
     queue_depth: int = 16,
+    backend: Optional[str] = None,
+    start_method: Optional[str] = None,
 ) -> "Session":
     """Open a :class:`Session` against ``catalog``.
 
@@ -49,6 +51,11 @@ def connect(
     session (default: ``$REPRO_ENGINE`` or the fused compiler);
     ``max_workers``/``queue_depth`` size the concurrent query service
     behind :meth:`Session.submit` (started lazily on first use).
+    ``backend`` picks that service's execution backend — ``"thread"``
+    (default) or ``"process"`` for real CPU parallelism (default:
+    ``$REPRO_BACKEND``); ``start_method`` tunes how process workers start
+    (``"fork"``/``"spawn"``/``"forkserver"``, default ``$REPRO_START_METHOD``
+    or fork where available).
     """
     return Session(
         catalog=catalog,
@@ -56,6 +63,8 @@ def connect(
         target_samples=target_samples,
         max_workers=max_workers,
         queue_depth=queue_depth,
+        backend=backend,
+        start_method=start_method,
     )
 
 
@@ -70,12 +79,16 @@ class Session:
         target_samples: int = 200,
         max_workers: int = 4,
         queue_depth: int = 16,
+        backend: Optional[str] = None,
+        start_method: Optional[str] = None,
     ) -> None:
         self.catalog = catalog if catalog is not None else Catalog()
         self.engine = resolve_engine(engine)
+        self.backend = resolve_backend(backend)
         self.target_samples = target_samples
         self._max_workers = max_workers
         self._queue_depth = queue_depth
+        self._start_method = start_method
         self._service: Optional[QueryService] = None
         self._closed = False
 
@@ -150,6 +163,8 @@ class Session:
                 max_workers=self._max_workers,
                 queue_depth=self._queue_depth,
                 engine=self.engine,
+                backend=self.backend,
+                start_method=self._start_method,
                 target_samples=self.target_samples,
             )
         return self._service

@@ -55,6 +55,7 @@ from repro.core import (
 )
 from repro.core.runner import ProgressReport
 from repro.engine.executor import ENGINES, default_engine
+from repro.service.procpool import BACKENDS
 from repro.sql import plan_query
 from repro.workloads import (
     SKYSERVER_QUERIES,
@@ -207,6 +208,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         queue_depth=max(args.queue_depth, len(numbers) * args.repeat),
         engine=args.engine,
+        backend=args.backend,
+        start_method=args.start_method,
         target_samples=args.samples,
         default_deadline=args.deadline,
     )
@@ -217,8 +220,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             handles.append(service.submit(
                 plan, name="Q%d#%d" % (number, round_index), block=True,
             ))
-    print("admitted %d queries onto %d workers (engine=%s)"
-          % (len(handles), args.workers, service.engine))
+    print("admitted %d queries onto %d %s workers (engine=%s)"
+          % (len(handles), args.workers, service.backend, service.engine))
     cancel_target = None
     if args.cancel is not None and 0 <= args.cancel < len(handles):
         cancel_target = handles[args.cancel]
@@ -365,6 +368,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="submit the whole mix this many times")
     serve.add_argument("--workers", type=int, default=4)
     serve.add_argument("--queue-depth", type=int, default=16)
+    serve.add_argument("--backend", choices=BACKENDS, default=None,
+                       help="execution backend: thread (default) shares the "
+                            "GIL, process runs queries on worker processes "
+                            "($REPRO_BACKEND overrides)")
+    serve.add_argument("--start-method", default=None,
+                       metavar="{fork,spawn,forkserver}",
+                       help="how process workers start (process backend "
+                            "only; $REPRO_START_METHOD overrides)")
     serve.add_argument("--samples", type=int, default=50,
                        help="target progress samples per query")
     serve.add_argument("--deadline", type=float, default=None,

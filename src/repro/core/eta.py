@@ -77,14 +77,24 @@ class EtaEstimator:
         return (last_curr - first_curr) / span
 
     def read(self, observation: Observation) -> EtaReading:
-        """Remaining-time estimate for the current instant."""
+        """Remaining-time estimate for the current instant.
+
+        The point estimate is None until both a rate and at least one unit
+        of work are observed.  The interval endpoints inherit the bounds'
+        honesty: an infinite upper bound yields an infinite (unbounded)
+        interval ceiling rather than a fabricated finite one.
+        """
         progress = self.estimator.estimate(observation)
         ticks_per_second = self.rate()
         if ticks_per_second is None:
             return EtaReading(None, (None, None), None, progress)
         curr = observation.curr
-        # Point estimate from the progress fraction.
-        if progress > 0:
+        # Point estimate from the progress fraction.  Zero work done means
+        # the fraction cannot be extrapolated to a total — curr/progress
+        # would claim a zero-tick query, i.e. "0 seconds remaining" at
+        # query start — so the point estimate stays unknown until the
+        # first counted tick.
+        if progress > 0 and curr > 0:
             total_estimate = curr / progress
             remaining_ticks = max(0.0, total_estimate - curr)
             seconds = remaining_ticks / ticks_per_second

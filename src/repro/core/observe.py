@@ -136,6 +136,27 @@ class MemorySink(ProgressEventSink):
         return [event for event in self.events if event.kind == "sample"]
 
 
+class ForwardingSink(ProgressEventSink):
+    """Forwards each event to a callable instead of storing or writing it.
+
+    This is the bridge that moves a run's event stream across an execution
+    boundary: the multiprocess query service attaches one inside each
+    worker with ``send=pipe.send`` so cadence samples, life-cycle events
+    and the final trace frame stream back to the parent as they happen.
+    ``kinds`` optionally restricts which event kinds cross (``None``
+    forwards everything); serialization is the transport's business —
+    events are plain frozen dataclasses and pickle cleanly.
+    """
+
+    def __init__(self, send, kinds: Optional[Sequence[str]] = None) -> None:
+        self._send = send
+        self._kinds = frozenset(kinds) if kinds is not None else None
+
+    def emit(self, event: ProgressEvent) -> None:
+        if self._kinds is None or event.kind in self._kinds:
+            self._send(event)
+
+
 class JsonlTraceWriter(ProgressEventSink):
     """Streams events as JSON Lines to a path or an open text handle.
 

@@ -6,7 +6,11 @@ Public surface:
 * :class:`QueryHandle` / :class:`QueryState` — per-query tickets with
   cooperative cancellation, deadlines and thread-safe progress sampling;
 * :class:`ServiceExecutionMonitor` — the tick-boundary control monitor;
-* :class:`ResilientEstimator` — safe-fallback estimator degradation.
+* :class:`ResilientEstimator` — safe-fallback estimator degradation;
+* :data:`BACKENDS` / :func:`resolve_backend` / :func:`resolve_start_method`
+  / :class:`CatalogSpec` — the execution-backend surface
+  (``backend="thread"`` or ``"process"``, see
+  :mod:`repro.service.procpool`).
 
 Typical use goes through the facade (:func:`repro.api.connect` →
 ``Session.submit``); this package is the engine room.
@@ -14,13 +18,27 @@ Typical use goes through the facade (:func:`repro.api.connect` →
 
 from repro.service.handle import QueryHandle, QueryState
 from repro.service.monitor import ServiceExecutionMonitor
+from repro.service.procpool import (
+    BACKENDS,
+    CatalogSpec,
+    default_backend,
+    default_start_method,
+    resolve_backend,
+    resolve_start_method,
+)
 from repro.service.resilient import ResilientEstimator
 from repro.service.service import QueryService
 
 __all__ = [
+    "BACKENDS",
+    "CatalogSpec",
     "QueryHandle",
     "QueryService",
     "QueryState",
     "ResilientEstimator",
     "ServiceExecutionMonitor",
+    "default_backend",
+    "default_start_method",
+    "resolve_backend",
+    "resolve_start_method",
 ]

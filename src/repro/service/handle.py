@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 import threading
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.metrics import TraceSample
 from repro.core.runner import ProgressReport, RunnerProbe
@@ -78,6 +78,13 @@ class QueryHandle:
         # per-query run configuration, filled in by the service at admission
         self._target_samples = 200
         self._estimators: Optional[List] = None
+        #: pickled (plan, estimators) wire payload — process backend only
+        self._wire: Optional[bytes] = None
+        # backend hooks: the thread backend leaves these None (cancel is a
+        # shared-memory attribute read, sampling goes through the probe);
+        # the process backend binds them while its worker owns the query
+        self._on_cancel: Optional[Callable[[], None]] = None
+        self._remote_sampler: Optional[Callable[[], Optional[TraceSample]]] = None
 
     # -- state -----------------------------------------------------------------
 
@@ -124,7 +131,13 @@ class QueryHandle:
         """
         with self._state_lock:
             self.cancel_requested = True
-            return not self._state.terminal
+            on_cancel = self._on_cancel
+            live = not self._state.terminal
+        if live and on_cancel is not None:
+            # Process backend: mirror the request into the shared-memory
+            # flag the worker process polls at tick-batch boundaries.
+            on_cancel()
+        return live
 
     # -- progress --------------------------------------------------------------
 
@@ -150,6 +163,13 @@ class QueryHandle:
         instances, so out-of-cadence sampling never perturbs the recorded
         trace.
         """
+        sampler = self._remote_sampler
+        if sampler is not None:
+            # Process backend: the probe lives in the worker process; ask it
+            # for a lock-scoped sample at its next tick-batch boundary.
+            if self._state is not QueryState.RUNNING:
+                return None
+            return sampler()
         probe, lock = self._probe, self._probe_lock
         if probe is None or lock is None or self._state is not QueryState.RUNNING:
             return None
@@ -161,6 +181,24 @@ class QueryHandle:
             return probe.live_sample()
 
     # -- worker-side hooks (not public API) --------------------------------------
+
+    def _bind_backend(
+        self,
+        on_cancel: Optional[Callable[[], None]],
+        sampler: Optional[Callable[[], Optional[TraceSample]]],
+    ) -> None:
+        """Wire (or, with Nones, unwire) process-backend cancel/sample hooks.
+
+        A cancel that raced admission — requested after ``submit`` returned
+        but before the worker slot bound its hooks — is replayed into the
+        fresh hook so the shared flag is never left unset.
+        """
+        with self._state_lock:
+            self._on_cancel = on_cancel
+            self._remote_sampler = sampler
+            replay = self.cancel_requested and on_cancel is not None
+        if replay:
+            on_cancel()
 
     def _attach_probe(self, probe: RunnerProbe, lock: threading.RLock) -> None:
         self._probe_lock = lock

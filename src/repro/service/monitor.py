@@ -7,7 +7,10 @@ coalesced tick batch (fused engine) funnels through
 this subclass checks the query's cancel flag and deadline right there, so a
 cancel lands within one tick (row-at-a-time) or one observer-cadence batch
 (fused) — and the fused engine's batches are already capped at the observer
-cadence, so responsiveness does not degrade with batching.
+cadence, so responsiveness does not degrade with batching.  Finish and
+rewind events are checked as well: a ⋈NL rescan over an already-filtered
+inner emits long finish/rewind trains with no counted tick in between, and
+those must not stretch the cancel bound.
 
 The same subclass provides the *sampling lock*: all monitor entry points
 that mutate progress state (ticks, finishes, rewinds, resets — and the
@@ -68,10 +71,16 @@ class ServiceExecutionMonitor(ExecutionMonitor):
             super().record_batch(operator_id, n)
 
     def record_finish(self, operator_id: int) -> None:
+        # Finish events are control-checked too: a rewind-heavy ⋈NL rescan
+        # emits long finish/rewind trains between counted ticks, and
+        # skipping the check there would defer a cancel past the documented
+        # one-tick/one-batch bound.
+        self._check_control()
         with self.lock:
             super().record_finish(operator_id)
 
     def record_rewind(self, operator_id: int) -> None:
+        self._check_control()
         with self.lock:
             super().record_rewind(operator_id)
 

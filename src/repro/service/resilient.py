@@ -52,8 +52,15 @@ class ResilientEstimator(ProgressEstimator):
         return self.degraded_reason is not None
 
     def prepare(self, plan) -> None:
-        self.inner.prepare(plan)
+        # Safe first: it must be prepared even when the inner estimator
+        # fails, so the degraded slot has a working fallback from tick one.
         self._safe.prepare(plan)
+        if self.degraded_reason is not None:
+            return
+        try:
+            self.inner.prepare(plan)
+        except Exception as exc:
+            self._degrade("prepare: %s: %s" % (type(exc).__name__, exc))
 
     def _degrade(self, reason: str) -> None:
         self.degraded_reason = reason
@@ -81,4 +88,9 @@ class ResilientEstimator(ProgressEstimator):
                 return self.inner.interval(observation)
             except Exception as exc:
                 self._degrade("%s: %s" % (type(exc).__name__, exc))
-        return self._safe.interval(observation)
+        try:
+            return self._safe.interval(observation)
+        except Exception:
+            # Mirror estimate()'s total fallback: progress_interval is
+            # defined for every bounds state, so interval() never escapes.
+            return progress_interval(observation.curr, observation.bounds)

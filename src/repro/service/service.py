@@ -16,6 +16,12 @@ queries in flight, each observable while it runs.
   monitors are :class:`~repro.service.monitor.ServiceExecutionMonitor`\\ s:
   cancellation and deadlines are honoured at tick-batch boundaries, in
   both the oracle and the monitored pass.
+* **Backends** — ``backend="thread"`` (default) runs queries on in-process
+  worker threads: concurrent, but GIL-serialized.  ``backend="process"``
+  runs each query in a worker *process* (see
+  :mod:`repro.service.procpool`) for real CPU parallelism; handles,
+  cancellation, deadlines, live sampling and traces behave identically.
+  ``$REPRO_BACKEND`` overrides the default, mirroring ``$REPRO_ENGINE``.
 * **Progress** — cadence samples are published to the query's handle as
   they are taken, and a lock-scoped probe lets any thread sample a running
   query's dne/pmax/safe on demand without racing the executor.
@@ -51,6 +57,12 @@ from repro.engine.plan import Plan
 from repro.errors import AdmissionError, QueryCancelled, QueryTimeout
 from repro.service.handle import QueryHandle, QueryState, cancelled_error
 from repro.service.monitor import ServiceExecutionMonitor
+from repro.service.procpool import (
+    CatalogSpec,
+    ProcessPool,
+    encode_query,
+    resolve_backend,
+)
 from repro.service.resilient import ResilientEstimator
 from repro.storage.catalog import Catalog
 
@@ -70,6 +82,9 @@ class QueryService:
         queue_depth: int = 16,
         toolkit_factory: Callable[[], List[ProgressEstimator]] = standard_toolkit,
         engine: Optional[str] = None,
+        backend: Optional[str] = None,
+        start_method: Optional[str] = None,
+        catalog_spec: Optional[CatalogSpec] = None,
         target_samples: int = 200,
         default_deadline: Optional[float] = None,
         sinks: Sequence[ProgressEventSink] = (),
@@ -82,6 +97,10 @@ class QueryService:
         self.catalog = catalog
         self.toolkit_factory = toolkit_factory
         self.engine = resolve_engine(engine)
+        self.backend = resolve_backend(backend)
+        #: how spawn-started workers re-open the catalog; None means "ship
+        #: the catalog pickled" (irrelevant under fork and the thread backend)
+        self.catalog_spec = catalog_spec
         self.target_samples = target_samples
         self.default_deadline = default_deadline
         self.sinks = list(sinks)
@@ -98,16 +117,24 @@ class QueryService:
             "submitted": 0, "rejected": 0,
             "done": 0, "cancelled": 0, "failed": 0, "timed_out": 0,
         }
-        self._workers = [
-            threading.Thread(
-                target=self._worker_loop,
-                name="repro-query-worker-%d" % (i,),
-                daemon=True,
-            )
-            for i in range(max_workers)
-        ]
-        for worker in self._workers:
-            worker.start()
+        self._pool: Optional[ProcessPool] = None
+        if self.backend == "process":
+            # The pool starts its worker processes from this (still
+            # single-threaded) constructor, then its shepherd threads
+            # consume self._queue exactly like the thread workers below.
+            self._pool = ProcessPool(self, max_workers, start_method)
+            self._workers = self._pool.threads
+        else:
+            self._workers = [
+                threading.Thread(
+                    target=self._worker_loop,
+                    name="repro-query-worker-%d" % (i,),
+                    daemon=True,
+                )
+                for i in range(max_workers)
+            ]
+            for worker in self._workers:
+                worker.start()
 
     # -- admission ---------------------------------------------------------------
 
@@ -132,6 +159,21 @@ class QueryService:
         ``block=True`` waits up to ``timeout`` seconds first.
         """
         plan = self._plan_for(query, name)
+        wire = None
+        if self.backend == "process":
+            # Pickle at admission so an unpicklable plan or estimator is a
+            # crisp AdmissionError for the submitter, not a FAILED query.
+            try:
+                wire = encode_query(plan, estimators, self.catalog)
+            except Exception as exc:
+                with self._lock:
+                    self._stats["rejected"] += 1
+                raise AdmissionError(
+                    "query %r cannot cross the process boundary "
+                    "(pickling failed: %s: %s); use picklable estimators "
+                    "and plans, or backend='thread'"
+                    % (name or plan.name, type(exc).__name__, exc)
+                ) from exc
         with self._lock:
             if self._closed:
                 raise AdmissionError("service is shut down")
@@ -154,6 +196,7 @@ class QueryService:
             handle._estimators = (
                 list(estimators) if estimators is not None else None
             )
+            handle._wire = wire
             self._active_plan_ids.add(id(plan))
             self._handles.append(handle)
             self._stats["submitted"] += 1
@@ -198,22 +241,46 @@ class QueryService:
             finally:
                 self._queue.task_done()
 
+    def _begin(self, handle: QueryHandle) -> bool:
+        """Shared start-of-execution transition (thread worker or shepherd).
+
+        Returns False — with the handle finalized CANCELLED — when the
+        query was cancelled while queued; the caller must still run its
+        end-of-execution path (:meth:`_finish`).
+        """
+        if not handle._mark_running():
+            handle._finalize(
+                QueryState.CANCELLED, error=cancelled_error(handle)
+            )
+            return False
+        self._emit("query_start", handle)
+        if handle.deadline_seconds is not None:
+            handle.deadline_at = self._clock() + handle.deadline_seconds
+        return True
+
+    def _record_degraded(self, handle: QueryHandle, estimator_name: str,
+                         reason: str) -> None:
+        handle.degraded[estimator_name] = reason
+        self._emit("query_degraded", handle, payload_extra={
+            "estimator": estimator_name, "reason": reason,
+        })
+
+    def _finish(self, handle: QueryHandle) -> None:
+        """Shared end-of-execution accounting (thread worker or shepherd)."""
+        with self._lock:
+            self._active_plan_ids.discard(id(handle.plan))
+            self._stats[handle.state.value] = (
+                self._stats.get(handle.state.value, 0) + 1
+            )
+        self._emit("query_end", handle)
+
     def _execute(self, handle: QueryHandle) -> None:
         try:
-            if not handle._mark_running():
-                handle._finalize(
-                    QueryState.CANCELLED, error=cancelled_error(handle)
-                )
+            if not self._begin(handle):
                 return
-            self._emit("query_start", handle)
-            if handle.deadline_seconds is not None:
-                handle.deadline_at = self._clock() + handle.deadline_seconds
 
             def on_degrade(estimator_name: str, reason: str) -> None:
-                handle.degraded[estimator_name] = reason
-                self._emit("query_degraded", handle, payload_extra={
-                    "estimator": estimator_name, "reason": reason,
-                })
+                self._record_degraded(handle, estimator_name, reason)
 
             toolkit = handle._estimators
             probe_toolkit: Optional[List[ProgressEstimator]] = None
@@ -257,12 +324,7 @@ class QueryService:
             handle._finalize(QueryState.FAILED, error=exc)
         finally:
             handle._detach_probe()
-            with self._lock:
-                self._active_plan_ids.discard(id(handle.plan))
-                self._stats[handle.state.value] = (
-                    self._stats.get(handle.state.value, 0) + 1
-                )
-            self._emit("query_end", handle)
+            self._finish(handle)
 
     # -- observability -----------------------------------------------------------
 
@@ -364,8 +426,8 @@ class QueryService:
         self.shutdown()
 
     def __repr__(self) -> str:
-        return "QueryService(%d workers, %s)" % (
-            len(self._workers), self.stats(),
+        return "QueryService(%d %s workers, %s)" % (
+            len(self._workers), self.backend, self.stats(),
         )
 
 

@@ -74,6 +74,51 @@ class TestReadings:
         assert low == pytest.approx(5.0)
         assert high == pytest.approx(35.0)
 
+    def test_zero_curr_gives_no_point_estimate(self):
+        """curr == 0 with a nonzero progress estimate must not extrapolate
+        a zero-tick total ("0 seconds remaining" at query start)."""
+
+        class _Optimist(SafeEstimator):
+            def estimate(self, observation):
+                return 0.25  # nonzero progress claimed before any work
+
+        eta = EtaEstimator(_Optimist())
+        eta.observe(0, 0.0)
+        eta.observe(50, 5.0)  # a rate is known from earlier history
+        reading = eta.read(observation(0, 100, 400))
+        assert reading.ticks_per_second == pytest.approx(10.0)
+        assert reading.seconds_remaining is None
+        assert reading.progress == pytest.approx(0.25)
+        # The sound interval is still reported: all work remains.
+        low, high = reading.interval_seconds
+        assert low == pytest.approx(10.0)
+        assert high == pytest.approx(40.0)
+
+    def test_infinite_upper_bound_gives_infinite_ceiling(self):
+        import math
+
+        eta = EtaEstimator(SafeEstimator())
+        eta.observe(0, 0.0)
+        eta.observe(50, 5.0)
+        reading = eta.read(observation(50, 100, float("inf")))
+        low, high = reading.interval_seconds
+        assert low == pytest.approx(5.0)  # (100 - 50) / 10
+        assert math.isinf(high) and high > 0
+
+    def test_rate_stall_reading_degrades_to_unknown(self):
+        """last_curr <= first_curr (a stalled or reset counter) must yield
+        an all-unknown reading, not a division artifact."""
+        eta = EtaEstimator(SafeEstimator())
+        eta.observe(80, 0.0)
+        eta.observe(80, 5.0)   # stalled
+        eta.observe(60, 9.0)   # regressed below the window start
+        assert eta.rate() is None
+        reading = eta.read(observation(60, 100, 400))
+        assert reading.seconds_remaining is None
+        assert reading.interval_seconds == (None, None)
+        assert reading.ticks_per_second is None
+        assert 0.0 <= reading.progress <= 1.0
+
     def test_interval_brackets_truth_on_real_run(self):
         """Simulate 1 tick = 1 ms; the ETA interval must bracket the true
         remaining time at every sample."""

@@ -291,6 +291,72 @@ class TestDegradation:
         assert seqs == sorted(seqs)
 
 
+class TestMonitorControl:
+    """Cancellation/deadline checks cover every recording entry point."""
+
+    def _monitor(self):
+        from repro.service import ServiceExecutionMonitor
+        from repro.service.handle import QueryHandle
+
+        handle = QueryHandle(1, "controlled", plan=None)
+        return handle, ServiceExecutionMonitor(handle, clock=lambda: 10.0)
+
+    def test_finish_and_rewind_honour_cancel(self):
+        handle, monitor = self._monitor()
+        handle.cancel_requested = True
+        with pytest.raises(QueryCancelled):
+            monitor.record_finish(3)
+        with pytest.raises(QueryCancelled):
+            monitor.record_rewind(3)
+
+    def test_finish_and_rewind_honour_deadline(self):
+        handle, monitor = self._monitor()
+        handle.deadline_seconds = 1.0
+        handle.deadline_at = 9.0  # clock is pinned at 10.0
+        with pytest.raises(QueryTimeout):
+            monitor.record_finish(3)
+        with pytest.raises(QueryTimeout):
+            monitor.record_rewind(3)
+
+    def test_cancel_bounded_on_rewind_heavy_nested_loops(self, db):
+        """An adversarial ⋈NL plan whose inner contributes no counted
+        ticks still honours a cancel promptly: the finish/rewind train is
+        control-checked too."""
+        from repro.engine.operators import NestedLoopsJoin, TableScan
+        from repro.engine.plan import Plan
+
+        empty = Table("empty_inner", schema_of("empty_inner", "y:int"), [])
+        plan = Plan(
+            NestedLoopsJoin(
+                TableScan(db.catalog.table("big")), TableScan(empty)
+            ),
+            name="nl-rewind-storm",
+        )
+        service = QueryService(db.catalog, max_workers=1, target_samples=400)
+        try:
+            handle = service.submit(plan)
+            while handle.progress() is None and not handle.done:
+                time.sleep(0.001)
+            cancelled_at = time.monotonic()
+            handle.cancel()
+            assert handle.wait(30.0)
+            latency = time.monotonic() - cancelled_at
+        finally:
+            service.shutdown()
+        assert handle.state is QueryState.CANCELLED
+        # Bounded: worst case is one tick batch, not the rest of the scan.
+        assert latency < 5.0
+
+
+class _PrepareExplodesEstimator(SafeEstimator):
+    """A toolkit member whose prepare() itself raises."""
+
+    name = "unprepared"
+
+    def prepare(self, plan):
+        raise RuntimeError("prepare boom")
+
+
 class TestResilientEstimator:
     def _observation(self, db):
         from repro.core import BoundsSnapshot, Observation
@@ -334,3 +400,75 @@ class TestResilientEstimator:
         assert wrapped.estimate(observation) == inner.estimate(observation)
         assert not wrapped.degraded
         assert wrapped.name == "safe"
+
+    def test_prepare_failure_degrades_at_prepare_time(self, db):
+        """An estimator raising in prepare() must not escape: the slot
+        degrades immediately and the safe fallback stays prepared."""
+        seen = []
+        wrapped = ResilientEstimator(
+            _PrepareExplodesEstimator(),
+            on_degrade=lambda name, reason: seen.append((name, reason)),
+        )
+        wrapped.prepare(build_query(db, 6))  # must not raise
+        assert wrapped.degraded
+        assert "prepare" in wrapped.degraded_reason
+        assert "RuntimeError" in wrapped.degraded_reason
+        assert seen == [("unprepared", wrapped.degraded_reason)]
+        # The slot keeps answering, from the prepared safe fallback.
+        value = wrapped.estimate(self._observation(db))
+        assert 0.0 <= value <= 1.0
+
+    def test_prepare_failure_never_kills_the_query(self, db):
+        service = QueryService(db.catalog, max_workers=1, target_samples=10)
+        try:
+            handle = service.submit(
+                build_query(db, 6),
+                name="prepare-degraded",
+                estimators=[_PrepareExplodesEstimator(), SafeEstimator()],
+            )
+            report = handle.result(timeout=60.0)
+        finally:
+            service.shutdown()
+        assert handle.state is QueryState.DONE
+        assert "unprepared" in handle.degraded
+        # Every recorded answer for the degraded slot is safe's answer.
+        for sample in report.trace.samples:
+            assert sample.estimates["unprepared"] == sample.estimates["safe"]
+
+    def test_interval_degrades_on_inner_failure(self, db):
+        class _IntervalExplodes(SafeEstimator):
+            name = "bad-interval"
+
+            def interval(self, observation):
+                raise RuntimeError("interval boom")
+
+        wrapped = ResilientEstimator(_IntervalExplodes())
+        observation = self._observation(db)
+        low, high = wrapped.interval(observation)
+        assert wrapped.degraded
+        assert 0.0 <= low <= high <= 1.0
+        # Sticky: subsequent intervals come straight from safe.
+        assert wrapped.interval(observation) == (low, high)
+
+    def test_interval_is_total_even_when_safe_raises(self, db):
+        from repro.core.estimators.base import progress_interval
+
+        wrapped = ResilientEstimator(_ExplodingEstimator(fail_after=0))
+        observation = self._observation(db)
+        wrapped.estimate(observation)  # degrade the slot
+        assert wrapped.degraded
+
+        class _BrokenSafe:
+            def interval(self, observation):
+                raise ZeroDivisionError("safe broke")
+
+            def estimate(self, observation):
+                raise ZeroDivisionError("safe broke")
+
+        wrapped._safe = _BrokenSafe()
+        expected = progress_interval(observation.curr, observation.bounds)
+        assert wrapped.interval(observation) == expected
+        # estimate()'s midpoint fallback, for symmetry
+        assert wrapped.estimate(observation) == (
+            (expected[0] + expected[1]) / 2.0
+        )

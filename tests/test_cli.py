@@ -59,7 +59,18 @@ class TestServe:
         ])
         assert code == 0
         out = capsys.readouterr().out
-        assert "admitted 2 queries onto 2 workers" in out
+        assert "admitted 2 queries onto 2 thread workers" in out
+        assert "all queries reached a terminal state" in out
+        assert "done=2" in out
+
+    def test_serve_process_backend(self, capsys):
+        code = main([
+            "serve", "--scale", "0.0003", "--queries", "1,6",
+            "--workers", "2", "--poll", "0.01", "--backend", "process",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "admitted 2 queries onto 2 process workers" in out
         assert "all queries reached a terminal state" in out
         assert "done=2" in out
 
