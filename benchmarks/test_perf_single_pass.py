@@ -1,0 +1,163 @@
+"""Protocol benchmark: single-pass vs. two-pass evaluation, end to end.
+
+The two-pass protocol pays an oracle pre-run per fresh plan: every query
+executes twice so that live samples can carry eager truth labels.  The
+single-pass protocol (the default) executes each plan exactly once and
+back-fills the labels at completion, so on an execution-dominated workload
+it should approach 2× end-to-end.
+
+Measurement protocol:
+
+* the workload is the service stress mix — eight TPC-H queries admitted
+  back-to-back onto a 4-worker thread-backend service, full dne/pmax/safe
+  instrumentation throughout;
+* a **fresh plan object per submission**: the two-pass oracle cache is
+  keyed by plan object, and a reused plan would let the legacy protocol
+  skip the very pre-run this benchmark prices;
+* fresh service per repetition, three repetitions per protocol, minimum
+  wall time taken; the garbage collector is collected then disabled around
+  each timed region;
+* correctness is asserted *inside* the benchmark: the two protocols'
+  sealed traces, totals and μ values must be bit-identical — the speedup
+  is bought by dropping a redundant execution, never by changing the
+  evaluation.
+
+The numbers land in ``benchmarks/results/BENCH_single_pass.json``.  The
+acceptance bar is a ≥1.7× end-to-end speedup: below 2× because fixed
+per-query costs (admission, sealing, event publication) are not doubled by
+the oracle pass, and comfortably above noise on any runner.
+"""
+
+import gc
+import json
+import time
+
+from repro.bench.harness import save_artifact
+from repro.service import QueryService
+from repro.stats import StatisticsManager
+from repro.workloads import build_query, generate_tpch
+
+TPCH_SCALE = 0.004
+QUERIES = [1, 3, 5, 6, 10, 12, 14, 19]
+WORKERS = 4
+TARGET_SAMPLES = 40
+REPS = 3
+SPEEDUP_GATE = 1.7
+
+
+def _make_db(scale_factor):
+    db = generate_tpch(scale=TPCH_SCALE * scale_factor, skew=2.0, seed=42)
+    StatisticsManager(db.catalog).analyze_all()
+    return db
+
+
+def _timed_round(db, protocol):
+    """One full workload through a fresh service; returns (seconds, reports)."""
+    service = QueryService(
+        db.catalog,
+        protocol=protocol,
+        max_workers=WORKERS,
+        queue_depth=len(QUERIES),
+        target_samples=TARGET_SAMPLES,
+    )
+    try:
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            started = time.perf_counter()
+            handles = [
+                # A fresh plan per submission keeps the two-pass oracle
+                # cache cold: this prices the protocol, not the memo.
+                service.submit(build_query(db, number), name="Q%d" % number)
+                for number in QUERIES
+            ]
+            reports = {
+                number: handle.result(timeout=600)
+                for number, handle in zip(QUERIES, handles)
+            }
+            elapsed = time.perf_counter() - started
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+    finally:
+        service.shutdown()
+    return elapsed, reports
+
+
+def measure_protocols(scale_factor=1.0):
+    db = _make_db(scale_factor)
+    results = {}
+    reference = None
+    for protocol in ("two_pass", "single_pass"):
+        best_seconds = float("inf")
+        ticks = None
+        for _ in range(REPS):
+            elapsed, reports = _timed_round(db, protocol)
+            best_seconds = min(best_seconds, elapsed)
+            round_ticks = sum(int(report.total) for report in reports.values())
+            assert ticks is None or ticks == round_ticks
+            ticks = round_ticks
+            # The differential guarantee, re-checked under timing
+            # conditions: deferring truth labels changes nothing about
+            # the sealed evaluation.
+            if reference is None:
+                reference = {
+                    number: (report.trace.samples, report.total, report.mu)
+                    for number, report in reports.items()
+                }
+            else:
+                for number, report in reports.items():
+                    samples, total, mu = reference[number]
+                    assert report.trace.samples == samples, (
+                        "Q%d: %s trace differs" % (number, protocol)
+                    )
+                    assert report.total == total
+                    assert report.mu == mu
+        results[protocol] = {
+            "wall_seconds": best_seconds,
+            "total_ticks": ticks,
+            "ticks_per_second": ticks / best_seconds,
+        }
+    assert (
+        results["two_pass"]["total_ticks"]
+        == results["single_pass"]["total_ticks"]
+    )
+    speedup = (
+        results["two_pass"]["wall_seconds"]
+        / results["single_pass"]["wall_seconds"]
+    )
+    return {
+        "tpch_scale": TPCH_SCALE * scale_factor,
+        "queries": QUERIES,
+        "workers": WORKERS,
+        "target_samples": TARGET_SAMPLES,
+        "reps": REPS,
+        "protocols": results,
+        "speedup": speedup,
+        "speedup_gate": SPEEDUP_GATE,
+    }
+
+
+def test_single_pass_speedup(benchmark, scale_factor):
+    result = benchmark.pedantic(
+        lambda: measure_protocols(scale_factor=scale_factor),
+        rounds=1, iterations=1,
+    )
+    save_artifact(
+        "BENCH_single_pass.json",
+        json.dumps(result, indent=2, sort_keys=True),
+    )
+    for protocol in ("two_pass", "single_pass"):
+        entry = result["protocols"][protocol]
+        print("%-12s %9d ticks  %7.3fs  %12.0f ticks/s" % (
+            protocol, entry["total_ticks"], entry["wall_seconds"],
+            entry["ticks_per_second"],
+        ))
+    print("speedup: %.2fx (gate %.1fx)" % (
+        result["speedup"], result["speedup_gate"],
+    ))
+    # Acceptance bar: dropping the oracle pre-run must buy ≥1.7× end to
+    # end on an execution-dominated workload.  The bit-identity
+    # assertions inside measure_protocols ran unconditionally.
+    assert result["speedup"] >= SPEEDUP_GATE

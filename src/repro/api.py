@@ -25,7 +25,7 @@ from typing import List, Optional, Sequence, Union
 
 from repro.core.estimators import ProgressEstimator, standard_toolkit
 from repro.core.observe import ProgressEventSink
-from repro.core.runner import ProgressReport, ProgressRunner
+from repro.core.runner import ProgressReport, ProgressRunner, resolve_protocol
 from repro.engine.executor import ExecutionResult, execute, resolve_engine
 from repro.engine.plan import Plan
 from repro.errors import ReproError
@@ -39,6 +39,7 @@ def connect(
     *,
     catalog: Optional[Catalog] = None,
     engine: Optional[str] = None,
+    protocol: Optional[str] = None,
     target_samples: int = 200,
     max_workers: int = 4,
     queue_depth: int = 16,
@@ -49,17 +50,21 @@ def connect(
 
     ``engine`` picks the execution engine for every operation on the
     session (default: ``$REPRO_ENGINE`` or the fused compiler);
-    ``max_workers``/``queue_depth`` size the concurrent query service
-    behind :meth:`Session.submit` (started lazily on first use).
-    ``backend`` picks that service's execution backend — ``"thread"``
-    (default) or ``"process"`` for real CPU parallelism (default:
-    ``$REPRO_BACKEND``); ``start_method`` tunes how process workers start
-    (``"fork"``/``"spawn"``/``"forkserver"``, default ``$REPRO_START_METHOD``
-    or fork where available).
+    ``protocol`` picks the evaluation protocol — ``"single_pass"``
+    (default: one execution per query, truth labeled at completion) or
+    ``"two_pass"`` (legacy oracle pre-run, eager live labels; default
+    ``$REPRO_PROTOCOL``).  ``max_workers``/``queue_depth`` size the
+    concurrent query service behind :meth:`Session.submit` (started lazily
+    on first use).  ``backend`` picks that service's execution backend —
+    ``"thread"`` (default) or ``"process"`` for real CPU parallelism
+    (default: ``$REPRO_BACKEND``); ``start_method`` tunes how process
+    workers start (``"fork"``/``"spawn"``/``"forkserver"``, default
+    ``$REPRO_START_METHOD`` or fork where available).
     """
     return Session(
         catalog=catalog,
         engine=engine,
+        protocol=protocol,
         target_samples=target_samples,
         max_workers=max_workers,
         queue_depth=queue_depth,
@@ -76,6 +81,7 @@ class Session:
         *,
         catalog: Optional[Catalog] = None,
         engine: Optional[str] = None,
+        protocol: Optional[str] = None,
         target_samples: int = 200,
         max_workers: int = 4,
         queue_depth: int = 16,
@@ -84,6 +90,7 @@ class Session:
     ) -> None:
         self.catalog = catalog if catalog is not None else Catalog()
         self.engine = resolve_engine(engine)
+        self.protocol = resolve_protocol(protocol)
         self.backend = resolve_backend(backend)
         self.target_samples = target_samples
         self._max_workers = max_workers
@@ -132,6 +139,7 @@ class Session:
         target_samples: Optional[int] = None,
         sinks: Sequence[ProgressEventSink] = (),
         engine: Optional[str] = None,
+        protocol: Optional[str] = None,
     ) -> ProgressReport:
         """One instrumented run: execute while sampling every estimator."""
         plan = self._plan_for(query, name=name)
@@ -148,6 +156,7 @@ class Session:
             ),
             sinks=sinks,
             engine=engine or self.engine,
+            protocol=protocol or self.protocol,
         ).run()
 
     # -- concurrent execution ------------------------------------------------------
@@ -163,6 +172,7 @@ class Session:
                 max_workers=self._max_workers,
                 queue_depth=self._queue_depth,
                 engine=self.engine,
+                protocol=self.protocol,
                 backend=self.backend,
                 start_method=self._start_method,
                 target_samples=self.target_samples,

@@ -47,8 +47,10 @@ from repro.bench import (
 )
 from repro.bench.harness import downsample
 from repro.core import (
+    PROTOCOLS,
     JsonlTraceWriter,
     ProgressRunner,
+    default_protocol,
     mu,
     run_with_estimators,
     standard_toolkit,
@@ -128,7 +130,8 @@ def cmd_demo(args: argparse.Namespace) -> int:
     print(plan.explain())
     print()
     report = run_with_estimators(
-        plan, standard_toolkit(), db.catalog, engine=args.engine
+        plan, standard_toolkit(), db.catalog, engine=args.engine,
+        protocol=args.protocol,
     )
     _print_progress_table(report)
     return 0
@@ -140,7 +143,8 @@ def cmd_sql(args: argparse.Namespace) -> int:
     print(plan.explain())
     print()
     report = run_with_estimators(
-        plan, standard_toolkit(), db.catalog, engine=args.engine
+        plan, standard_toolkit(), db.catalog, engine=args.engine,
+        protocol=args.protocol,
     )
     _print_progress_table(report)
     if args.rows:
@@ -171,6 +175,7 @@ def cmd_progress(args: argparse.Namespace) -> int:
         target_samples=args.samples,
         sinks=sinks,
         engine=args.engine,
+        protocol=args.protocol,
     )
     report = runner.run()
     _print_progress_table(report)
@@ -208,6 +213,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         queue_depth=max(args.queue_depth, len(numbers) * args.repeat),
         engine=args.engine,
+        protocol=args.protocol,
         backend=args.backend,
         start_method=args.start_method,
         target_samples=args.samples,
@@ -236,7 +242,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
             if handle.done or sample is None:
                 line.append("%s:%s" % (handle.name, handle.state.value))
             else:
-                line.append("%s:%4.1f%%" % (handle.name, sample.actual * 100))
+                # Single-pass protocol: no truth label while the query runs
+                # (actual is None) — show the first estimator's answer.
+                value = sample.actual
+                if value is None:
+                    value = next(iter(sample.estimates.values()), 0.0)
+                line.append("%s:%4.1f%%" % (handle.name, value * 100))
         print("  ".join(line))
         time.sleep(args.poll)
     print()
@@ -327,9 +338,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="execution engine (default: $REPRO_ENGINE or %s)"
                        % (default_engine(),))
 
+    def add_protocol_option(p):
+        p.add_argument("--protocol", choices=PROTOCOLS, default=None,
+                       help="evaluation protocol: single_pass executes once "
+                            "and labels truth at completion, two_pass runs "
+                            "the legacy oracle pre-run for eager live labels "
+                            "(default: $REPRO_PROTOCOL or %s)"
+                       % (default_protocol(),))
+
     demo = subparsers.add_parser("demo", help="monitor a TPC-H query")
     add_db_options(demo)
     add_engine_option(demo)
+    add_protocol_option(demo)
     demo.add_argument("--query", type=int, default=1, choices=range(1, 23),
                       metavar="N", help="TPC-H query number (1-22)")
     demo.set_defaults(func=cmd_demo)
@@ -337,6 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
     sql = subparsers.add_parser("sql", help="run SQL with progress monitoring")
     add_db_options(sql)
     add_engine_option(sql)
+    add_protocol_option(sql)
     sql.add_argument("query", help="SQL text against the TPC-H schema")
     sql.add_argument("--rows", type=int, default=0,
                      help="also print the first N result rows")
@@ -347,6 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_db_options(progress)
     add_engine_option(progress)
+    add_protocol_option(progress)
     progress.add_argument("sql", nargs="?", default=None,
                           help="SQL text (default: the --tpch query)")
     progress.add_argument("--tpch", type=int, default=1, choices=range(1, 23),
@@ -362,6 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_db_options(serve)
     add_engine_option(serve)
+    add_protocol_option(serve)
     serve.add_argument("--queries", default="1,3,6,10,12,14,19,6",
                        help="comma-separated TPC-H query numbers")
     serve.add_argument("--repeat", type=int, default=1,

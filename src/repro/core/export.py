@@ -4,6 +4,13 @@ Downstream users want traces out of the library — to plot the paper's
 figures with their own tooling or to archive runs next to query logs.  The
 functions here are deliberately dependency-free (plain ``csv``/``json``-able
 structures).
+
+These exporters consume *sealed* traces (what :class:`ProgressReport`
+carries), which are always fully labeled: under the single-pass protocol
+``actual`` is back-filled at completion from the run's own final tick
+count, so no exported row ever has a null ``actual`` column.  Only *live*
+samples observed mid-run (service probes, live JSONL events) can carry
+``actual=None``.
 """
 
 from __future__ import annotations

@@ -35,10 +35,16 @@ class TraceSample:
 
     ``curr`` is an integer tick count under the GetNext model but a float
     under weighted work models (bytes processed).
+
+    ``actual`` is the true progress at the sampled instant.  Under the
+    single-pass protocol truth is only known once the run finishes, so live
+    samples (those observed through a probe or service handle while the
+    query is still executing) carry ``actual=None``; sealed traces — what
+    :class:`ProgressTrace` holds — are always fully labeled.
     """
 
     curr: float
-    actual: float
+    actual: Optional[float]
     estimates: Dict[str, float]
     lower_bound: float = 0.0
     upper_bound: float = 0.0
@@ -46,7 +52,12 @@ class TraceSample:
 
 @dataclass
 class ProgressTrace:
-    """All samples of one instrumented run, plus the oracle total."""
+    """All labeled samples of one instrumented run, plus total(Q).
+
+    Construction is two-phase: the runner's ``TraceBuilder`` accumulates
+    raw samples during execution and labels every ``actual`` at seal time,
+    so a ProgressTrace in the wild never contains unlabeled samples.
+    """
 
     total: float
     samples: List[TraceSample] = field(default_factory=list)

@@ -13,16 +13,22 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.engine.executor import measure_total_work
+from repro.engine.executor import measure_total_work, resolve_engine
 from repro.engine.monitor import ExecutionMonitor
 from repro.engine.operators.base import ExecutionContext
 from repro.engine.plan import Plan
 from repro.errors import ProgressError
 
 
-def total_work(plan: Plan) -> int:
-    """``total(Q)``: counted getnext calls over a full run of ``plan``."""
-    return measure_total_work(plan)
+def total_work(plan: Plan, engine: Optional[str] = None) -> int:
+    """``total(Q)``: counted getnext calls over a full run of ``plan``.
+
+    ``engine`` resolves like everywhere else (explicit argument, then
+    ``$REPRO_ENGINE``, then the built-in default); totals are identical
+    across engines, but the resolution keeps measurement on the engine the
+    caller benchmarks.
+    """
+    return measure_total_work(plan, engine=resolve_engine(engine))
 
 
 def scanned_input_cardinality(plan: Plan) -> int:
@@ -30,17 +36,19 @@ def scanned_input_cardinality(plan: Plan) -> int:
     return sum(leaf.base_cardinality() for leaf in plan.scanned_leaves())
 
 
-def mu(plan: Plan, total: Optional[int] = None) -> float:
+def mu(plan: Plan, total: Optional[int] = None,
+       engine: Optional[str] = None) -> float:
     """The paper's μ: total work per scanned input tuple.
 
-    Runs the plan once if ``total`` is not supplied.  Raises when the plan
-    has no scanned leaves (μ is undefined there).
+    Runs the plan once (on the resolved ``engine``) if ``total`` is not
+    supplied.  Raises when the plan has no scanned leaves (μ is undefined
+    there).
     """
     denominator = scanned_input_cardinality(plan)
     if denominator == 0:
         raise ProgressError("mu undefined: plan %s has no scanned leaves" % (plan.name,))
     if total is None:
-        total = total_work(plan)
+        total = total_work(plan, engine=engine)
     return total / denominator
 
 

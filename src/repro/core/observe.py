@@ -70,6 +70,11 @@ class ProgressEvent:
     ``kind`` is ``"run_start"``, ``"sample"`` or ``"run_end"``; samples carry
     the full estimator/bounds/pipeline state, the boundary events carry the
     frame (plan name, totals, work model).
+
+    ``total`` and ``actual`` are ``None`` on live events under the default
+    single-pass protocol: truth is unknown until the run finishes, so only
+    ``run_end`` (and the sealed trace) carry labels.  Under ``two_pass``
+    the oracle total labels every event eagerly, as before.
     """
 
     seq: int
@@ -77,8 +82,8 @@ class ProgressEvent:
     plan: str
     elapsed_seconds: float
     curr: float
-    total: float
-    actual: float
+    total: Optional[float]
+    actual: Optional[float]
     lower_bound: float
     upper_bound: float
     estimates: Dict[str, float]

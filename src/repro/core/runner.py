@@ -7,14 +7,30 @@ units, with the estimator formulas unchanged.
 
 Evaluation protocol (the one behind every figure and table in the paper):
 
-1. run the plan once on a private monitor to learn the oracle ``total(Q)``;
-2. re-run it with an observer that, every few ticks, assembles an
+1. run the plan **once**, with an observer that every few ticks assembles an
    :class:`Observation` (Curr, runtime bounds, pipeline state) and records
-   each estimator's answer next to the true progress;
-3. hand back a :class:`ProgressTrace` for metric extraction.
+   each estimator's answer;
+2. when the run completes, its own final counter *is* the oracle
+   ``total(Q)`` (§2.2 — total work is the number of getnext calls the run
+   performs, a deterministic property of the plan), so the
+   :class:`TraceBuilder` back-fills ``actual = curr / total`` over the raw
+   samples and seals them into a :class:`ProgressTrace`.
 
-The estimators never see the oracle; it is used only to label samples with
-the true progress.
+The estimators never see the truth; it is only attached to samples after
+the fact.  Because ``total(Q)`` is unknown *during* the run, the sampling
+cadence cannot be derived from it: instead it is seeded from the static
+lower bound on total work (the scanned input cardinality — µ's
+denominator) and doubles geometrically whenever the retained sample count
+outgrows ~2× ``target_samples``, decimating already-taken samples down to
+the multiples of the new cadence.  Samples forced by pipeline-boundary
+transitions and the terminal sample are pinned and never decimated.
+
+``protocol="two_pass"`` (env ``$REPRO_PROTOCOL``) keeps the legacy
+behaviour reachable: an oracle pre-run measures ``total(Q)`` first, so live
+events and probes carry eager truth labels.  Both protocols share the same
+sampling policy and seal traces from the same end-of-run counters, so their
+sealed traces are bit-identical — the differential suite in
+``tests/core/test_protocols.py`` holds them to that.
 
 The instrumented run is wired for efficiency and observability: the
 :class:`~repro.core.bounds.BoundsTracker` is attached to the monitor's event
@@ -28,15 +44,19 @@ pipeline-boundary hook, every estimator call is wall-time profiled into a
 
 from __future__ import annotations
 
+import os
+import threading
 import time
+import warnings
 import weakref
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.bounds import BoundsTracker
 from repro.core.estimators.base import Observation, ProgressEstimator
 from repro.core.metrics import ProgressTrace, TraceSample
 from repro.core.model import mu as compute_mu
+from repro.core.model import scanned_input_cardinality
 from repro.core.observe import (
     PipelineSnapshot,
     ProgressEvent,
@@ -57,18 +77,46 @@ from repro.errors import ProgressError
 from repro.stats.estimate import CardinalityEstimator
 from repro.storage.catalog import Catalog
 
+#: the evaluation protocols a runner can execute under
+PROTOCOLS: Tuple[str, ...] = ("single_pass", "two_pass")
 
-#: oracle ``total(Q)`` per plan object — measuring it runs the whole query,
-#: so tracing N estimators (or N runs) over one plan should pay that price
-#: once.  Keyed weakly: a collected plan drops its entry.  Totals do not
-#: depend on the engine or on scan order (a reshuffling RandomOrderScan
-#: changes row order, never row counts), so one entry serves every run.
+_PROTOCOL_ENV_VAR = "REPRO_PROTOCOL"
+_FALLBACK_PROTOCOL = "single_pass"
+
+
+def default_protocol() -> str:
+    """The protocol used when none is requested explicitly.
+
+    Reads ``$REPRO_PROTOCOL`` at call time (so tests and CI matrices can
+    flip it per-invocation); falls back to ``"single_pass"``.
+    """
+    return os.environ.get(_PROTOCOL_ENV_VAR) or _FALLBACK_PROTOCOL
+
+
+def resolve_protocol(protocol: Optional[str] = None) -> str:
+    """Validate an explicit protocol choice, or resolve the default."""
+    chosen = protocol or default_protocol()
+    if chosen not in PROTOCOLS:
+        raise ProgressError(
+            "unknown protocol %r (expected one of %s)" % (chosen, list(PROTOCOLS))
+        )
+    return chosen
+
+
+#: oracle ``total(Q)`` per plan object, for the two_pass compat path —
+#: measuring it runs the whole query, so tracing N estimators (or N runs)
+#: over one plan should pay that price once.  Keyed weakly: a collected plan
+#: drops its entry.  Totals do not depend on the engine or on scan order (a
+#: reshuffling RandomOrderScan changes row order, never row counts), so one
+#: entry serves every run.
 _TOTAL_WORK_CACHE: "weakref.WeakKeyDictionary[Plan, int]" = (
     weakref.WeakKeyDictionary()
 )
+#: serializes cache access — service workers consult it concurrently
+_TOTAL_WORK_LOCK = threading.Lock()
 
 
-def cached_total_work(
+def _cached_total_work(
     plan: Plan,
     engine: Optional[str] = None,
     *,
@@ -77,18 +125,125 @@ def cached_total_work(
     """``measure_total_work`` with a per-plan-object memo.
 
     ``monitor_factory`` supplies the private oracle monitor (the service
-    passes one that checks cancellation/deadlines on every record).
+    passes one that checks cancellation/deadlines on every record).  The
+    measurement itself runs outside the lock — concurrent first callers may
+    both measure, but the result is deterministic so last-write-wins is
+    harmless, and a query-length critical section would serialize the
+    service's workers.
     """
-    try:
-        return _TOTAL_WORK_CACHE[plan]
-    except (KeyError, TypeError):
-        monitor = monitor_factory() if monitor_factory is not None else None
-        total = measure_total_work(plan, engine=engine, monitor=monitor)
+    with _TOTAL_WORK_LOCK:
+        try:
+            return _TOTAL_WORK_CACHE[plan]
+        except (KeyError, TypeError):
+            pass
+    monitor = monitor_factory() if monitor_factory is not None else None
+    total = measure_total_work(plan, engine=engine, monitor=monitor)
+    with _TOTAL_WORK_LOCK:
         try:
             _TOTAL_WORK_CACHE[plan] = total
         except TypeError:
             pass
-        return total
+    return total
+
+
+def __getattr__(name: str):
+    # Deprecation shim: implicit oracle runs are gone with the single-pass
+    # protocol, but the helper stays importable for one release.
+    if name == "cached_total_work":
+        warnings.warn(
+            "cached_total_work is deprecated: the default single-pass "
+            "protocol labels truth from the instrumented run itself, so "
+            "implicit oracle runs are no longer part of evaluation. Call "
+            "measure_total_work() for an explicit oracle measurement, or "
+            "opt into protocol='two_pass' (env REPRO_PROTOCOL) for the "
+            "legacy behaviour.",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _cached_total_work
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
+
+
+class TraceBuilder:
+    """Accumulates raw samples during a run; labels truth at seal time.
+
+    The builder is the single-pass protocol's answer to "how do you sample
+    ~``target_samples`` evenly when total work is unknown?": it starts at a
+    cadence seeded from the static lower bound on ``total(Q)`` and, every
+    time the retained unpinned samples exceed ``2 × target_samples``,
+    doubles the cadence and decimates — keeping exactly the samples whose
+    tick is a multiple of the new cadence.  Because each cadence is twice
+    the previous one, every retained tick was sampled under *all* earlier
+    cadences, so the surviving set is indistinguishable from one recorded
+    at the final cadence from the start.  Pinned samples (pipeline-boundary
+    forced rounds, the terminal sample) always survive.
+    """
+
+    def __init__(self, target_samples: int, initial_cadence: int) -> None:
+        self.cadence = max(1, initial_cadence)
+        self._retain_limit = max(2, 2 * target_samples)
+        self._samples: List[TraceSample] = []
+        self._ticks: List[int] = []
+        self._pinned: List[bool] = []
+        self._loose = 0  # retained samples that decimation may drop
+
+    @property
+    def last(self) -> Optional[TraceSample]:
+        return self._samples[-1] if self._samples else None
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def add(self, sample: TraceSample, tick: int, pinned: bool) -> bool:
+        """Record one raw sample; returns True if the cadence just doubled."""
+        self._samples.append(sample)
+        self._ticks.append(tick)
+        self._pinned.append(pinned)
+        if pinned:
+            return False
+        self._loose += 1
+        if self._loose <= self._retain_limit:
+            return False
+        self._decimate()
+        return True
+
+    def _decimate(self) -> None:
+        self.cadence *= 2
+        cadence = self.cadence
+        keep = [
+            pinned or tick % cadence == 0
+            for tick, pinned in zip(self._ticks, self._pinned)
+        ]
+        self._samples = [s for s, k in zip(self._samples, keep) if k]
+        self._ticks = [t for t, k in zip(self._ticks, keep) if k]
+        self._pinned = [p for p, k in zip(self._pinned, keep) if k]
+        self._loose = len(self._pinned) - sum(self._pinned)
+
+    def seal(self, total: float) -> ProgressTrace:
+        """Back-fill every ``actual`` label and freeze the trace.
+
+        ``total`` is the run's own final work counter.  The terminal sample
+        is labeled exactly 1.0 — float noise in weighted models can leave
+        ``curr / total`` a hair off at the end of the run, and the terminal
+        instant is at progress 1 by definition.
+        """
+        labeled: List[TraceSample] = []
+        final_index = len(self._samples) - 1
+        for index, sample in enumerate(self._samples):
+            if index == final_index:
+                actual = 1.0
+            elif total:
+                actual = min(sample.curr / total, 1.0)
+            else:
+                actual = 1.0
+            labeled.append(TraceSample(
+                curr=sample.curr,
+                actual=actual,
+                estimates=sample.estimates,
+                lower_bound=sample.lower_bound,
+                upper_bound=sample.upper_bound,
+            ))
+        return ProgressTrace(total=total, samples=labeled)
 
 
 @dataclass
@@ -114,10 +269,13 @@ class RunnerProbe:
     Handed to the ``on_probe`` hook just before execution begins.  A probe
     can assemble a :class:`TraceSample` *on demand* — outside the runner's
     cadence — from the incremental bounds tracker and a toolkit of
-    estimators.  It performs no locking itself: the probe touches the same
-    tracker memo the executor's cadence observer mutates, so cross-thread
-    callers must hold whatever lock serializes the monitor (the query
-    service scopes both paths under its monitor's lock).
+    estimators.  Under the single-pass protocol ``total`` is None (truth is
+    unknown mid-run) and live samples carry ``actual=None``; under
+    ``two_pass`` the oracle total labels them eagerly.  The probe performs
+    no locking itself: it touches the same tracker memo the executor's
+    cadence observer mutates, so cross-thread callers must hold whatever
+    lock serializes the monitor (the query service scopes both paths under
+    its monitor's lock).
     """
 
     def __init__(
@@ -128,7 +286,7 @@ class RunnerProbe:
         pipelines: List[Pipeline],
         estimates,
         estimators: Sequence[ProgressEstimator],
-        total: float,
+        total: Optional[float],
         weighted,
         leaf_consumed: List[int],
     ) -> None:
@@ -161,7 +319,12 @@ class RunnerProbe:
             estimator.name: estimator.estimate(observation)
             for estimator in self.estimators
         }
-        actual = min(curr / self.total, 1.0) if self.total else 1.0
+        if self.total is None:
+            actual: Optional[float] = None
+        elif self.total:
+            actual = min(curr / self.total, 1.0)
+        else:
+            actual = 1.0
         return TraceSample(
             curr=curr,
             actual=actual,
@@ -193,6 +356,7 @@ class ProgressRunner:
         monitor_factory: Optional[Callable[[], ExecutionMonitor]] = None,
         on_probe: Optional[Callable[["RunnerProbe"], None]] = None,
         probe_estimators: Optional[Sequence[ProgressEstimator]] = None,
+        protocol: Optional[str] = None,
     ) -> None:
         if not estimators:
             raise ProgressError("at least one estimator is required")
@@ -207,9 +371,10 @@ class ProgressRunner:
         self.sinks = list(sinks)
         self.clock = clock
         self.engine = resolve_engine(engine)
-        #: builds every monitor this runner uses (instrumented *and* oracle);
-        #: the service injects one whose record/record_batch check
-        #: cancellation and deadlines under a lock
+        self.protocol = resolve_protocol(protocol)
+        #: builds every monitor this runner uses (instrumented, plus the
+        #: oracle pass under two_pass); the service injects one whose
+        #: record/record_batch check cancellation and deadlines under a lock
         self.monitor_factory = monitor_factory or ExecutionMonitor
         #: called with a :class:`RunnerProbe` right before execution starts
         self.on_probe = on_probe
@@ -224,19 +389,21 @@ class ProgressRunner:
             from repro.core.workmodels import WeightedWork
 
             weighted = WeightedWork(self.plan, self.work_model)
-        total_ticks = cached_total_work(
-            self.plan, engine=self.engine,
-            monitor_factory=self.monitor_factory,
-        )
-        # Keep weighted totals exact — truncating to int used to make the
-        # terminal `actual` overshoot 1.0 under the bytes model.
-        total: float = float(total_ticks)
-        if weighted is not None:
-            total = weighted.total()
-        try:
-            mu_value: Optional[float] = compute_mu(self.plan, total=total_ticks)
-        except ProgressError:
-            mu_value = None
+
+        # Truth known *during* the run only under two_pass, where an oracle
+        # pre-run measures it; it labels live events and probes eagerly.
+        # The sealed trace never depends on it — both protocols label at
+        # seal time from the run's own final counters, which is what keeps
+        # their traces bit-identical.
+        live_total: Optional[float] = None
+        if self.protocol == "two_pass":
+            oracle_ticks = _cached_total_work(
+                self.plan, engine=self.engine,
+                monitor_factory=self.monitor_factory,
+            )
+            live_total = float(oracle_ticks)
+            if weighted is not None:
+                live_total = weighted.total()
 
         estimates = (
             CardinalityEstimator(self.catalog).estimate_plan(self.plan)
@@ -251,8 +418,15 @@ class ProgressRunner:
         for estimator in self.estimators:
             estimator.prepare(self.plan)
 
-        trace = ProgressTrace(total=total)
-        cadence = max(1, total_ticks // self.target_samples)
+        # Both protocols share one oracle-free sampling policy: the initial
+        # cadence comes from the static lower bound on total(Q) (the
+        # scanned input cardinality — µ's denominator, a catalog quantity)
+        # and adapts geometrically as the run outgrows it.
+        builder = TraceBuilder(
+            self.target_samples,
+            initial_cadence=scanned_input_cardinality(self.plan)
+            // self.target_samples,
+        )
         profile = RunProfile()
         clock = self.clock
         sinks = self.sinks
@@ -267,10 +441,10 @@ class ProgressRunner:
             if event == EVENT_TICK and operator_id in scanned_leaf_ids:
                 leaf_consumed[0] += n
 
-        def emit(kind: str, curr: float, actual: float,
+        def emit(kind: str, curr: float, actual: Optional[float],
                  estimate_values: Dict[str, float],
                  lower: float, upper: float,
-                 snapshots=()) -> None:
+                 snapshots=(), event_total: Optional[float] = None) -> None:
             if not sinks:
                 return
             elapsed = clock() - started_at
@@ -295,7 +469,7 @@ class ProgressRunner:
                 plan=self.plan.name,
                 elapsed_seconds=elapsed,
                 curr=curr,
-                total=total,
+                total=event_total,
                 actual=actual,
                 lower_bound=lower,
                 upper_bound=upper,
@@ -309,12 +483,13 @@ class ProgressRunner:
 
         def sample(monitor: ExecutionMonitor, final: bool = False) -> None:
             sample_started = clock()
+            tick = monitor.total_ticks
             snapshot = tracker.snapshot()
             if weighted is not None:
                 curr = weighted.current()
                 snapshot = weighted.weighted_bounds(snapshot)
             else:
-                curr = monitor.total_ticks
+                curr = tick
             observation = Observation(
                 curr=curr,
                 bounds=snapshot,
@@ -329,22 +504,24 @@ class ProgressRunner:
                 profile.profile_for(estimator.name).record(
                     clock() - call_started
                 )
-            # Float noise in weighted models can leave curr/total a hair off
-            # 1.0 at the end of the run; the terminal sample is by
-            # definition at progress 1.
             if final:
-                actual = 1.0
+                actual: Optional[float] = 1.0
+            elif live_total is not None:
+                actual = min(curr / live_total, 1.0) if live_total else 1.0
             else:
-                actual = min(curr / total, 1.0) if total else 1.0
-            trace.samples.append(
-                TraceSample(
-                    curr=curr,
-                    actual=actual,
-                    estimates=estimate_values,
-                    lower_bound=observation.bounds.lower,
-                    upper_bound=observation.bounds.upper,
-                )
+                actual = None
+            raw = TraceSample(
+                curr=curr,
+                actual=actual,
+                estimates=estimate_values,
+                lower_bound=observation.bounds.lower,
+                upper_bound=observation.bounds.upper,
             )
+            # Boundary-forced rounds are pinned against decimation, even
+            # when they coincide with a cadence multiple — blocking-operator
+            # transitions must survive into the sealed trace.
+            if builder.add(raw, tick, final or monitor.forced_notification):
+                monitor.set_observer_cadence(sample, builder.cadence)
             profile.samples += 1
             if sinks:
                 # Capturing per-pipeline snapshots costs real work per
@@ -356,6 +533,7 @@ class ProgressRunner:
                         PipelineSnapshot.capture(pipeline, estimates)
                         for pipeline in pipelines
                     ),
+                    event_total=live_total,
                 )
             profile.sample_seconds += clock() - sample_started
 
@@ -363,7 +541,7 @@ class ProgressRunner:
         monitor.mark_pipeline_boundaries(pipeline_boundary_operators(self.plan))
         monitor.add_batch_listener(on_tick)
         tracker.attach(monitor)
-        monitor.add_observer(sample, every=cadence)
+        monitor.add_observer(sample, every=builder.cadence)
         if self.on_probe is not None:
             probe_estimators = self.estimators
             if self.probe_estimators is not None:
@@ -372,9 +550,9 @@ class ProgressRunner:
                     estimator.prepare(self.plan)
             self.on_probe(RunnerProbe(
                 self.plan, monitor, tracker, pipelines, estimates,
-                probe_estimators, total, weighted, leaf_consumed,
+                probe_estimators, live_total, weighted, leaf_consumed,
             ))
-        emit("run_start", 0.0, 0.0, {}, 0.0, 0.0)
+        emit("run_start", 0.0, 0.0, {}, 0.0, 0.0, event_total=live_total)
         context = ExecutionContext(monitor)
         try:
             if self.engine == "fused":
@@ -388,20 +566,9 @@ class ProgressRunner:
                 weighted.current() if weighted is not None
                 else float(monitor.total_ticks)
             )
-            last = trace.samples[-1] if trace.samples else None
+            last = builder.last
             if last is None or last.curr != final_curr:
                 sample(monitor, final=True)
-            elif last.actual != 1.0:
-                # Same instant already sampled, only its label is off by
-                # float noise: pin it to 1.0 instead of duplicating the
-                # sample.
-                trace.samples[-1] = TraceSample(
-                    curr=last.curr,
-                    actual=1.0,
-                    estimates=last.estimates,
-                    lower_bound=last.lower_bound,
-                    upper_bound=last.upper_bound,
-                )
         except BaseException:
             # Aborted runs (cancellation, deadline, operator failure) must
             # still release their sinks — a JSONL writer left open would
@@ -412,11 +579,23 @@ class ProgressRunner:
         finally:
             tracker.detach()
             monitor.remove_batch_listener(on_tick)
+        # The run is complete: its own counters are the oracle.  Truth
+        # labels, total(Q), and µ all come from these end-of-run quantities
+        # under *both* protocols.
+        final_ticks = monitor.total_ticks
+        total: float = (
+            weighted.current() if weighted is not None else float(final_ticks)
+        )
+        trace = builder.seal(total)
+        try:
+            mu_value: Optional[float] = compute_mu(self.plan, total=final_ticks)
+        except ProgressError:
+            mu_value = None
         profile.elapsed_seconds = clock() - started_at
-        profile.ticks = monitor.total_ticks
+        profile.ticks = final_ticks
         final = trace.samples[-1]
         emit("run_end", final.curr, final.actual, final.estimates,
-             final.lower_bound, final.upper_bound)
+             final.lower_bound, final.upper_bound, event_total=total)
         for sink in sinks:
             sink.close()
         return ProgressReport(self.plan.name, total, mu_value, trace,
@@ -430,8 +609,10 @@ def run_with_estimators(
     target_samples: int = 200,
     sinks: Sequence[ProgressEventSink] = (),
     engine: Optional[str] = None,
+    protocol: Optional[str] = None,
 ) -> ProgressReport:
     """One-call convenience wrapper around :class:`ProgressRunner`."""
     return ProgressRunner(
-        plan, estimators, catalog, target_samples, sinks=sinks, engine=engine
+        plan, estimators, catalog, target_samples, sinks=sinks, engine=engine,
+        protocol=protocol,
     ).run()

@@ -138,6 +138,13 @@ def measure_total_work(
     progress estimator is *not* allowed to precompute (it would require
     running the query, §2.4); it exists for evaluation only.
 
+    This survives as the explicit standalone oracle API: the default
+    single-pass evaluation protocol never calls it (truth is labeled from
+    the instrumented run's own final tick count), and the legacy
+    ``protocol="two_pass"`` escape hatch routes through it for its oracle
+    pre-run.  Call it directly when you want ``total(Q)`` without an
+    instrumented run.
+
     Pipeline boundaries are marked exactly as :func:`execute` marks them, so
     an observer attached to the private monitor (none by default) would see
     the same boundary-forced rounds on either entry point.  ``monitor``

@@ -56,6 +56,10 @@ class ExecutionMonitor:
         self._counts: Dict[int, int] = {}
         self._labels: Dict[int, str] = {}
         self.total_ticks = 0
+        #: True while observers run from :meth:`notify_now` (a boundary- or
+        #: caller-forced round, as opposed to a cadence firing); observers
+        #: that must treat forced rounds specially read this flag
+        self.forced_notification = False
         self._observers: List[Tuple[int, Observer]] = []
         self._tick_listeners: List[TickListener] = []
         self._batch_listeners: List[BatchListener] = []
@@ -150,9 +154,18 @@ class ExecutionMonitor:
             listener(operator_id, EVENT_REWIND, 0)
 
     def notify_now(self) -> None:
-        """Force all observers to run (used at pipeline/plan boundaries)."""
-        for _, observer in self._observers:
-            observer(self)
+        """Force all observers to run (used at pipeline/plan boundaries).
+
+        :attr:`forced_notification` is True for the duration, so observers
+        can distinguish a forced round from a cadence firing (the runner
+        pins boundary-forced samples against trace decimation).
+        """
+        self.forced_notification = True
+        try:
+            for _, observer in self._observers:
+                observer(self)
+        finally:
+            self.forced_notification = False
 
     # -- observers ---------------------------------------------------------------
 
@@ -161,6 +174,29 @@ class ExecutionMonitor:
         if every < 1:
             raise ValueError("observer cadence must be >= 1")
         self._observers.append((every, observer))
+
+    def set_observer_cadence(self, observer: Observer, every: int) -> None:
+        """Retune a registered observer's cadence mid-run.
+
+        Takes effect from the next recorded tick.  Safe to call from inside
+        the observer itself: the row-at-a-time path re-reads the observer
+        list on every tick, and the fused engine re-reads
+        :meth:`ticks_until_next_observer` after every flush, so both engines
+        pick the new cadence up at exactly the same tick number.
+        """
+        if every < 1:
+            raise ValueError("observer cadence must be >= 1")
+        rebound: List[Tuple[int, Observer]] = []
+        found = False
+        for current, existing in self._observers:
+            if existing is observer:
+                rebound.append((every, existing))
+                found = True
+            else:
+                rebound.append((current, existing))
+        if not found:
+            raise ValueError("observer is not registered")
+        self._observers = rebound
 
     def clear_observers(self) -> None:
         self._observers = []

@@ -10,10 +10,16 @@ with exactly one transition into a terminal state; ``wait``/``result`` park
 on an event that fires at that transition.  Progress is exposed two ways:
 
 * :meth:`progress` — the most recent cadence sample the executor published
-  (free to read; identical to an entry of the final trace);
+  (free to read);
 * :meth:`sample` — a *fresh* sample taken right now, lock-scoped against
   the executor so the incremental bounds tracker and the estimator toolkit
   are never raced (see ``repro.service.monitor``).
+
+Under the default single-pass protocol truth is labeled at completion, so
+samples observed *while the query runs* carry ``actual=None`` (estimator
+answers and bounds are live; the true-progress label does not exist yet).
+Once the handle is DONE, :meth:`progress` answers the sealed trace's fully
+labeled final sample.
 """
 
 from __future__ import annotations
@@ -144,9 +150,11 @@ class QueryHandle:
     def progress(self) -> Optional[TraceSample]:
         """The most recent cadence sample, or None before the first one.
 
-        Each returned sample is — bit for bit — an entry of the trace a
-        single-threaded run of the same plan produces at the same tick
-        instant.
+        Each returned sample matches — estimator answer for estimator
+        answer — what a single-threaded run of the same plan observes at
+        the same tick instant; while the query runs, ``actual`` is None
+        (single-pass protocol: truth is back-filled at completion).  After
+        DONE this answers the sealed trace's labeled final sample.
         """
         return self._latest
 
@@ -235,6 +243,12 @@ class QueryHandle:
             self._state = state
             self._report = report
             self._error = error
+            if report is not None and report.trace.samples:
+                # Truth exists now: republish the sealed trace's labeled
+                # final sample so post-DONE progress() answers actual=1.0
+                # instead of a stale unlabeled live sample.
+                self._latest = report.trace.samples[-1]
+                self._samples_published += 1
         self._done.set()
 
     def __repr__(self) -> str:

@@ -38,6 +38,11 @@ class ServiceExecutionMonitor(ExecutionMonitor):
     :class:`repro.errors.QueryTimeout` from the recording path when the
     handle asks for it, and serializes all recording (plus the observer
     rounds it triggers) under :attr:`lock`.
+
+    Under the default single-pass protocol each query has exactly one
+    monitored execution, so this is the *only* place control is checked;
+    under ``protocol="two_pass"`` the runner builds a second monitor of the
+    same class for the oracle pre-run, which is therefore cancellable too.
     """
 
     def __init__(

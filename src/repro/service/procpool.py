@@ -4,8 +4,11 @@ The thread backend gives :class:`~repro.service.service.QueryService`
 concurrency but — the engine being pure Python — zero parallelism: the GIL
 serializes every tick, so eight in-flight queries share one core.  This
 module supplies ``backend="process"``: a pool of long-lived worker
-*processes*, each running the exact oracle + instrumented passes the thread
-backend runs, with every observable behaving identically at the parent:
+*processes*, each running the exact single-pass instrumented execution the
+thread backend runs (one monitored pass per query, truth labeled at seal
+time — no oracle pre-run crosses the wire, roughly halving per-query worker
+time versus the legacy two-pass protocol), with every observable behaving
+identically at the parent:
 
 * **catalog** — workers forked from the parent inherit the catalog for
   free; under ``spawn``/``forkserver`` (where nothing is inherited) the
@@ -229,6 +232,7 @@ class _ExecuteRequest:
     deadline_seconds: Optional[float]
     target_samples: int
     engine: str
+    protocol: str
 
 
 class _CatalogRelativePickler(pickle.Pickler):
@@ -339,9 +343,10 @@ class _ProbeServer:
     The parent increments a shared counter; the worker's monitor calls
     :meth:`maybe_serve` on every control check, notices the counter moved,
     takes a lock-scoped :meth:`~repro.core.runner.RunnerProbe.live_sample`
-    and ships it back tagged with the counter value.  During the oracle
-    pass (no probe attached yet) it answers ``None`` immediately so the
-    parent's ``sample()`` never blocks on a phase that cannot sample."""
+    and ships it back tagged with the counter value.  Before the probe
+    attaches — runner setup, or the two_pass protocol's oracle pre-run —
+    it answers ``None`` immediately so the parent's ``sample()`` never
+    blocks on a phase that cannot sample."""
 
     def __init__(self, conn, query_id: int, flag) -> None:
         self.conn = conn
@@ -430,6 +435,7 @@ def _serve_request(conn, catalog, toolkit_factory, cancel_flag, probe_flag,
                 kinds=("sample",),
             ),),
             engine=request.engine,
+            protocol=request.protocol,
             monitor_factory=lambda: _WorkerMonitor(shim, probe_server),
             on_probe=probe_server.attach,
             probe_estimators=probe_toolkit,
@@ -611,6 +617,7 @@ class _WorkerSlot:
                 deadline_seconds=handle.deadline_seconds,
                 target_samples=handle._target_samples,
                 engine=service.engine,
+                protocol=service.protocol,
             )
             try:
                 self.conn.send(request)

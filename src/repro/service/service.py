@@ -10,12 +10,14 @@ queries in flight, each observable while it runs.
   period, caller's choice.  A plan *object* can be in flight at most once
   (operators hold runtime state), and SQL text is planned at admission.
 * **Execution** — each worker drives the standard instrumented runner
-  (oracle pass + monitored pass, identical to a solo
+  under the single-pass protocol (one monitored execution per query, truth
+  labeled at completion — identical to a solo
   :class:`~repro.core.runner.ProgressRunner` run), so a completed query's
   trace is bit-identical to its single-threaded trace.  The runner's
   monitors are :class:`~repro.service.monitor.ServiceExecutionMonitor`\\ s:
-  cancellation and deadlines are honoured at tick-batch boundaries, in
-  both the oracle and the monitored pass.
+  cancellation and deadlines are honoured at tick-batch boundaries — in
+  one place, since there is only one pass (``protocol="two_pass"`` keeps
+  the legacy oracle pre-run reachable; it is control-checked too).
 * **Backends** — ``backend="thread"`` (default) runs queries on in-process
   worker threads: concurrent, but GIL-serialized.  ``backend="process"``
   runs each query in a worker *process* (see
@@ -51,7 +53,7 @@ from repro.core.observe import (
     ProgressEventSink,
     emit_to_all,
 )
-from repro.core.runner import ProgressRunner, RunnerProbe
+from repro.core.runner import ProgressRunner, RunnerProbe, resolve_protocol
 from repro.engine.executor import resolve_engine
 from repro.engine.plan import Plan
 from repro.errors import AdmissionError, QueryCancelled, QueryTimeout
@@ -82,6 +84,7 @@ class QueryService:
         queue_depth: int = 16,
         toolkit_factory: Callable[[], List[ProgressEstimator]] = standard_toolkit,
         engine: Optional[str] = None,
+        protocol: Optional[str] = None,
         backend: Optional[str] = None,
         start_method: Optional[str] = None,
         catalog_spec: Optional[CatalogSpec] = None,
@@ -97,6 +100,7 @@ class QueryService:
         self.catalog = catalog
         self.toolkit_factory = toolkit_factory
         self.engine = resolve_engine(engine)
+        self.protocol = resolve_protocol(protocol)
         self.backend = resolve_backend(backend)
         #: how spawn-started workers re-open the catalog; None means "ship
         #: the catalog pickled" (irrelevant under fork and the thread backend)
@@ -304,6 +308,7 @@ class QueryService:
                 target_samples=handle._target_samples,
                 sinks=(_HandleSink(handle),),
                 engine=self.engine,
+                protocol=self.protocol,
                 monitor_factory=lambda: ServiceExecutionMonitor(
                     handle, self._clock
                 ),
@@ -434,9 +439,13 @@ class QueryService:
 class _HandleSink(ProgressEventSink):
     """Publishes the runner's cadence samples onto the query handle.
 
-    The estimates dict an event carries *is* the dict stored in the trace's
-    sample at the same instant, so handle-published samples are bit-equal
-    to trace entries by construction.
+    The estimates dict an event carries *is* the dict the trace's sample at
+    the same instant holds, so handle-published samples match trace entries
+    by construction — except for the label: under the single-pass protocol
+    live samples carry ``actual=None`` (truth is back-filled at seal time),
+    and the runner's adaptive cadence may later decimate some published
+    instants out of the sealed trace.  On DONE the handle republishes the
+    labeled final sample.
     """
 
     def __init__(self, handle: QueryHandle) -> None:

@@ -108,7 +108,10 @@ class TestStress:
                         live = handle.sample()
                         if live is not None:
                             assert isinstance(live, TraceSample)
-                            assert 0.0 <= live.actual <= 1.0
+                            # Single-pass protocol: truth is unknown until
+                            # the run completes, so live probes are
+                            # unlabeled.
+                            assert live.actual is None
                             assert live.lower_bound <= live.upper_bound
                         latest = handle.progress()
                         if latest is not None and (
@@ -146,10 +149,33 @@ class TestStress:
                 assert samples == solo_trace(
                     db, number, engine=service.engine, target_samples=40
                 )
-                # And every sample polled live was an entry of that trace.
+                # And polled live samples reappear in the sealed trace —
+                # live samples are unlabeled, the adaptive cadence may
+                # have decimated some polled instants out of the sealed
+                # trace, and a boundary-forced round can share its tick
+                # with a cadence round (same curr, later bounds), so match
+                # by full content among the candidates at each instant.
                 assert polled[number]
+                trace_by_curr = {}
+                for sealed in samples:
+                    trace_by_curr.setdefault(sealed.curr, []).append(sealed)
+                matched = 0
                 for sample in polled[number]:
-                    assert sample in samples
+                    sealed = next(
+                        (candidate
+                         for candidate in trace_by_curr.get(sample.curr, ())
+                         if sample.estimates == candidate.estimates
+                         and sample.lower_bound == candidate.lower_bound
+                         and sample.upper_bound == candidate.upper_bound),
+                        None,
+                    )
+                    if sealed is None:
+                        continue
+                    matched += 1
+                    assert sample.actual is None or sample.actual == sealed.actual
+                assert matched
+                # The labeled final sample is republished at DONE.
+                assert handle.progress() == samples[-1]
 
             stats = service.stats()
             assert stats["done"] == len(STRESS_QUERIES)
