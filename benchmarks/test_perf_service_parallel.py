@@ -24,16 +24,21 @@ Measurement protocol:
   never measurements.
 
 The numbers land in ``benchmarks/results/BENCH_service_parallel.json``.
-The acceptance bar — ≥2× aggregate throughput — is asserted only when the
-machine has at least four usable cores: the speedup *is* multi-core
-parallelism, and a 1-2 core runner cannot exhibit it (the artifact records
-the measurement either way; the bit-identity assertion always applies).
+The acceptance bar — ≥2× aggregate throughput — *is* multi-core
+parallelism, and a 1-2 core runner cannot exhibit it.  On such a machine
+the benchmark hard-skips with an explicit reason **before measuring or
+writing anything**: a baseline whose gate cannot be enforced is not a
+baseline, and recording one with ``gate_enforced: false`` silently
+de-fangs the acceptance criterion (that happened once; never again).
+Every artifact this benchmark writes has its speedup assertion applied.
 """
 
 import gc
 import json
 import os
 import time
+
+import pytest
 
 from repro.bench.harness import save_artifact
 from repro.core import ProgressRunner, standard_toolkit
@@ -154,11 +159,18 @@ def measure_parallelism(scale_factor=1.0):
         "backends": results,
         "speedup": speedup,
         "speedup_gate": SPEEDUP_GATE,
-        "gate_enforced": usable_cores() >= MIN_CORES_FOR_GATE,
+        "gate_enforced": True,
     }
 
 
 def test_service_parallel_throughput(benchmark, scale_factor):
+    cores = usable_cores()
+    if cores < MIN_CORES_FOR_GATE:
+        pytest.skip(
+            "service-parallel baseline needs >= %d usable cores to enforce "
+            "the %.0fx process-backend gate (found %d); refusing to record "
+            "an un-enforced baseline" % (MIN_CORES_FOR_GATE, SPEEDUP_GATE, cores)
+        )
     result = benchmark.pedantic(
         lambda: measure_parallelism(scale_factor=scale_factor),
         rounds=1, iterations=1,
@@ -173,12 +185,10 @@ def test_service_parallel_throughput(benchmark, scale_factor):
             backend, entry["total_ticks"], entry["wall_seconds"],
             entry["ticks_per_second"],
         ))
-    print("speedup: %.2fx on %d cores (gate %s)" % (
+    print("speedup: %.2fx on %d cores (gate enforced)" % (
         result["speedup"], result["usable_cores"],
-        "enforced" if result["gate_enforced"] else "recorded only",
     ))
     # Acceptance bar: ≥2× aggregate throughput from real parallelism.
-    # Only meaningful with cores to parallelize over; the bit-identity
-    # assertions inside measure_parallelism ran unconditionally.
-    if result["gate_enforced"]:
-        assert result["speedup"] >= SPEEDUP_GATE
+    # Unconditional — a machine that cannot enforce it skipped above,
+    # before any artifact was written.
+    assert result["speedup"] >= SPEEDUP_GATE

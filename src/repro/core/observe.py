@@ -22,10 +22,28 @@ Everything here is dependency-free and JSON-serializable by construction.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field
-from typing import IO, Dict, List, Optional, Sequence, Tuple
+from typing import IO, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.pipelines import Pipeline
+
+#: keys already warned about through :func:`warn_once` (process-wide)
+_warned_keys: Set[str] = set()
+
+
+def warn_once(key: str, message: str, category: type = RuntimeWarning) -> None:
+    """Emit ``message`` as a warning the first time ``key`` is seen.
+
+    The observability layer's channel for "you are holding it wrong"
+    diagnostics that would be noise if repeated per run — e.g. a per-tick
+    listener attached while an engine records coalesced tick batches.
+    Process-wide: a key warns once per interpreter, not once per monitor.
+    """
+    if key in _warned_keys:
+        return
+    _warned_keys.add(key)
+    warnings.warn(message, category, stacklevel=3)
 
 
 @dataclass(frozen=True)

@@ -559,6 +559,10 @@ class ProgressRunner:
                 from repro.engine.compiled import run_fused
 
                 run_fused(self.plan.root, context)
+            elif self.engine == "columnar":
+                from repro.engine.columnar import run_columnar
+
+                run_columnar(self.plan.root, context)
             else:
                 for _ in self.plan.root.iterate(context):
                     pass

@@ -4,13 +4,17 @@ The executor is the only place that wires plans, contexts and monitors
 together; everything above it (the progress runner, the benchmark harness)
 goes through :func:`execute` or :func:`measure_total_work`.
 
-Two engines produce identical results (rows, per-operator counts, observer
+Three engines produce identical results (rows, per-operator counts, observer
 firing instants, event streams — see ``tests/engine/test_compiled_engine``):
 
 * ``"fused"`` (default) — the pipeline compiler in
   :mod:`repro.engine.compiled`: operator chains fused into generators,
   accounting batched between observer cadence points;
-* ``"interpreted"`` — the row-at-a-time Volcano reference path.
+* ``"interpreted"`` — the row-at-a-time Volcano reference path;
+* ``"columnar"`` — the batch engine in :mod:`repro.engine.columnar`:
+  whole-column kernels (NumPy when available, lists otherwise) with a
+  tick-exact replay of the work model; unsupported operators fall back
+  per-subtree to the fused compilers.
 
 ``REPRO_ENGINE=interpreted`` in the environment flips the default.
 """
@@ -28,7 +32,7 @@ from repro.engine.plan import Plan
 from repro.errors import ExecutionError
 from repro.storage.table import Row
 
-ENGINES = ("fused", "interpreted")
+ENGINES = ("fused", "interpreted", "columnar")
 
 _ENGINE_ENV_VAR = "REPRO_ENGINE"
 _FALLBACK_ENGINE = "fused"
@@ -116,6 +120,10 @@ def execute(
         from repro.engine.compiled import run_fused
 
         rows = run_fused(plan.root, context)
+    elif engine == "columnar":
+        from repro.engine.columnar import run_columnar
+
+        rows = run_columnar(plan.root, context)
     else:
         rows = plan.root.run(context)
     monitor = context.monitor
@@ -159,6 +167,10 @@ def measure_total_work(
         from repro.engine.compiled import run_fused
 
         run_fused(plan.root, context)
+    elif engine == "columnar":
+        from repro.engine.columnar import run_columnar
+
+        run_columnar(plan.root, context)
     else:
         for _ in plan.root.iterate(context):
             pass

@@ -64,6 +64,8 @@ class ExecutionMonitor:
         self._tick_listeners: List[TickListener] = []
         self._batch_listeners: List[BatchListener] = []
         self._boundary_ops: frozenset = frozenset()
+        #: set once the per-tick-listener batch-degradation warning fired
+        self._warned_tick_fanout = False
 
     # -- operator registration -------------------------------------------------
 
@@ -95,11 +97,18 @@ class ExecutionMonitor:
 
         Equivalent to ``n`` calls to :meth:`record`, except that batch
         listeners are invoked once with the coalesced count and cadence
-        observers fire at most once per batch.  Callers who need observers
-        at *exactly* the interpreted tick numbers (the fused engine) must
-        keep ``n`` within :meth:`ticks_until_next_observer`, so the batch
-        lands precisely on the next cadence multiple.  Per-tick listeners
-        still receive one event per tick.
+        observers fire once per cadence multiple the batch *crosses* (an
+        oversized batch crossing k multiples of an observer's ``every``
+        fires that observer k times — the same number of firings as k
+        row-at-a-time ticks, though every firing sees the post-batch
+        total).  Callers who need observers at *exactly* the interpreted
+        tick numbers (the fused and columnar engines) must keep ``n``
+        within :meth:`ticks_until_next_observer`, so the batch lands
+        precisely on the next cadence multiple and each observer fires at
+        most once.  Per-tick listeners still receive one event per tick —
+        a Python loop of ``n`` calls that erases the batching gain, so
+        attaching one alongside batched engines warns once (see
+        :meth:`add_tick_listener`).
         """
         if n <= 0:
             return
@@ -108,6 +117,18 @@ class ExecutionMonitor:
         total = before + n
         self.total_ticks = total
         if self._tick_listeners:
+            if n > 1 and not self._warned_tick_fanout:
+                self._warned_tick_fanout = True
+                # Lazy import: repro.core pulls in the engine package.
+                from repro.core.observe import warn_once
+
+                warn_once(
+                    "per-tick-listener-batch-fanout",
+                    "a per-tick listener is attached while ticks are "
+                    "recorded in batches; record_batch degrades to one "
+                    "Python call per tick, erasing the batching gain — "
+                    "subscribe via add_batch_listener instead",
+                )
             for listener in self._tick_listeners:
                 for _ in range(n):
                     listener(operator_id, EVENT_TICK)
@@ -116,7 +137,8 @@ class ExecutionMonitor:
                 listener(operator_id, EVENT_TICK, n)
         if self._observers:
             for every, observer in self._observers:
-                if total // every != before // every:
+                crossings = total // every - before // every
+                for _ in range(crossings):
                     observer(self)
 
     def ticks_until_next_observer(self) -> Optional[int]:
@@ -204,7 +226,13 @@ class ExecutionMonitor:
     # -- event listeners ----------------------------------------------------------
 
     def add_tick_listener(self, listener: TickListener) -> None:
-        """Subscribe to every tick/finish/rewind/reset event (hot path)."""
+        """Subscribe to every tick/finish/rewind/reset event (hot path).
+
+        Under the batched engines this forces :meth:`record_batch` into a
+        Python loop of one call per coalesced tick — the first such batch
+        warns once.  Internal consumers all use the batch channel; this
+        channel remains for per-event diagnostics and tests.
+        """
         self._tick_listeners.append(listener)
 
     def remove_tick_listener(self, listener: TickListener) -> None:

@@ -2,6 +2,7 @@
 
 import io
 import json
+import warnings
 
 import pytest
 
@@ -12,6 +13,7 @@ from repro.core import (
     ProgressRunner,
     standard_toolkit,
 )
+from repro.core import observe
 from repro.core.observe import EstimatorProfile, RunProfile
 from repro.engine.operators import TableScan
 from repro.engine.plan import Plan
@@ -168,3 +170,21 @@ class TestRunProfile:
         assert profile.ticks_per_second is None
         assert profile.avg_sample_seconds == 0.0
         assert profile.overhead_fraction == 0.0
+
+
+class TestWarnOnce:
+    def test_warns_first_time_only(self):
+        observe._warned_keys.discard("test-warn-once-key")
+        with pytest.warns(RuntimeWarning, match="something"):
+            observe.warn_once("test-warn-once-key", "something happened")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            observe.warn_once("test-warn-once-key", "something happened")
+
+    def test_distinct_keys_warn_independently(self):
+        observe._warned_keys.discard("test-warn-once-a")
+        observe._warned_keys.discard("test-warn-once-b")
+        with pytest.warns(RuntimeWarning):
+            observe.warn_once("test-warn-once-a", "a")
+        with pytest.warns(UserWarning):
+            observe.warn_once("test-warn-once-b", "b", category=UserWarning)

@@ -118,10 +118,14 @@ class TestBitIdenticalTraces:
         assert_reports_identical(single, two)
 
     def test_engines_agree_under_single_pass(self):
-        fused = run_once(rewind_plan, protocol="single_pass", engine="fused")
         interpreted = run_once(rewind_plan, protocol="single_pass",
                                engine="interpreted")
-        assert_reports_identical(fused, interpreted)
+        for engine in ENGINES:
+            if engine == "interpreted":
+                continue
+            compiled = run_once(rewind_plan, protocol="single_pass",
+                                engine=engine)
+            assert_reports_identical(compiled, interpreted)
 
     def test_observer_instants_identical(self):
         """Both protocols fire the cadence observer at the same ticks."""

@@ -1,0 +1,349 @@
+"""The columnar batch engine: fallback paths, edge cases, and the list-only
+(no-NumPy) mode.
+
+The broad observational-identity matrix lives in
+``test_compiled_engine.py`` (all engines over TPC-H + adversarial plans);
+this module covers what is specific to ``repro.engine.columnar``:
+
+* per-subtree fallback — a plan with one unsupported operator (merge join,
+  ⋈NL, UNION ALL) still matches the interpreter bit for bit, with the
+  supported islands under it vectorized;
+* data the vectorized kernels refuse (NULLs, mixed-type columns) dropping
+  to exact row semantics without changing a single observable;
+* LIMIT/OFFSET truncation edges, probe-preserving outer joins, and empty
+  inputs;
+* the ``HAVE_NUMPY = False`` list fallback, on fresh tables so no cached
+  array views leak in.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.storage.columnar as colstore
+from repro.engine.columnar import _vec_supported
+from repro.engine.executor import (
+    ENGINES,
+    default_engine,
+    execute,
+    resolve_engine,
+)
+from repro.engine.expressions import col, lit
+from repro.engine.monitor import ExecutionMonitor
+from repro.engine.operators import (
+    Distinct,
+    ExecutionContext,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    Limit,
+    MergeJoin,
+    NestedLoopsJoin,
+    Project,
+    Sort,
+    SortKey,
+    TableScan,
+    TopN,
+    UnionAll,
+    agg_avg,
+    agg_min,
+    agg_sum,
+    count_star,
+)
+from repro.engine.plan import Plan
+from repro.errors import ExecutionError
+from repro.storage import Table, schema_of
+from repro.storage.schema import Column, ColumnType, Schema
+
+EVERY = 3  # tight cadence: every firing instant is compared
+
+
+def make_table(name="t", n=12, width=1):
+    spec = ["k:int", "v:int", "s:str"][: width + 1]
+    rows = [tuple([i % 5] + [i * 7 % 11, "s%d" % (i % 3)][:width]) for i in range(n)]
+    return Table(name, schema_of(name, *spec), rows)
+
+
+def run_engine(build_plan, engine, every=EVERY):
+    plan = build_plan()
+    operators = list(plan.operators())
+    monitor = ExecutionMonitor()
+    firings = []
+
+    def observe(m):
+        counts = m.counts()
+        firings.append((
+            m.total_ticks,
+            tuple(counts.get(op.operator_id, 0) for op in operators),
+        ))
+
+    monitor.add_observer(observe, every=every)
+    result = execute(plan, ExecutionContext(monitor), engine=engine)
+    counts = monitor.counts()
+    return {
+        "rows": result.rows,
+        "total": monitor.total_ticks,
+        "per_op": tuple(
+            (op.name, counts.get(op.operator_id, 0)) for op in operators
+        ),
+        "firings": firings,
+    }
+
+
+def assert_columnar_matches(build_plan, every=EVERY):
+    interpreted = run_engine(build_plan, "interpreted", every=every)
+    columnar = run_engine(build_plan, "columnar", every=every)
+    assert columnar == interpreted
+
+
+# -- engine resolution -------------------------------------------------------------
+
+
+class TestEngineResolution:
+    def test_columnar_is_a_registered_engine(self):
+        assert "columnar" in ENGINES
+        assert resolve_engine("columnar") == "columnar"
+
+    def test_env_var_flips_the_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "columnar")
+        assert default_engine() == "columnar"
+        assert resolve_engine(None) == "columnar"
+
+    def test_unknown_engine_is_rejected(self):
+        with pytest.raises(ExecutionError):
+            resolve_engine("vectorized")
+
+
+# -- per-subtree fallback ----------------------------------------------------------
+
+
+class TestFallback:
+    def test_merge_join_plan_falls_back_and_matches(self):
+        left = make_table("l", 30)
+        right = make_table("r", 20)
+
+        def build():
+            join = MergeJoin(
+                Sort(TableScan(left), [SortKey(col("l.k"))]),
+                Sort(TableScan(right), [SortKey(col("r.k"))]),
+                col("l.k"),
+                col("r.k"),
+            )
+            return Plan(Sort(join, [SortKey(col("l.v"))]))
+
+        assert not _vec_supported(build().root)
+        assert_columnar_matches(build)
+
+    def test_nested_loops_rescan_falls_back_and_matches(self):
+        outer, inner = make_table("o", 8), make_table("i", 6)
+
+        def build():
+            join = NestedLoopsJoin(
+                TableScan(outer), TableScan(inner), col("o.k") == col("i.k")
+            )
+            return Plan(join)
+
+        assert_columnar_matches(build)
+
+    def test_union_all_with_vectorizable_islands_matches(self):
+        a, b = make_table("a", 15), make_table("b", 9)
+
+        def build():
+            union = UnionAll(
+                Sort(TableScan(a), [SortKey(col("a.v"))]),
+                TopN(TableScan(b), [SortKey(col("b.v"))], 5),
+            )
+            return Plan(Sort(union, [SortKey(col("a.k")), SortKey(col("a.v"))]))
+
+        assert not _vec_supported(build().root)
+        assert_columnar_matches(build)
+
+    def test_null_group_keys_fall_back_to_row_semantics(self):
+        table = Table(
+            "n",
+            Schema.of("n", [
+                Column("k", ColumnType.INT, nullable=True),
+                Column("v", ColumnType.INT),
+            ]),
+            [(None, 1), (2, 2), (None, 3), (2, 4), (5, 5)],
+        )
+
+        def build():
+            agg = HashAggregate(
+                TableScan(table),
+                [("k", col("n.k"))],
+                [agg_sum(col("n.v"), "total"), count_star()],
+            )
+            return Plan(Sort(agg, [SortKey(col("total"))]))
+
+        assert_columnar_matches(build)
+
+    def test_mixed_type_column_falls_back_to_row_semantics(self):
+        # A FLOAT column holding the occasional plain int refuses array
+        # packing (coercion would change float formatting/identity), so the
+        # kernels run on plain lists with exact row semantics.
+        table = Table(
+            "m",
+            schema_of("m", "k:int", "x:float"),
+            [(1, 1.5), (2, 2.5), (3, 4), (1, 0.5)],
+        )
+        assert isinstance(colstore.columns_for(table)[1], list)
+
+        def build():
+            return Plan(
+                Sort(
+                    Filter(TableScan(table), col("m.k") >= lit(1)),
+                    [SortKey(col("m.x"))],
+                )
+            )
+
+        assert_columnar_matches(build)
+
+
+# -- operator edge cases -----------------------------------------------------------
+
+
+class TestOperatorEdges:
+    @pytest.mark.parametrize("limit,offset", [
+        (0, 0), (1, 0), (5, 0), (12, 0), (100, 0),
+        (3, 2), (0, 4), (5, 100), (100, 12),
+    ])
+    def test_limit_offset_edges(self, limit, offset):
+        table = make_table("t", 12)
+
+        def build():
+            return Plan(Limit(TableScan(table), limit, offset))
+
+        assert_columnar_matches(build)
+
+    def test_limit_truncates_blocking_child_mid_pipeline(self):
+        table = make_table("t", 40)
+
+        def build():
+            sort = Sort(TableScan(table), [SortKey(col("t.v"))])
+            return Plan(Limit(sort, 7))
+
+        assert_columnar_matches(build)
+
+    def test_topn_limit_edges(self):
+        table = make_table("t", 9)
+        for n in (0, 1, 9, 50):
+            assert_columnar_matches(
+                lambda n=n: Plan(
+                    TopN(TableScan(table), [SortKey(col("t.v"), descending=True)], n)
+                )
+            )
+
+    def test_preserve_probe_outer_join(self):
+        build_side, probe = make_table("b", 6), make_table("p", 14)
+
+        def build():
+            join = HashJoin(
+                TableScan(build_side),
+                TableScan(probe),
+                col("b.v"),
+                col("p.v"),
+                preserve_probe=True,
+            )
+            return Plan(Sort(join, [SortKey(col("p.k")), SortKey(col("p.v"))]))
+
+        assert_columnar_matches(build)
+
+    def test_empty_inputs(self):
+        empty = Table("e", schema_of("e", "k:int", "v:int"), [])
+        other = make_table("o", 5)
+        cases = [
+            lambda: Plan(TableScan(empty)),
+            lambda: Plan(Filter(TableScan(empty), col("e.k") > lit(0))),
+            lambda: Plan(Sort(TableScan(empty), [SortKey(col("e.k"))])),
+            lambda: Plan(Distinct(TableScan(empty))),
+            lambda: Plan(
+                HashJoin(TableScan(empty), TableScan(other), col("e.k"), col("o.k"))
+            ),
+            lambda: Plan(
+                HashJoin(TableScan(other), TableScan(empty), col("o.k"), col("e.k"))
+            ),
+            lambda: Plan(
+                HashAggregate(
+                    TableScan(empty), [], [count_star(), agg_sum(col("e.v"), "s")]
+                )
+            ),
+        ]
+        for build in cases:
+            assert_columnar_matches(build)
+
+    def test_distinct_project_pipeline(self):
+        table = make_table("t", 24, width=2)
+
+        def build():
+            projected = Project(
+                TableScan(table), [("key", col("t.k")), ("tag", col("t.s"))]
+            )
+            return Plan(Sort(Distinct(projected), [SortKey(col("key")), SortKey(col("tag"))]))
+
+        assert_columnar_matches(build)
+
+    def test_aggregates_over_floats_are_bit_identical(self):
+        # Float accumulation order is observable: the batch kernels must
+        # reproduce the interpreter's left-fold exactly, not just closely.
+        rows = [(i % 4, 0.1 * i * (-1) ** i) for i in range(57)]
+        table = Table("f", schema_of("f", "g:int", "x:float"), rows)
+
+        def build():
+            agg = HashAggregate(
+                TableScan(table),
+                [("g", col("f.g"))],
+                [
+                    agg_sum(col("f.x"), "total"),
+                    agg_avg(col("f.x"), "mean"),
+                    agg_min(col("f.x"), "low"),
+                ],
+            )
+            return Plan(Sort(agg, [SortKey(col("g"))]))
+
+        interpreted = run_engine(build, "interpreted")
+        columnar = run_engine(build, "columnar")
+        assert columnar == interpreted  # == on floats: bit-identical or bust
+
+
+# -- the list-only fallback (no NumPy) ---------------------------------------------
+
+
+class TestListFallback:
+    @pytest.fixture(autouse=True)
+    def no_numpy(self, monkeypatch):
+        monkeypatch.setattr(colstore, "HAVE_NUMPY", False)
+
+    def test_fresh_tables_get_list_views(self):
+        table = make_table("t", 5)
+        view = colstore.columns_for(table)
+        assert all(isinstance(column, list) for column in view)
+
+    def test_pipeline_matches_without_numpy(self):
+        build_side, probe = make_table("b", 10), make_table("p", 25)
+
+        def build():
+            join = HashJoin(
+                TableScan(build_side), TableScan(probe), col("b.k"), col("p.k")
+            )
+            agg = HashAggregate(
+                join,
+                [("k", col("b.k"))],
+                [count_star(), agg_sum(col("p.v"), "total")],
+            )
+            return Plan(Sort(agg, [SortKey(col("k"))]))
+
+        assert_columnar_matches(build)
+
+    def test_blocking_operators_match_without_numpy(self):
+        table = make_table("t", 30, width=2)
+
+        def build():
+            top = TopN(
+                Filter(TableScan(table), col("t.v") > lit(2)),
+                [SortKey(col("t.v"), descending=True), SortKey(col("t.k"))],
+                6,
+            )
+            return Plan(Distinct(top))
+
+        assert_columnar_matches(build)

@@ -1,12 +1,15 @@
-"""Differential suite: the fused pipeline compiler vs the interpreted engine.
+"""Differential suite: the compiled engines vs the interpreted reference.
 
-The fused engine's contract (see ``repro/engine/compiled.py``) is that it is
-*observationally identical* to the row-at-a-time Volcano reference: the same
+The fused engine (``repro/engine/compiled.py``) and the columnar engine
+(``repro/engine/columnar.py``) share one contract: each is *observationally
+identical* to the row-at-a-time Volcano reference: the same
 rows in the same order, the same per-operator getnext counts, observers
 firing at exactly the same total-tick instants (seeing the same per-operator
 counters when they do), and — stacking all of that — bit-identical estimator
-traces.  This suite asserts each of those layers over all 22 TPC-H plans and
-the adversarial join plans of §5.
+traces.  This suite asserts each of those layers, for every engine in
+``executor.ENGINES``, over all 22 TPC-H plans and the adversarial join plans
+of §5 (the merge/NL plans exercise the columnar engine's per-subtree
+fallback: unsupported operators run through the fused adapters mid-plan).
 
 Plans hold operator state, so every run builds a fresh plan; counts are
 compared positionally over the plan's canonical pre-order traversal (labels
@@ -21,7 +24,7 @@ from repro.core.estimators.dne import DneEstimator
 from repro.core.estimators.pmax import PmaxEstimator
 from repro.core.estimators.safe import SafeEstimator
 from repro.core.runner import run_with_estimators
-from repro.engine.executor import execute
+from repro.engine.executor import ENGINES, execute
 from repro.engine.monitor import ExecutionMonitor
 from repro.engine.operators.base import ExecutionContext
 from repro.engine.operators.nested_loops import NestedLoopsJoin
@@ -40,9 +43,9 @@ TRACED_QUERIES = (1, 3, 6, 12, 13, 15, 18, 21)
 
 
 def _run_differential(build_plan, every: int = EVERY):
-    """Run ``build_plan()`` under both engines; return comparable traces."""
+    """Run ``build_plan()`` under every engine; return comparable traces."""
     out = {}
-    for engine in ("interpreted", "fused"):
+    for engine in ENGINES:
         plan = build_plan()
         operators = list(plan.operators())
         monitor = ExecutionMonitor()
@@ -66,15 +69,20 @@ def _run_differential(build_plan, every: int = EVERY):
             ),
             "firings": firings,
         }
-    return out["interpreted"], out["fused"]
+    return out
 
 
 def _assert_identical(build_plan, every: int = EVERY):
-    interpreted, fused = _run_differential(build_plan, every=every)
-    assert fused["rows"] == interpreted["rows"]
-    assert fused["total"] == interpreted["total"]
-    assert fused["per_op"] == interpreted["per_op"]
-    assert fused["firings"] == interpreted["firings"]
+    out = _run_differential(build_plan, every=every)
+    interpreted = out["interpreted"]
+    for engine in ENGINES:
+        if engine == "interpreted":
+            continue
+        compiled = out[engine]
+        assert compiled["rows"] == interpreted["rows"], engine
+        assert compiled["total"] == interpreted["total"], engine
+        assert compiled["per_op"] == interpreted["per_op"], engine
+        assert compiled["firings"] == interpreted["firings"], engine
 
 
 # -- TPC-H ------------------------------------------------------------------------
@@ -88,7 +96,7 @@ def test_tpch_query_identical_under_both_engines(tpch_db, number):
 @pytest.mark.parametrize("number", TRACED_QUERIES)
 def test_tpch_estimator_traces_identical(tpch_db, number):
     traces = {}
-    for engine in ("interpreted", "fused"):
+    for engine in ENGINES:
         report = run_with_estimators(
             build_query(tpch_db, number),
             [DneEstimator(), PmaxEstimator(), SafeEstimator()],
@@ -100,7 +108,8 @@ def test_tpch_estimator_traces_identical(tpch_db, number):
             for s in report.trace.samples
         ]
         assert report.total == traces[engine][-1][0]
-    assert traces["fused"] == traces["interpreted"]
+    for engine in ENGINES:
+        assert traces[engine] == traces["interpreted"], engine
 
 
 # -- adversarial joins -------------------------------------------------------------
@@ -150,7 +159,7 @@ def test_nested_loops_rescan_identical(zipf):
 
 def test_zipfian_estimator_traces_identical(zipf):
     traces = {}
-    for engine in ("interpreted", "fused"):
+    for engine in ENGINES:
         report = run_with_estimators(
             zipf.inl_plan(),
             [DneEstimator(), PmaxEstimator(), SafeEstimator()],
@@ -161,7 +170,8 @@ def test_zipfian_estimator_traces_identical(zipf):
             (s.curr, s.actual, s.estimates, s.lower_bound, s.upper_bound)
             for s in report.trace.samples
         ]
-    assert traces["fused"] == traces["interpreted"]
+    for engine in ENGINES:
+        assert traces[engine] == traces["interpreted"], engine
 
 
 # -- cadence edge cases ------------------------------------------------------------

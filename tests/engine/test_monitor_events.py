@@ -1,6 +1,11 @@
 """The monitor's event channel: tick/finish/rewind/reset listeners and
 pipeline-boundary forced sampling."""
 
+import warnings
+
+import pytest
+
+from repro.core import observe
 from repro.engine.executor import execute, pipeline_boundary_operators
 from repro.engine.expressions import col
 from repro.engine.monitor import (
@@ -98,7 +103,11 @@ class TestBatchChannel:
         monitor.add_batch_listener(lambda op, kind, n: batched.append((op, kind, n)))
         monitor.add_tick_listener(lambda op, kind: per_tick.append((op, kind)))
         monitor.register(7, "x")
-        monitor.record_batch(7, 5)
+        # The tick listener forces the degraded per-tick loop, which is
+        # exactly what this test verifies — expect its one-time warning.
+        observe._warned_keys.discard("per-tick-listener-batch-fanout")
+        with pytest.warns(RuntimeWarning):
+            monitor.record_batch(7, 5)
         assert batched == [(7, EVENT_TICK, 5)]
         # The per-tick channel still sees every individual tick.
         assert per_tick == [(7, EVENT_TICK)] * 5
@@ -142,6 +151,50 @@ class TestBatchChannel:
         monitor.record_batch(1, 15)
         assert fired == [10, 25]
 
+    def test_oversized_batch_fires_observer_once_per_crossed_multiple(self):
+        # Regression: a batch spanning k multiples of an observer's cadence
+        # used to fire it once; it must fire k times (the same number of
+        # firings k row-at-a-time ticks produce), each seeing the
+        # post-batch total.
+        monitor = ExecutionMonitor()
+        fired = []
+        monitor.add_observer(lambda m: fired.append(m.total_ticks), every=10)
+        monitor.register(1, "x")
+        monitor.record_batch(1, 35)
+        assert fired == [35, 35, 35]
+
+    def test_coprime_cadences_each_fire_per_crossed_multiple(self):
+        # Co-prime cadences: one batch can cross different numbers of
+        # multiples for each observer; each fires per its own crossings.
+        monitor = ExecutionMonitor()
+        fired = {3: [], 5: []}
+        monitor.add_observer(lambda m: fired[3].append(m.total_ticks), every=3)
+        monitor.add_observer(lambda m: fired[5].append(m.total_ticks), every=5)
+        monitor.register(1, "x")
+        monitor.record_batch(1, 7)  # crosses 3 and 6, and 5
+        assert fired == {3: [7, 7], 5: [7]}
+        monitor.record_batch(1, 8)  # 7 -> 15: crosses 9, 12, 15 and 10, 15
+        assert fired == {3: [7, 7, 15, 15, 15], 5: [7, 15, 15]}
+
+    def test_min_headroom_batches_fire_every_observer_exactly_on_time(self):
+        # A caller that clamps every batch to ticks_until_next_observer()
+        # lands exactly on the nearest multiple and can never cross any
+        # observer's cadence point mid-batch — each firing happens at a
+        # multiple of its own ``every``, exactly as interpreted ticks.
+        monitor = ExecutionMonitor()
+        fired = {3: [], 5: []}
+        monitor.add_observer(lambda m: fired[3].append(m.total_ticks), every=3)
+        monitor.add_observer(lambda m: fired[5].append(m.total_ticks), every=5)
+        monitor.register(1, "x")
+        recorded = 0
+        while recorded < 30:
+            headroom = monitor.ticks_until_next_observer()
+            n = min(headroom, 30 - recorded)
+            monitor.record_batch(1, n)
+            recorded += n
+        assert fired[3] == [3, 6, 9, 12, 15, 18, 21, 24, 27, 30]
+        assert fired[5] == [5, 10, 15, 20, 25, 30]
+
     def test_ticks_until_next_observer_is_the_batching_headroom(self):
         monitor = ExecutionMonitor()
         assert monitor.ticks_until_next_observer() is None
@@ -164,6 +217,47 @@ class TestBatchChannel:
         monitor.remove_batch_listener(listener)
         monitor.record_batch(1, 2)
         assert batched == [(1, EVENT_TICK, 2)]
+
+
+class TestPerTickFanoutWarning:
+    """A per-tick listener forces record_batch into an n-call Python loop;
+    the first coalesced batch that hits it warns once per process."""
+
+    KEY = "per-tick-listener-batch-fanout"
+
+    def test_record_batch_with_tick_listener_warns_once(self):
+        observe._warned_keys.discard(self.KEY)
+        monitor = ExecutionMonitor()
+        monitor.add_tick_listener(lambda op, kind: None)
+        monitor.register(1, "x")
+        with pytest.warns(RuntimeWarning, match="per-tick listener"):
+            monitor.record_batch(1, 2)
+        # Once per process: later batches (same or fresh monitor) are silent.
+        other = ExecutionMonitor()
+        other.add_tick_listener(lambda op, kind: None)
+        other.register(1, "x")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            monitor.record_batch(1, 2)
+            other.record_batch(1, 2)
+
+    def test_single_tick_batches_do_not_warn(self):
+        # n == 1 is exactly one listener call — no fan-out, no warning.
+        observe._warned_keys.discard(self.KEY)
+        monitor = ExecutionMonitor()
+        monitor.add_tick_listener(lambda op, kind: None)
+        monitor.register(1, "x")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            monitor.record_batch(1, 1)
+
+    def test_batches_without_tick_listeners_do_not_warn(self):
+        observe._warned_keys.discard(self.KEY)
+        monitor = ExecutionMonitor()
+        monitor.register(1, "x")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            monitor.record_batch(1, 100)
 
 
 def accumulated_event_stream(build_plan, engine, every=None):
