@@ -25,6 +25,7 @@ __version__ = "1.1.0"
 _EXPORTS = {
     "connect": ("repro.api", "connect"),
     "Session": ("repro.api", "Session"),
+    "ExecutionOptions": ("repro.options", "ExecutionOptions"),
     "QueryHandle": ("repro.service", "QueryHandle"),
     "QueryService": ("repro.service", "QueryService"),
     "QueryState": ("repro.service", "QueryState"),

@@ -12,6 +12,13 @@ no imports from engine/runner internals:
     handle = session.submit(plan, deadline=5.0)       # concurrent service
     handle.progress(); handle.cancel(); handle.result()
 
+Execution knobs travel in one object — :class:`ExecutionOptions` — with a
+single resolution path (explicit value → ``$REPRO_*`` → fallback)::
+
+    options = repro.api.ExecutionOptions(engine="columnar", backend="process")
+    with repro.connect(catalog=catalog, options=options) as session:
+        ...
+
 Stability policy (see ``docs/api.md``): names exported from ``repro`` and
 ``repro.api`` only change with a :class:`DeprecationWarning` shim for at
 least one minor release.  Importing from ``repro.core.runner`` /
@@ -25,12 +32,25 @@ from typing import List, Optional, Sequence, Union
 
 from repro.core.estimators import ProgressEstimator, standard_toolkit
 from repro.core.observe import ProgressEventSink
-from repro.core.runner import ProgressReport, ProgressRunner, resolve_protocol
-from repro.engine.executor import ExecutionResult, execute, resolve_engine
+from repro.core.runner import ProgressReport, ProgressRunner
+from repro.engine.executor import ExecutionResult, execute
 from repro.engine.plan import Plan
 from repro.errors import ReproError
-from repro.service import QueryHandle, QueryService, resolve_backend
+from repro.options import ExecutionOptions
+from repro.service import QueryHandle, QueryService
 from repro.storage.catalog import Catalog
+
+__all__ = [
+    "Catalog",
+    "ExecutionOptions",
+    "ExecutionResult",
+    "Plan",
+    "ProgressReport",
+    "QueryHandle",
+    "QueryService",
+    "Session",
+    "connect",
+]
 
 Query = Union[Plan, str]
 
@@ -38,31 +58,35 @@ Query = Union[Plan, str]
 def connect(
     *,
     catalog: Optional[Catalog] = None,
+    options: Optional[ExecutionOptions] = None,
     engine: Optional[str] = None,
     protocol: Optional[str] = None,
-    target_samples: int = 200,
-    max_workers: int = 4,
-    queue_depth: int = 16,
+    target_samples: Optional[int] = None,
+    max_workers: Optional[int] = None,
+    queue_depth: Optional[int] = None,
     backend: Optional[str] = None,
     start_method: Optional[str] = None,
 ) -> "Session":
     """Open a :class:`Session` against ``catalog``.
 
-    ``engine`` picks the execution engine for every operation on the
-    session (default: ``$REPRO_ENGINE`` or the fused compiler);
-    ``protocol`` picks the evaluation protocol — ``"single_pass"``
-    (default: one execution per query, truth labeled at completion) or
-    ``"two_pass"`` (legacy oracle pre-run, eager live labels; default
-    ``$REPRO_PROTOCOL``).  ``max_workers``/``queue_depth`` size the
-    concurrent query service behind :meth:`Session.submit` (started lazily
-    on first use).  ``backend`` picks that service's execution backend —
-    ``"thread"`` (default) or ``"process"`` for real CPU parallelism
-    (default: ``$REPRO_BACKEND``); ``start_method`` tunes how process
-    workers start (``"fork"``/``"spawn"``/``"forkserver"``, default
-    ``$REPRO_START_METHOD`` or fork where available).
+    ``options`` carries every execution knob in one
+    :class:`ExecutionOptions`; the remaining keywords are per-knob
+    overrides layered on top of it (explicit keyword → ``options`` field →
+    ``$REPRO_*`` environment variable → built-in fallback).  ``engine``
+    picks the execution engine for every operation on the session
+    (fallback: the fused compiler); ``protocol`` picks the evaluation
+    protocol — ``"single_pass"`` (one execution per query, truth labeled
+    at completion) or ``"two_pass"`` (legacy oracle pre-run, eager live
+    labels).  ``max_workers``/``queue_depth`` size the concurrent query
+    service behind :meth:`Session.submit` (started lazily on first use).
+    ``backend`` picks that service's execution backend — ``"thread"``
+    (fallback) or ``"process"`` for real CPU parallelism; ``start_method``
+    tunes how process workers start (``"fork"``/``"spawn"``/
+    ``"forkserver"``, fork where available).
     """
     return Session(
         catalog=catalog,
+        options=options,
         engine=engine,
         protocol=protocol,
         target_samples=target_samples,
@@ -74,28 +98,36 @@ def connect(
 
 
 class Session:
-    """One connection-like scope: a catalog, an engine choice, a service."""
+    """One connection-like scope: a catalog, resolved options, a service."""
 
     def __init__(
         self,
         *,
         catalog: Optional[Catalog] = None,
+        options: Optional[ExecutionOptions] = None,
         engine: Optional[str] = None,
         protocol: Optional[str] = None,
-        target_samples: int = 200,
-        max_workers: int = 4,
-        queue_depth: int = 16,
+        target_samples: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        queue_depth: Optional[int] = None,
         backend: Optional[str] = None,
         start_method: Optional[str] = None,
     ) -> None:
         self.catalog = catalog if catalog is not None else Catalog()
-        self.engine = resolve_engine(engine)
-        self.protocol = resolve_protocol(protocol)
-        self.backend = resolve_backend(backend)
-        self.target_samples = target_samples
-        self._max_workers = max_workers
-        self._queue_depth = queue_depth
-        self._start_method = start_method
+        #: the session's fully resolved :class:`ExecutionOptions`
+        self.options = (options or ExecutionOptions()).merged(
+            engine=engine,
+            protocol=protocol,
+            backend=backend,
+            start_method=start_method,
+            target_samples=target_samples,
+            max_workers=max_workers,
+            queue_depth=queue_depth,
+        ).resolve()
+        self.engine = self.options.engine
+        self.protocol = self.options.protocol
+        self.backend = self.options.backend
+        self.target_samples = self.options.target_samples
         self._service: Optional[QueryService] = None
         self._closed = False
 
@@ -169,13 +201,7 @@ class Session:
         if self._service is None:
             self._service = QueryService(
                 self.catalog,
-                max_workers=self._max_workers,
-                queue_depth=self._queue_depth,
-                engine=self.engine,
-                protocol=self.protocol,
-                backend=self.backend,
-                start_method=self._start_method,
-                target_samples=self.target_samples,
+                options=self.options,
             )
         return self._service
 
@@ -186,16 +212,22 @@ class Session:
         name: Optional[str] = None,
         estimators: Optional[Sequence[ProgressEstimator]] = None,
         deadline: Optional[float] = None,
+        sinks: Sequence[ProgressEventSink] = (),
         block: bool = False,
         timeout: Optional[float] = None,
     ) -> QueryHandle:
-        """Admit a query onto the concurrent service; returns its handle."""
+        """Admit a query onto the concurrent service; returns its handle.
+
+        ``sinks`` subscribe to this query's live cadence samples (the
+        stream the network tier forwards over WebSockets).
+        """
         plan = self._plan_for(query, name=name)
         return self.service.submit(
             plan,
             name=name,
             estimators=estimators,
             deadline=deadline,
+            sinks=sinks,
             block=block,
             timeout=timeout,
         )

@@ -47,17 +47,14 @@ from repro.bench import (
 )
 from repro.bench.harness import downsample
 from repro.core import (
-    PROTOCOLS,
     JsonlTraceWriter,
     ProgressRunner,
-    default_protocol,
     mu,
     run_with_estimators,
     standard_toolkit,
 )
 from repro.core.runner import ProgressReport
-from repro.engine.executor import ENGINES, default_engine
-from repro.service.procpool import BACKENDS
+from repro.options import BACKENDS, ENGINES, PROTOCOLS, ExecutionOptions
 from repro.sql import plan_query
 from repro.workloads import (
     SKYSERVER_QUERIES,
@@ -203,73 +200,109 @@ def cmd_progress(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Stress harness for the concurrent query service."""
-    from repro.service import QueryService, QueryState
+    """Stress the HTTP/WebSocket server: admit a tenant workload mix,
+    watch live progress over the wire, and report via ``/metrics``."""
+    from repro.server import (
+        ReproServer,
+        ServerClient,
+        ServerConfig,
+        TenantQuota,
+    )
 
     db = generate_tpch(scale=args.scale, skew=args.skew, seed=args.seed)
     numbers = [int(part) for part in args.queries.split(",") if part]
-    service = QueryService(
-        db.catalog,
-        max_workers=args.workers,
-        queue_depth=max(args.queue_depth, len(numbers) * args.repeat),
+    total = len(numbers) * args.repeat
+    options = ExecutionOptions(
         engine=args.engine,
         protocol=args.protocol,
         backend=args.backend,
         start_method=args.start_method,
+        max_workers=args.workers,
+        queue_depth=max(args.queue_depth, total),
         target_samples=args.samples,
+    )
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        options=options,
+        default_quota=TenantQuota(
+            max_pending=max(TenantQuota().max_pending, total),
+            max_inflight=max(1, args.workers),
+        ),
         default_deadline=args.deadline,
     )
-    handles = []
-    for round_index in range(args.repeat):
-        for number in numbers:
-            plan = build_query(db, number)  # fresh plan object per query
-            handles.append(service.submit(
-                plan, name="Q%d#%d" % (number, round_index), block=True,
-            ))
-    print("admitted %d queries onto %d %s workers (engine=%s)"
-          % (len(handles), args.workers, service.backend, service.engine))
-    cancel_target = None
-    if args.cancel is not None and 0 <= args.cancel < len(handles):
-        cancel_target = handles[args.cancel]
-    while not all(handle.done for handle in handles):
-        if cancel_target is not None and cancel_target.progress() is not None:
-            cancel_target.cancel()
+    server = ReproServer(db.catalog, config=config)
+    with server.running():
+        resolved = server.config.options
+        client = ServerClient(server.config.host, server.port)
+        scheduled = []
+        for round_index in range(args.repeat):
+            for number in numbers:
+                # Plan objects hold runtime state: the scheduler calls the
+                # factory at dispatch time so every run gets a fresh plan.
+                factory = (lambda db=db, number=number:
+                           build_query(db, number))
+                scheduled.append(server.scheduler.submit(
+                    args.tenant, factory,
+                    name="Q%d#%d" % (number, round_index),
+                    target_samples=args.samples,
+                ))
+        print("admitted %d queries onto %d %s workers (engine=%s) "
+              "at http://%s:%d"
+              % (len(scheduled), resolved.max_workers, resolved.backend,
+                 resolved.engine, server.config.host, server.port))
+        cancel_target = None
+        if args.cancel is not None and 0 <= args.cancel < len(scheduled):
+            cancel_target = scheduled[args.cancel]
+            # Spin for the first live sample so the DELETE lands while the
+            # query is still on a worker (tiny test databases finish in
+            # tens of milliseconds — a coarse poll would miss the window).
+            while (cancel_target.latest_progress() is None
+                   and not cancel_target.done):
+                time.sleep(0.001)
+            client.cancel(cancel_target.query_id)
             print("cancelled %s mid-flight" % (cancel_target.name,))
-            cancel_target = None
-        line = []
-        for handle in handles:
-            sample = handle.sample() or handle.progress()
-            if handle.done or sample is None:
-                line.append("%s:%s" % (handle.name, handle.state.value))
-            else:
-                # Single-pass protocol: no truth label while the query runs
-                # (actual is None) — show the first estimator's answer.
-                value = sample.actual
-                if value is None:
-                    value = next(iter(sample.estimates.values()), 0.0)
-                line.append("%s:%4.1f%%" % (handle.name, value * 100))
-        print("  ".join(line))
-        time.sleep(args.poll)
-    print()
-    print("%-10s %-10s %9s %9s" % ("query", "state", "ticks", "samples"))
-    for handle in handles:
-        if handle.state is QueryState.DONE:
-            report = handle.result()
-            print("%-10s %-10s %9d %9d" % (
-                handle.name, handle.state.value,
-                report.profile.ticks if report.profile else 0,
-                len(report.trace.samples),
-            ))
-        else:
-            print("%-10s %-10s %9s %9s" % (
-                handle.name, handle.state.value, "-", "-",
-            ))
-    service.shutdown()
-    stats = service.stats()
+        while not all(query.done for query in scheduled):
+            line = []
+            for query in scheduled:
+                record = client.status(query.query_id)
+                progress = record.get("progress")
+                if record["done"] or progress is None:
+                    line.append("%s:%s" % (record["query"],
+                                           record["state"]))
+                else:
+                    # Single-pass protocol: no truth label while the query
+                    # runs — show the first estimator's answer.
+                    value = progress["actual"]
+                    if value is None:
+                        value = next(
+                            iter(progress["estimates"].values()), 0.0,
+                        )
+                    line.append("%s:%4.1f%%" % (record["query"],
+                                                value * 100))
+            print("  ".join(line))
+            time.sleep(args.poll)
+        print()
+        print("%-10s %-10s" % ("query", "state"))
+        for record in client.queries():
+            print("%-10s %-10s" % (record["query"], record["state"]))
+        metrics = client.metrics()
+        all_done = all(query.done for query in scheduled)
+    queries = metrics["queries"]
+    stats = dict(queries["completed"])
+    stats["submitted"] = queries["submitted"]
+    stats["throttled"] = queries["throttled"]
     print("stats: " + "  ".join(
         "%s=%d" % (key, stats[key]) for key in sorted(stats)
     ))
-    if all(handle.done for handle in handles):
+    tenant = metrics["tenants"].get(args.tenant, {})
+    print("ticks=%d  http_requests=%d  p50=%.3fs  p99=%.3fs" % (
+        tenant.get("ticks", 0),
+        metrics["http_requests"],
+        metrics["latency"]["p50_seconds"] or 0.0,
+        metrics["latency"]["p99_seconds"] or 0.0,
+    ))
+    if all_done:
         print("all queries reached a terminal state")
         return 0
     return 1
@@ -325,6 +358,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Progress estimation for SQL queries (SIGMOD 2005 repro)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+    defaults = ExecutionOptions().resolve()
 
     def add_db_options(p):
         p.add_argument("--scale", type=float, default=0.001,
@@ -336,7 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
     def add_engine_option(p):
         p.add_argument("--engine", choices=ENGINES, default=None,
                        help="execution engine (default: $REPRO_ENGINE or %s)"
-                       % (default_engine(),))
+                       % (defaults.engine,))
 
     def add_protocol_option(p):
         p.add_argument("--protocol", choices=PROTOCOLS, default=None,
@@ -344,7 +378,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "and labels truth at completion, two_pass runs "
                             "the legacy oracle pre-run for eager live labels "
                             "(default: $REPRO_PROTOCOL or %s)"
-                       % (default_protocol(),))
+                       % (defaults.protocol,))
 
     demo = subparsers.add_parser("demo", help="monitor a TPC-H query")
     add_db_options(demo)
@@ -407,6 +441,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cancel the I-th admitted query mid-flight")
     serve.add_argument("--poll", type=float, default=0.2,
                        help="seconds between live progress polls")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address for the HTTP/WebSocket server")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port (0: pick an ephemeral port)")
+    serve.add_argument("--tenant", default="cli",
+                       help="tenant name the workload is admitted under")
     serve.set_defaults(func=cmd_serve)
 
     explain = subparsers.add_parser("explain", help="show the physical plan")

@@ -13,7 +13,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.engine.executor import measure_total_work, resolve_engine
+from repro.engine.executor import measure_total_work
 from repro.engine.monitor import ExecutionMonitor
 from repro.engine.operators.base import ExecutionContext
 from repro.engine.plan import Plan
@@ -28,7 +28,7 @@ def total_work(plan: Plan, engine: Optional[str] = None) -> int:
     across engines, but the resolution keeps measurement on the engine the
     caller benchmarks.
     """
-    return measure_total_work(plan, engine=resolve_engine(engine))
+    return measure_total_work(plan, engine=engine)
 
 
 def scanned_input_cardinality(plan: Plan) -> int:

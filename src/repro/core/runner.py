@@ -44,7 +44,6 @@ pipeline-boundary hook, every estimator call is wall-time profiled into a
 
 from __future__ import annotations
 
-import os
 import threading
 import time
 import warnings
@@ -66,41 +65,55 @@ from repro.core.observe import (
 )
 from repro.core.pipelines import Pipeline, decompose
 from repro.engine.executor import (
+    _engine_choice,
     measure_total_work,
     pipeline_boundary_operators,
-    resolve_engine,
 )
 from repro.engine.monitor import EVENT_TICK, ExecutionMonitor
 from repro.engine.operators.base import ExecutionContext
 from repro.engine.plan import Plan
 from repro.errors import ProgressError
+from repro.options import PROTOCOLS, ExecutionOptions
 from repro.stats.estimate import CardinalityEstimator
 from repro.storage.catalog import Catalog
 
-#: the evaluation protocols a runner can execute under
-PROTOCOLS: Tuple[str, ...] = ("single_pass", "two_pass")
 
-_PROTOCOL_ENV_VAR = "REPRO_PROTOCOL"
-_FALLBACK_PROTOCOL = "single_pass"
+def _protocol_choice(protocol: Optional[str]) -> str:
+    """Internal resolution: explicit value → ``$REPRO_PROTOCOL`` → single_pass."""
+    return ExecutionOptions(protocol=protocol).resolve().protocol
 
 
 def default_protocol() -> str:
-    """The protocol used when none is requested explicitly.
+    """Deprecated: the default protocol now resolves through
+    :class:`repro.api.ExecutionOptions`.
 
-    Reads ``$REPRO_PROTOCOL`` at call time (so tests and CI matrices can
-    flip it per-invocation); falls back to ``"single_pass"``.
+    Kept as a shim per the documented stability policy; emits one
+    :class:`DeprecationWarning` per call.
     """
-    return os.environ.get(_PROTOCOL_ENV_VAR) or _FALLBACK_PROTOCOL
+    warnings.warn(
+        "default_protocol() is deprecated; use "
+        "repro.api.ExecutionOptions().resolve().protocol instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _protocol_choice(None)
 
 
 def resolve_protocol(protocol: Optional[str] = None) -> str:
-    """Validate an explicit protocol choice, or resolve the default."""
-    chosen = protocol or default_protocol()
-    if chosen not in PROTOCOLS:
-        raise ProgressError(
-            "unknown protocol %r (expected one of %s)" % (chosen, list(PROTOCOLS))
-        )
-    return chosen
+    """Deprecated: ``protocol=`` keywords now resolve through
+    :class:`repro.api.ExecutionOptions`.
+
+    Kept as a shim per the documented stability policy; emits one
+    :class:`DeprecationWarning` per call and delegates to the same
+    resolution path, so behaviour is unchanged.
+    """
+    warnings.warn(
+        "resolve_protocol() is deprecated; use "
+        "repro.api.ExecutionOptions(protocol=...).resolve().protocol instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _protocol_choice(protocol)
 
 
 #: oracle ``total(Q)`` per plan object, for the two_pass compat path —
@@ -370,8 +383,8 @@ class ProgressRunner:
         self.work_model = work_model
         self.sinks = list(sinks)
         self.clock = clock
-        self.engine = resolve_engine(engine)
-        self.protocol = resolve_protocol(protocol)
+        self.engine = _engine_choice(engine)
+        self.protocol = _protocol_choice(protocol)
         #: builds every monitor this runner uses (instrumented, plus the
         #: oracle pass under two_pass); the service injects one whose
         #: record/record_batch check cancellation and deadlines under a lock

@@ -30,10 +30,12 @@ __all__ = [
 def __getattr__(name: str):
     if name == "DEFAULT_ENGINE":
         warnings.warn(
-            "repro.engine.DEFAULT_ENGINE is deprecated; call "
-            "repro.engine.default_engine() instead",
+            "repro.engine.DEFAULT_ENGINE is deprecated; use "
+            "repro.api.ExecutionOptions().resolve().engine instead",
             DeprecationWarning,
             stacklevel=2,
         )
-        return default_engine()
+        from repro.engine.executor import _engine_choice
+
+        return _engine_choice(None)
     raise AttributeError("module %r has no attribute %r" % (__name__, name))

@@ -21,7 +21,6 @@ firing instants, event streams — see ``tests/engine/test_compiled_engine``):
 
 from __future__ import annotations
 
-import os
 import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
@@ -30,37 +29,48 @@ from repro.engine.monitor import ExecutionMonitor
 from repro.engine.operators.base import ExecutionContext
 from repro.engine.plan import Plan
 from repro.errors import ExecutionError
+from repro.options import ENGINES, ExecutionOptions
 from repro.storage.table import Row
 
-ENGINES = ("fused", "interpreted", "columnar")
 
-_ENGINE_ENV_VAR = "REPRO_ENGINE"
-_FALLBACK_ENGINE = "fused"
+def _engine_choice(engine: Optional[str]) -> str:
+    """Internal resolution: explicit value → ``$REPRO_ENGINE`` → fused."""
+    return ExecutionOptions(engine=engine).resolve().engine
 
 
 def default_engine() -> str:
-    """The engine used when no explicit choice is made.
+    """Deprecated: the default engine now resolves through
+    :class:`repro.api.ExecutionOptions`.
 
-    Read from ``$REPRO_ENGINE`` at call time (not import time), so tests
-    and long-lived services can flip the default without re-importing.
+    Kept as a shim per the documented stability policy; emits one
+    :class:`DeprecationWarning` per call.
     """
-    return os.environ.get(_ENGINE_ENV_VAR, _FALLBACK_ENGINE)
+    warnings.warn(
+        "default_engine() is deprecated; use "
+        "repro.api.ExecutionOptions().resolve().engine instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _engine_choice(None)
 
 
 def resolve_engine(engine: Optional[str] = None) -> str:
-    """The single resolution point for every ``engine=`` keyword.
+    """Deprecated: ``engine=`` keywords now resolve through
+    :class:`repro.api.ExecutionOptions`.
 
-    ``None`` means "the default" (``$REPRO_ENGINE`` or ``"fused"``); any
-    other value must be one of :data:`ENGINES`.  All entry points —
-    :func:`execute`, :func:`measure_total_work`, the progress runner, the
-    session facade and the CLI — funnel through here.
+    Kept as a shim per the documented stability policy; emits one
+    :class:`DeprecationWarning` per call and delegates to the same
+    resolution path, so behaviour (explicit value → ``$REPRO_ENGINE`` →
+    ``"fused"``, unknown names raising :class:`ExecutionError`) is
+    unchanged.
     """
-    engine = engine or default_engine()
-    if engine not in ENGINES:
-        raise ExecutionError(
-            "unknown engine %r (expected one of %s)" % (engine, ENGINES)
-        )
-    return engine
+    warnings.warn(
+        "resolve_engine() is deprecated; use "
+        "repro.api.ExecutionOptions(engine=...).resolve().engine instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _engine_choice(engine)
 
 
 def __getattr__(name: str):
@@ -68,12 +78,12 @@ def __getattr__(name: str):
     # constant could silently disagree with a later $REPRO_ENGINE change.
     if name == "DEFAULT_ENGINE":
         warnings.warn(
-            "repro.engine.executor.DEFAULT_ENGINE is deprecated; call "
-            "default_engine() (or resolve_engine(None)) instead",
+            "repro.engine.executor.DEFAULT_ENGINE is deprecated; use "
+            "repro.api.ExecutionOptions().resolve().engine instead",
             DeprecationWarning,
             stacklevel=2,
         )
-        return default_engine()
+        return _engine_choice(None)
     raise AttributeError("module %r has no attribute %r" % (__name__, name))
 
 
@@ -113,7 +123,7 @@ def execute(
     engine: Optional[str] = None,
 ) -> ExecutionResult:
     """Run ``plan`` to completion; return rows and getnext accounting."""
-    engine = resolve_engine(engine)
+    engine = _engine_choice(engine)
     context = context or ExecutionContext()
     context.monitor.mark_pipeline_boundaries(pipeline_boundary_operators(plan))
     if engine == "fused":
@@ -160,7 +170,7 @@ def measure_total_work(
     ``record`` checks cancellation and deadlines, so even the oracle phase
     of an instrumented run stays responsive.
     """
-    engine = resolve_engine(engine)
+    engine = _engine_choice(engine)
     context = ExecutionContext(monitor or ExecutionMonitor())
     context.monitor.mark_pipeline_boundaries(pipeline_boundary_operators(plan))
     if engine == "fused":

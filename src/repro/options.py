@@ -1,0 +1,186 @@
+"""`ExecutionOptions`: the single resolution path for every execution knob.
+
+Historically each knob grew its own resolver idiom — ``resolve_engine`` in
+:mod:`repro.engine.executor`, ``resolve_protocol`` in
+:mod:`repro.core.runner`, ``resolve_backend``/``resolve_start_method`` in
+:mod:`repro.service.procpool` — each reading its own ``REPRO_*`` environment
+variable at its own call site.  Three parallel idioms meant three places for
+a new entry point (the network server being the fourth) to copy, and three
+places for their semantics to drift.
+
+:class:`ExecutionOptions` collapses them: one frozen dataclass carrying every
+knob, one :meth:`ExecutionOptions.resolve` method that fills unset fields
+from the environment and validates the result.  **This module is the only
+place in the package that reads a ``REPRO_*`` environment variable.**  The
+facade (``repro.connect``), the query service, the CLI and the network
+server all consume it; the old per-knob resolvers survive only as
+:class:`DeprecationWarning` shims delegating here.
+
+The module sits at the very bottom of the import graph (stdlib +
+:mod:`repro.errors` only) so that the engine, runner and service layers can
+all import it without cycles.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, fields, replace
+from typing import Optional
+
+from repro.errors import ExecutionError, ProgressError, ServiceError
+
+#: the execution engines (see ``docs/engine.md``); all observationally
+#: identical, so the choice is purely a throughput knob
+ENGINES = ("fused", "interpreted", "columnar")
+
+#: the evaluation protocols (see ``docs/api.md``): ``single_pass`` executes
+#: once and labels truth at completion, ``two_pass`` keeps the legacy
+#: oracle pre-run for eager live labels
+PROTOCOLS = ("single_pass", "two_pass")
+
+#: the query-service execution backends: GIL-shared worker threads, or
+#: worker processes for real multi-core parallelism
+BACKENDS = ("thread", "process")
+
+_FALLBACKS = {
+    "engine": "fused",
+    "protocol": "single_pass",
+    "backend": "thread",
+}
+
+#: sizing defaults applied by :meth:`ExecutionOptions.resolve`
+DEFAULT_TARGET_SAMPLES = 200
+DEFAULT_MAX_WORKERS = 4
+DEFAULT_QUEUE_DEPTH = 16
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """Every execution knob, resolvable in one step.
+
+    ``None`` fields mean "use the default": resolution order is explicit
+    value → ``$REPRO_<FIELD>`` environment variable → built-in fallback.
+    Instances are frozen; :meth:`resolve` and :meth:`merged` return new
+    instances, so an ``ExecutionOptions`` can be shared freely between a
+    session, a service and a server config.
+
+    ========================  =======================  ==================
+    field                     environment variable     fallback
+    ========================  =======================  ==================
+    ``engine``                ``REPRO_ENGINE``         ``"fused"``
+    ``protocol``              ``REPRO_PROTOCOL``       ``"single_pass"``
+    ``backend``               ``REPRO_BACKEND``        ``"thread"``
+    ``start_method``          ``REPRO_START_METHOD``   ``fork``/``spawn``
+    ``target_samples``        —                        ``200``
+    ``max_workers``           —                        ``4``
+    ``queue_depth``           —                        ``16``
+    ========================  =======================  ==================
+    """
+
+    engine: Optional[str] = None
+    protocol: Optional[str] = None
+    backend: Optional[str] = None
+    start_method: Optional[str] = None
+    target_samples: Optional[int] = None
+    max_workers: Optional[int] = None
+    queue_depth: Optional[int] = None
+
+    # -- construction ------------------------------------------------------------
+
+    def merged(self, **overrides) -> "ExecutionOptions":
+        """A copy with the non-``None`` ``overrides`` applied.
+
+        The merge idiom for layered configuration: a base options object
+        (server config, session default) overridden by per-call keywords.
+        Unknown keys raise, mirroring ``dataclasses.replace``.
+        """
+        filtered = {
+            key: value for key, value in overrides.items() if value is not None
+        }
+        return replace(self, **filtered) if filtered else self
+
+    # -- resolution --------------------------------------------------------------
+
+    def resolve(self) -> "ExecutionOptions":
+        """Fill every unset field from the environment and validate.
+
+        Idempotent: resolving a resolved instance is a no-op.  This is the
+        **only** code path in the package that reads ``REPRO_*`` variables,
+        and it reads them at call time (never import time) so long-lived
+        processes and test matrices can flip defaults per invocation.
+        """
+        engine = self.engine or self._env("REPRO_ENGINE") or _FALLBACKS["engine"]
+        if engine not in ENGINES:
+            raise ExecutionError(
+                "unknown engine %r (expected one of %s)" % (engine, ENGINES)
+            )
+        protocol = (
+            self.protocol or self._env("REPRO_PROTOCOL")
+            or _FALLBACKS["protocol"]
+        )
+        if protocol not in PROTOCOLS:
+            raise ProgressError(
+                "unknown protocol %r (expected one of %s)"
+                % (protocol, list(PROTOCOLS))
+            )
+        backend = (
+            self.backend or self._env("REPRO_BACKEND") or _FALLBACKS["backend"]
+        )
+        if backend not in BACKENDS:
+            raise ServiceError(
+                "unknown backend %r (expected one of %s)" % (backend, BACKENDS)
+            )
+        available_methods = multiprocessing.get_all_start_methods()
+        start_method = (
+            self.start_method or self._env("REPRO_START_METHOD")
+            or ("fork" if "fork" in available_methods else "spawn")
+        )
+        if start_method not in available_methods:
+            raise ServiceError(
+                "unknown start method %r (available on this platform: %s)"
+                % (start_method, available_methods)
+            )
+        target_samples = (
+            self.target_samples if self.target_samples is not None
+            else DEFAULT_TARGET_SAMPLES
+        )
+        if target_samples < 1:
+            raise ProgressError("target_samples must be >= 1")
+        max_workers = (
+            self.max_workers if self.max_workers is not None
+            else DEFAULT_MAX_WORKERS
+        )
+        if max_workers < 1:
+            raise ServiceError("max_workers must be >= 1")
+        queue_depth = (
+            self.queue_depth if self.queue_depth is not None
+            else DEFAULT_QUEUE_DEPTH
+        )
+        if queue_depth < 1:
+            raise ServiceError("queue_depth must be >= 1")
+        return ExecutionOptions(
+            engine=engine,
+            protocol=protocol,
+            backend=backend,
+            start_method=start_method,
+            target_samples=target_samples,
+            max_workers=max_workers,
+            queue_depth=queue_depth,
+        )
+
+    @property
+    def resolved(self) -> bool:
+        """True when every field is concrete (i.e. ``resolve`` ran)."""
+        return all(
+            getattr(self, field.name) is not None for field in fields(self)
+        )
+
+    @staticmethod
+    def _env(name: str) -> Optional[str]:
+        # Empty strings count as unset for every knob, so e.g.
+        # ``REPRO_ENGINE= pytest …`` behaves like an absent variable.
+        return os.environ.get(name) or None
+
+    def to_dict(self) -> dict:
+        return {field.name: getattr(self, field.name) for field in fields(self)}

@@ -1,0 +1,51 @@
+"""Optional-dependency shims: ``uvloop`` and ``websockets``.
+
+The server is stdlib-complete — asyncio's default loop and the hand-rolled
+RFC 6455 framing in :mod:`repro.server.wsproto` carry the whole protocol —
+but when the optional accelerators are installed they are picked up
+automatically.  CI runs the server suite both ways; nothing in this module
+may raise on a bare install.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+try:  # pragma: no cover - exercised only on the optional-deps CI leg
+    import uvloop  # type: ignore[import-not-found]
+except ImportError:  # pragma: no cover - the stdlib-only default
+    uvloop = None
+
+try:  # pragma: no cover - exercised only on the optional-deps CI leg
+    import websockets  # type: ignore[import-not-found]
+except ImportError:  # pragma: no cover - the stdlib-only default
+    websockets = None
+
+HAVE_UVLOOP = uvloop is not None
+HAVE_WEBSOCKETS = websockets is not None
+
+
+def event_loop_flavor() -> str:
+    """Which loop implementation a fresh server loop will use."""
+    return "uvloop" if HAVE_UVLOOP else "asyncio"
+
+
+def new_event_loop():
+    """An event loop, accelerated when uvloop is importable."""
+    if HAVE_UVLOOP:  # pragma: no cover - optional-deps leg only
+        return uvloop.new_event_loop()
+    import asyncio
+
+    return asyncio.new_event_loop()
+
+
+def websockets_client(url: str) -> Optional[object]:
+    """A ``websockets`` client connection when the package is installed.
+
+    Returns None on a bare install; callers fall back to the stdlib
+    client in :mod:`repro.server.wsproto`.  (Used by the optional-deps CI
+    leg to prove the server speaks to a real third-party client.)
+    """
+    if not HAVE_WEBSOCKETS:
+        return None
+    return websockets.sync.client.connect(url)  # pragma: no cover

@@ -1,0 +1,193 @@
+"""Server metrics: queue depths, per-tenant throughput, latency quantiles.
+
+One registry per server, shared by the HTTP tier, the fair scheduler and
+the CLI.  Everything is guarded by a single lock — counters are touched a
+handful of times per query, never per tick, so contention is negligible —
+and :meth:`ServerMetrics.snapshot` renders the whole registry as the JSON
+document ``GET /metrics`` returns.  The ``repro serve`` CLI prints *from
+this snapshot*, so the human-readable summary and the endpoint cannot
+drift.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+
+def percentile(values: List[float], fraction: float) -> Optional[float]:
+    """Nearest-rank percentile; None on an empty population."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[index]
+
+
+class LatencyReservoir:
+    """A bounded sample of query latencies (seconds, admission→terminal)."""
+
+    def __init__(self, capacity: int = 10000) -> None:
+        self.capacity = capacity
+        self.count = 0
+        self._values: List[float] = []
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        if len(self._values) < self.capacity:
+            self._values.append(seconds)
+        else:
+            # Deterministic reservoir: overwrite round-robin.  Good enough
+            # for p50/p99 over a load run without unbounded memory.
+            self._values[self.count % self.capacity] = seconds
+
+    def quantiles(self) -> Dict[str, Optional[float]]:
+        values = list(self._values)
+        return {
+            "count": self.count,
+            "p50_seconds": percentile(values, 0.50),
+            "p99_seconds": percentile(values, 0.99),
+        }
+
+
+class TenantMetrics:
+    """Counters for one tenant (created on first touch)."""
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self.first_seen = clock()
+        self.submitted = 0
+        self.throttled = 0
+        self.completed: Dict[str, int] = {}
+        self.ticks = 0
+        self.inflight = 0
+        self.pending = 0
+
+    def to_dict(self, now: float) -> Dict[str, object]:
+        elapsed = max(now - self.first_seen, 1e-9)
+        return {
+            "submitted": self.submitted,
+            "throttled": self.throttled,
+            "completed": dict(self.completed),
+            "ticks": self.ticks,
+            "ticks_per_second": self.ticks / elapsed,
+            "inflight": self.inflight,
+            "pending": self.pending,
+        }
+
+
+class ServerMetrics:
+    """The server-wide registry behind ``GET /metrics``."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.started_at = clock()
+        self.submitted = 0
+        self.throttled = 0
+        self.cancelled_queued = 0
+        self.completed: Dict[str, int] = {}
+        self.ws_opened = 0
+        self.ws_closed = 0
+        self.http_requests = 0
+        self.latency = LatencyReservoir()
+        self.tenants: Dict[str, TenantMetrics] = {}
+
+    def _tenant(self, tenant: str) -> TenantMetrics:
+        state = self.tenants.get(tenant)
+        if state is None:
+            state = self.tenants[tenant] = TenantMetrics(self._clock)
+        return state
+
+    # -- recording ---------------------------------------------------------------
+
+    def record_request(self) -> None:
+        with self._lock:
+            self.http_requests += 1
+
+    def record_submitted(self, tenant: str) -> None:
+        with self._lock:
+            self.submitted += 1
+            state = self._tenant(tenant)
+            state.submitted += 1
+            state.pending += 1
+
+    def record_throttled(self, tenant: str) -> None:
+        with self._lock:
+            self.throttled += 1
+            self._tenant(tenant).throttled += 1
+
+    def record_dispatched(self, tenant: str) -> None:
+        with self._lock:
+            state = self._tenant(tenant)
+            state.pending = max(0, state.pending - 1)
+            state.inflight += 1
+
+    def record_cancelled_queued(self, tenant: str) -> None:
+        """A query cancelled before it was ever dispatched."""
+        with self._lock:
+            self.cancelled_queued += 1
+            state = self._tenant(tenant)
+            state.pending = max(0, state.pending - 1)
+            state.completed["cancelled"] = (
+                state.completed.get("cancelled", 0) + 1
+            )
+            self.completed["cancelled"] = (
+                self.completed.get("cancelled", 0) + 1
+            )
+
+    def record_completed(self, tenant: str, state_name: str, *,
+                         ticks: int = 0,
+                         latency_seconds: Optional[float] = None) -> None:
+        with self._lock:
+            self.completed[state_name] = (
+                self.completed.get(state_name, 0) + 1
+            )
+            state = self._tenant(tenant)
+            state.inflight = max(0, state.inflight - 1)
+            state.completed[state_name] = (
+                state.completed.get(state_name, 0) + 1
+            )
+            state.ticks += ticks
+            if latency_seconds is not None:
+                self.latency.record(latency_seconds)
+
+    def record_ws_open(self) -> None:
+        with self._lock:
+            self.ws_opened += 1
+
+    def record_ws_close(self) -> None:
+        with self._lock:
+            self.ws_closed += 1
+
+    # -- rendering ---------------------------------------------------------------
+
+    def snapshot(
+        self, queue_depths: Optional[Dict[str, int]] = None,
+    ) -> Dict[str, object]:
+        now = self._clock()
+        with self._lock:
+            elapsed = max(now - self.started_at, 1e-9)
+            total_ticks = sum(t.ticks for t in self.tenants.values())
+            return {
+                "uptime_seconds": now - self.started_at,
+                "http_requests": self.http_requests,
+                "ws_connections": {
+                    "open": self.ws_opened - self.ws_closed,
+                    "opened": self.ws_opened,
+                    "closed": self.ws_closed,
+                },
+                "queries": {
+                    "submitted": self.submitted,
+                    "throttled": self.throttled,
+                    "completed": dict(self.completed),
+                },
+                "ticks": total_ticks,
+                "ticks_per_second": total_ticks / elapsed,
+                "latency": self.latency.quantiles(),
+                "queue_depths": dict(queue_depths or {}),
+                "tenants": {
+                    name: tenant.to_dict(now)
+                    for name, tenant in sorted(self.tenants.items())
+                },
+            }

@@ -7,10 +7,13 @@ Public surface:
   cooperative cancellation, deadlines and thread-safe progress sampling;
 * :class:`ServiceExecutionMonitor` — the tick-boundary control monitor;
 * :class:`ResilientEstimator` — safe-fallback estimator degradation;
-* :data:`BACKENDS` / :func:`resolve_backend` / :func:`resolve_start_method`
-  / :class:`CatalogSpec` — the execution-backend surface
+* :data:`BACKENDS` / :class:`CatalogSpec` — the execution-backend surface
   (``backend="thread"`` or ``"process"``, see
-  :mod:`repro.service.procpool`).
+  :mod:`repro.service.procpool`).  The old per-knob resolvers
+  (:func:`resolve_backend` / :func:`resolve_start_method` and their
+  ``default_*`` twins) remain importable as :class:`DeprecationWarning`
+  shims; new code resolves through
+  :class:`repro.api.ExecutionOptions`.
 
 Typical use goes through the facade (:func:`repro.api.connect` →
 ``Session.submit``); this package is the engine room.

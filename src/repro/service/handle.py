@@ -84,6 +84,10 @@ class QueryHandle:
         # per-query run configuration, filled in by the service at admission
         self._target_samples = 200
         self._estimators: Optional[List] = None
+        #: per-query event sinks (cadence samples only); the network tier's
+        #: WebSocket bridge subscribes through these
+        self._sinks: tuple = ()
+        self._callbacks: List[Callable[["QueryHandle"], None]] = []
         #: pickled (plan, estimators) wire payload — process backend only
         self._wire: Optional[bytes] = None
         # backend hooks: the thread backend leaves these None (cancel is a
@@ -105,6 +109,29 @@ class QueryHandle:
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the query reaches a terminal state."""
         return self._done.wait(timeout)
+
+    def add_done_callback(self, fn: Callable[["QueryHandle"], None]) -> None:
+        """Run ``fn(handle)`` exactly once when the query turns terminal.
+
+        Registered after the terminal transition, ``fn`` runs immediately
+        on the calling thread; otherwise it runs on the thread that
+        finalizes the query (a worker or shepherd).  Callbacks must not
+        block — the scheduler and the network tier use them to unpark
+        waiters, record latency and push terminal frames.  A raising
+        callback is swallowed: completion accounting must never be
+        derailed by a subscriber.
+        """
+        with self._state_lock:
+            if not self._state.terminal:
+                self._callbacks.append(fn)
+                return
+        self._run_callback(fn)
+
+    def _run_callback(self, fn: Callable[["QueryHandle"], None]) -> None:
+        try:
+            fn(self)
+        except Exception:
+            pass
 
     def result(self, timeout: Optional[float] = None) -> ProgressReport:
         """The finished run's report; raises the terminal error otherwise.
@@ -249,7 +276,11 @@ class QueryHandle:
                 # instead of a stale unlabeled live sample.
                 self._latest = report.trace.samples[-1]
                 self._samples_published += 1
+            callbacks, self._callbacks = self._callbacks, []
         self._done.set()
+        # Outside the lock: a callback may itself inspect the handle.
+        for fn in callbacks:
+            self._run_callback(fn)
 
     def __repr__(self) -> str:
         return "QueryHandle(#%d %r, %s)" % (

@@ -35,10 +35,10 @@ identically at the parent:
   (the handle finalizes FAILED with a :class:`ServiceError`) and the slot
   respawns its worker for the next one.
 
-Backend selection mirrors engine selection: ``resolve_backend`` resolves
-explicit argument → ``$REPRO_BACKEND`` → ``"thread"``, and
-``resolve_start_method`` resolves explicit argument →
-``$REPRO_START_METHOD`` → ``fork`` where the platform offers it.
+Backend selection mirrors engine selection: explicit argument →
+``$REPRO_BACKEND`` → ``"thread"`` (and explicit argument →
+``$REPRO_START_METHOD`` → ``fork`` where the platform offers it), both
+resolved through :class:`repro.options.ExecutionOptions`.
 """
 
 from __future__ import annotations
@@ -46,7 +46,6 @@ from __future__ import annotations
 import importlib
 import io
 import multiprocessing
-import os
 import pickle
 import threading
 import time
@@ -57,73 +56,98 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.core.metrics import TraceSample
-from repro.core.observe import ForwardingSink
+from repro.core.observe import ForwardingSink, emit_to_all
 from repro.core.runner import ProgressRunner
 from repro.errors import (
     QueryCancelled,
     QueryTimeout,
     ServiceError,
 )
+from repro.options import BACKENDS, ExecutionOptions
 from repro.service.handle import QueryHandle, QueryState
 from repro.service.monitor import ServiceExecutionMonitor
 from repro.service.resilient import ResilientEstimator
 
 # -- backend / start-method resolution -------------------------------------------
 
-BACKENDS = ("thread", "process")
 
-_BACKEND_ENV_VAR = "REPRO_BACKEND"
-_FALLBACK_BACKEND = "thread"
-_START_METHOD_ENV_VAR = "REPRO_START_METHOD"
+def _backend_choice(backend: Optional[str]) -> str:
+    """Internal resolution: explicit value → ``$REPRO_BACKEND`` → thread."""
+    return ExecutionOptions(backend=backend).resolve().backend
+
+
+def _start_method_choice(method: Optional[str]) -> str:
+    """Internal resolution: explicit → ``$REPRO_START_METHOD`` → fork/spawn."""
+    return ExecutionOptions(start_method=method).resolve().start_method
 
 
 def default_backend() -> str:
-    """The backend used when no explicit choice is made.
+    """Deprecated: the default backend now resolves through
+    :class:`repro.api.ExecutionOptions`.
 
-    Read from ``$REPRO_BACKEND`` at call time (not import time), matching
-    ``default_engine``'s semantics for long-lived services.
+    Kept as a shim per the documented stability policy; emits one
+    :class:`DeprecationWarning` per call.
     """
-    return os.environ.get(_BACKEND_ENV_VAR, _FALLBACK_BACKEND)
+    warnings.warn(
+        "default_backend() is deprecated; use "
+        "repro.api.ExecutionOptions().resolve().backend instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _backend_choice(None)
 
 
 def resolve_backend(backend: Optional[str] = None) -> str:
-    """The single resolution point for every ``backend=`` keyword.
+    """Deprecated: ``backend=`` keywords now resolve through
+    :class:`repro.api.ExecutionOptions`.
 
-    ``None`` means "the default" (``$REPRO_BACKEND`` or ``"thread"``); any
-    other value must be one of :data:`BACKENDS`.
+    Kept as a shim per the documented stability policy; emits one
+    :class:`DeprecationWarning` per call and delegates to the same
+    resolution path, so behaviour (explicit value → ``$REPRO_BACKEND`` →
+    ``"thread"``, unknown names raising :class:`ServiceError`) is
+    unchanged.
     """
-    backend = backend or default_backend()
-    if backend not in BACKENDS:
-        raise ServiceError(
-            "unknown backend %r (expected one of %s)" % (backend, BACKENDS)
-        )
-    return backend
+    warnings.warn(
+        "resolve_backend() is deprecated; use "
+        "repro.api.ExecutionOptions(backend=...).resolve().backend instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _backend_choice(backend)
 
 
 def default_start_method() -> str:
-    """``$REPRO_START_METHOD``, else ``fork`` where available, else spawn.
+    """Deprecated: the default start method now resolves through
+    :class:`repro.api.ExecutionOptions`.
 
-    Fork is the fast path: workers inherit the catalog without
-    serialization.  Platforms without fork (Windows, some macOS configs)
-    fall back to spawn, which re-opens the catalog from a
-    :class:`CatalogSpec`.
+    Kept as a shim per the documented stability policy; emits one
+    :class:`DeprecationWarning` per call.  Fork remains the fast path
+    where available: workers inherit the catalog without serialization.
     """
-    env = os.environ.get(_START_METHOD_ENV_VAR)
-    if env:
-        return env
-    methods = multiprocessing.get_all_start_methods()
-    return "fork" if "fork" in methods else "spawn"
+    warnings.warn(
+        "default_start_method() is deprecated; use "
+        "repro.api.ExecutionOptions().resolve().start_method instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _start_method_choice(None)
 
 
 def resolve_start_method(method: Optional[str] = None) -> str:
-    method = method or default_start_method()
-    available = multiprocessing.get_all_start_methods()
-    if method not in available:
-        raise ServiceError(
-            "unknown start method %r (available on this platform: %s)"
-            % (method, available)
-        )
-    return method
+    """Deprecated: ``start_method=`` keywords now resolve through
+    :class:`repro.api.ExecutionOptions`.
+
+    Kept as a shim per the documented stability policy; emits one
+    :class:`DeprecationWarning` per call with unchanged behaviour.
+    """
+    warnings.warn(
+        "resolve_start_method() is deprecated; use "
+        "repro.api.ExecutionOptions(start_method=...).resolve()"
+        ".start_method instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _start_method_choice(method)
 
 
 @contextmanager
@@ -660,6 +684,10 @@ class _WorkerSlot:
                         lower_bound=event.lower_bound,
                         upper_bound=event.upper_bound,
                     ))
+                    # Mirror the thread backend: per-query sinks get the
+                    # cadence-sample stream, identical on either backend.
+                    if handle._sinks:
+                        emit_to_all(handle._sinks, event)
             elif kind == "degraded":
                 service._record_degraded(handle, message[2], message[3])
             elif kind == "probe":
@@ -709,7 +737,7 @@ class ProcessPool:
         from repro.service.service import _STOP
 
         self.service = service
-        self.start_method = resolve_start_method(start_method)
+        self.start_method = _start_method_choice(start_method)
         self.ctx = multiprocessing.get_context(self.start_method)
         self.stop_sentinel = _STOP
         self._catalog_payload = None

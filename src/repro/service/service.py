@@ -49,21 +49,21 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.estimators import ProgressEstimator, standard_toolkit
 from repro.core.observe import (
+    ForwardingSink,
     ProgressEvent,
     ProgressEventSink,
     emit_to_all,
 )
-from repro.core.runner import ProgressRunner, RunnerProbe, resolve_protocol
-from repro.engine.executor import resolve_engine
+from repro.core.runner import ProgressRunner, RunnerProbe
 from repro.engine.plan import Plan
 from repro.errors import AdmissionError, QueryCancelled, QueryTimeout
+from repro.options import ExecutionOptions
 from repro.service.handle import QueryHandle, QueryState, cancelled_error
 from repro.service.monitor import ServiceExecutionMonitor
 from repro.service.procpool import (
     CatalogSpec,
     ProcessPool,
     encode_query,
-    resolve_backend,
 )
 from repro.service.resilient import ResilientEstimator
 from repro.storage.catalog import Catalog
@@ -80,33 +80,47 @@ class QueryService:
         self,
         catalog: Optional[Catalog] = None,
         *,
-        max_workers: int = 4,
-        queue_depth: int = 16,
+        options: Optional[ExecutionOptions] = None,
+        max_workers: Optional[int] = None,
+        queue_depth: Optional[int] = None,
         toolkit_factory: Callable[[], List[ProgressEstimator]] = standard_toolkit,
         engine: Optional[str] = None,
         protocol: Optional[str] = None,
         backend: Optional[str] = None,
         start_method: Optional[str] = None,
         catalog_spec: Optional[CatalogSpec] = None,
-        target_samples: int = 200,
+        target_samples: Optional[int] = None,
         default_deadline: Optional[float] = None,
         sinks: Sequence[ProgressEventSink] = (),
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
-        if max_workers < 1:
+        if max_workers is not None and max_workers < 1:
             raise AdmissionError("max_workers must be >= 1")
-        if queue_depth < 1:
+        if queue_depth is not None and queue_depth < 1:
             raise AdmissionError("queue_depth must be >= 1")
+        # One resolution step: an explicit keyword beats the base options
+        # object, which beats $REPRO_* and the built-in fallbacks.
+        self.options = (options or ExecutionOptions()).merged(
+            engine=engine,
+            protocol=protocol,
+            backend=backend,
+            start_method=start_method,
+            max_workers=max_workers,
+            queue_depth=queue_depth,
+            target_samples=target_samples,
+        ).resolve()
         self.catalog = catalog
         self.toolkit_factory = toolkit_factory
-        self.engine = resolve_engine(engine)
-        self.protocol = resolve_protocol(protocol)
-        self.backend = resolve_backend(backend)
+        self.engine = self.options.engine
+        self.protocol = self.options.protocol
+        self.backend = self.options.backend
         #: how spawn-started workers re-open the catalog; None means "ship
         #: the catalog pickled" (irrelevant under fork and the thread backend)
         self.catalog_spec = catalog_spec
-        self.target_samples = target_samples
+        self.target_samples = self.options.target_samples
         self.default_deadline = default_deadline
+        max_workers = self.options.max_workers
+        queue_depth = self.options.queue_depth
         self.sinks = list(sinks)
         self._clock = clock
         self._queue: "queue.Queue" = queue.Queue(maxsize=queue_depth)
@@ -126,7 +140,7 @@ class QueryService:
             # The pool starts its worker processes from this (still
             # single-threaded) constructor, then its shepherd threads
             # consume self._queue exactly like the thread workers below.
-            self._pool = ProcessPool(self, max_workers, start_method)
+            self._pool = ProcessPool(self, max_workers, self.options.start_method)
             self._workers = self._pool.threads
         else:
             self._workers = [
@@ -150,6 +164,7 @@ class QueryService:
         estimators: Optional[Sequence[ProgressEstimator]] = None,
         deadline: Optional[float] = None,
         target_samples: Optional[int] = None,
+        sinks: Sequence[ProgressEventSink] = (),
         block: bool = False,
         timeout: Optional[float] = None,
     ) -> QueryHandle:
@@ -158,9 +173,13 @@ class QueryService:
         ``query`` is a :class:`Plan` or SQL text (planned against the
         service's catalog).  ``deadline`` is seconds of execution time
         granted once a worker picks the query up; ``estimators`` overrides
-        the service's toolkit for this query.  When the admission queue is
-        full, ``block=False`` raises :class:`AdmissionError` at once and
-        ``block=True`` waits up to ``timeout`` seconds first.
+        the service's toolkit for this query.  ``sinks`` are per-query
+        event sinks receiving this query's live cadence samples
+        (``kind == "sample"`` only — the same stream on either backend;
+        the network tier's WebSocket bridge rides on this).  When the
+        admission queue is full, ``block=False`` raises
+        :class:`AdmissionError` at once and ``block=True`` waits up to
+        ``timeout`` seconds first.
         """
         plan = self._plan_for(query, name)
         wire = None
@@ -200,6 +219,7 @@ class QueryService:
             handle._estimators = (
                 list(estimators) if estimators is not None else None
             )
+            handle._sinks = tuple(sinks)
             handle._wire = wire
             self._active_plan_ids.add(id(plan))
             self._handles.append(handle)
@@ -301,12 +321,21 @@ class QueryService:
                 # lock is the one every recording path already takes.
                 handle._attach_probe(probe, probe.monitor.lock)
 
+            # Per-query sinks see exactly what crosses the pipe on the
+            # process backend: cadence samples, nothing else — so a
+            # subscriber's stream is backend-independent.
+            runner_sinks: List[ProgressEventSink] = [_HandleSink(handle)]
+            if handle._sinks:
+                runner_sinks.append(ForwardingSink(
+                    lambda event: emit_to_all(handle._sinks, event),
+                    kinds=("sample",),
+                ))
             runner = ProgressRunner(
                 handle.plan,
                 wrapped,
                 self.catalog,
                 target_samples=handle._target_samples,
-                sinks=(_HandleSink(handle),),
+                sinks=tuple(runner_sinks),
                 engine=self.engine,
                 protocol=self.protocol,
                 monitor_factory=lambda: ServiceExecutionMonitor(

@@ -19,6 +19,7 @@ from repro.engine.executor import (
     default_engine,
     resolve_engine,
 )
+from repro.options import ExecutionOptions
 from repro.engine.plan import Plan
 from repro.errors import ReproError
 from repro.service import QueryState
@@ -113,25 +114,26 @@ class TestSession:
 
 
 class TestEngineResolution:
-    def test_resolve_engine_explicit_wins(self, monkeypatch):
+    def test_explicit_wins_over_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_ENGINE", "interpreted")
-        assert resolve_engine("fused") == "fused"
+        assert ExecutionOptions(engine="fused").resolve().engine == "fused"
 
-    def test_resolve_engine_env_fallback(self, monkeypatch):
+    def test_env_fallback(self, monkeypatch):
         monkeypatch.setenv("REPRO_ENGINE", "interpreted")
-        assert resolve_engine(None) == "interpreted"
+        assert ExecutionOptions().resolve().engine == "interpreted"
         monkeypatch.delenv("REPRO_ENGINE")
-        assert resolve_engine(None) == "fused"
+        assert ExecutionOptions().resolve().engine == "fused"
 
-    def test_resolve_engine_rejects_unknown(self):
+    def test_rejects_unknown_engine(self):
         from repro.errors import ExecutionError
 
         with pytest.raises(ExecutionError):
-            resolve_engine("bogus")
+            ExecutionOptions(engine="bogus").resolve()
 
-    def test_default_engine_reads_env_at_call_time(self, monkeypatch):
+    def test_env_read_at_resolve_time(self, monkeypatch):
+        options = ExecutionOptions()
         monkeypatch.setenv("REPRO_ENGINE", "interpreted")
-        assert default_engine() == "interpreted"
+        assert options.resolve().engine == "interpreted"
 
     def test_session_engine_uses_resolution(self, monkeypatch):
         monkeypatch.setenv("REPRO_ENGINE", "interpreted")
@@ -144,10 +146,10 @@ class TestDeprecationShims:
     def test_executor_default_engine_warns(self):
         import repro.engine.executor as executor
 
-        with pytest.warns(DeprecationWarning, match="resolve_engine"):
+        with pytest.warns(DeprecationWarning, match="ExecutionOptions"):
             value = executor.DEFAULT_ENGINE
         assert value in ENGINES
-        assert value == default_engine()
+        assert value == ExecutionOptions().resolve().engine
 
     def test_engine_package_default_engine_warns(self):
         import repro.engine as engine
@@ -155,6 +157,29 @@ class TestDeprecationShims:
         with pytest.warns(DeprecationWarning):
             value = engine.DEFAULT_ENGINE
         assert value in ENGINES
+
+    def test_resolve_engine_shim_warns_and_delegates(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "interpreted")
+        with pytest.warns(DeprecationWarning, match="ExecutionOptions"):
+            assert resolve_engine("fused") == "fused"
+        with pytest.warns(DeprecationWarning, match="ExecutionOptions"):
+            assert resolve_engine(None) == "interpreted"
+
+    def test_resolve_engine_shim_still_rejects_unknown(self):
+        from repro.errors import ExecutionError
+
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ExecutionError):
+                resolve_engine("bogus")
+
+    def test_default_engine_shim_warns_once_per_call(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", DeprecationWarning)
+            default_engine()
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
 
     def test_facade_paths_are_warning_free(self):
         with warnings.catch_warnings():

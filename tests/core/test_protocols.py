@@ -23,11 +23,10 @@ from repro.core import (
     HybridVarianceEstimator,
     MemorySink,
     ProgressRunner,
-    default_protocol,
-    resolve_protocol,
     run_with_estimators,
     standard_toolkit,
 )
+from repro.options import ExecutionOptions
 from repro.engine.executor import ENGINES, measure_total_work
 from repro.engine.expressions import col, lit
 from repro.engine.monitor import ExecutionMonitor
@@ -229,24 +228,24 @@ class TestLiveLabels:
 class TestProtocolResolution:
     def test_default_is_single_pass(self, monkeypatch):
         monkeypatch.delenv("REPRO_PROTOCOL", raising=False)
-        assert default_protocol() == "single_pass"
+        assert ExecutionOptions().resolve().protocol == "single_pass"
         assert ProgressRunner(scan_plan(), [DneEstimator()]).protocol == \
             "single_pass"
 
     def test_env_var_honored(self, monkeypatch):
         monkeypatch.setenv("REPRO_PROTOCOL", "two_pass")
-        assert default_protocol() == "two_pass"
-        assert resolve_protocol() == "two_pass"
+        assert ExecutionOptions().resolve().protocol == "two_pass"
         assert ProgressRunner(scan_plan(), [DneEstimator()]).protocol == \
             "two_pass"
 
     def test_explicit_beats_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_PROTOCOL", "two_pass")
-        assert resolve_protocol("single_pass") == "single_pass"
+        assert ExecutionOptions(protocol="single_pass").resolve().protocol \
+            == "single_pass"
 
     def test_unknown_protocol_rejected(self):
         with pytest.raises(ProgressError):
-            resolve_protocol("three_pass")
+            ExecutionOptions(protocol="three_pass").resolve()
         with pytest.raises(ProgressError):
             ProgressRunner(scan_plan(), [DneEstimator()],
                            protocol="three_pass")

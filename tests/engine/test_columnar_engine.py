@@ -24,10 +24,9 @@ import repro.storage.columnar as colstore
 from repro.engine.columnar import _vec_supported
 from repro.engine.executor import (
     ENGINES,
-    default_engine,
     execute,
-    resolve_engine,
 )
+from repro.options import ExecutionOptions
 from repro.engine.expressions import col, lit
 from repro.engine.monitor import ExecutionMonitor
 from repro.engine.operators import (
@@ -102,16 +101,16 @@ def assert_columnar_matches(build_plan, every=EVERY):
 class TestEngineResolution:
     def test_columnar_is_a_registered_engine(self):
         assert "columnar" in ENGINES
-        assert resolve_engine("columnar") == "columnar"
+        assert ExecutionOptions(engine="columnar").resolve().engine == \
+            "columnar"
 
     def test_env_var_flips_the_default(self, monkeypatch):
         monkeypatch.setenv("REPRO_ENGINE", "columnar")
-        assert default_engine() == "columnar"
-        assert resolve_engine(None) == "columnar"
+        assert ExecutionOptions().resolve().engine == "columnar"
 
     def test_unknown_engine_is_rejected(self):
         with pytest.raises(ExecutionError):
-            resolve_engine("vectorized")
+            ExecutionOptions(engine="vectorized").resolve()
 
 
 # -- per-subtree fallback ----------------------------------------------------------

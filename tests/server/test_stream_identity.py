@@ -1,0 +1,117 @@
+"""The server's core measurement guarantee, over the wire.
+
+A trace streamed through HTTP admission → fair scheduler → worker pool →
+WebSocket must be **bit-identical** to a solo single-threaded
+:class:`ProgressRunner` run of the same query: the network tier changes
+scheduling and transport, never measurements.  JSON carries IEEE doubles
+exactly (``repr`` round trip), so the comparison is on exact floats, on
+both execution backends.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ProgressRunner, standard_toolkit
+from repro.options import ExecutionOptions
+from repro.server import ReproServer, ServerClient, ServerConfig
+from repro.server.bridge import sample_to_dict
+from repro.stats import StatisticsManager
+from repro.workloads import generate_tpch
+from repro.workloads.tpch import build_query
+
+TARGET_SAMPLES = 25
+QUERIES = [1, 6]
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = generate_tpch(scale=0.0004, skew=2.0, seed=7)
+    StatisticsManager(database.catalog).analyze_all()
+    return database
+
+
+def solo_trace_frames(db, number, *, engine):
+    """A solo run's sealed trace, projected exactly like a WS end frame."""
+    report = ProgressRunner(
+        build_query(db, number),
+        standard_toolkit(),
+        db.catalog,
+        target_samples=TARGET_SAMPLES,
+        engine=engine,
+    ).run()
+    return report.total, [
+        sample_to_dict(sample) for sample in report.trace.samples
+    ]
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_ws_trace_bit_identical_to_solo_run(db, backend):
+    config = ServerConfig(options=ExecutionOptions(
+        backend=backend, max_workers=2, queue_depth=16,
+    ))
+    server = ReproServer(db.catalog, config=config)
+    with server.running():
+        client = ServerClient(server.config.host, server.port)
+        records = {}
+        for number in QUERIES:
+            # TPC-H builders produce plan objects, so go through the
+            # in-process admission path exactly as the CLI does.
+            records[number] = server.submit_local(
+                "identity",
+                (lambda db=db, number=number: build_query(db, number)),
+                name="Q%d" % number,
+                target_samples=TARGET_SAMPLES,
+            )
+        engine = server.config.options.engine
+        for number, scheduled in records.items():
+            # Stream over the real WebSocket (replay + live).
+            frames = client.stream_events(scheduled.query_id)
+            end = frames[-1]
+            assert end["event"] == "end"
+            assert end["state"] == "done"
+            solo_total, solo_frames = solo_trace_frames(
+                db, number, engine=engine,
+            )
+            assert end["total"] == solo_total
+            assert end["trace"] == solo_frames
+            # The live sample cadence matches the sealed trace sample for
+            # sample — same curr, same estimator answers bit for bit —
+            # with truth absent live (single-pass) and labeled sealed.
+            live = [frame for frame in frames if frame["event"] == "sample"]
+            assert len(live) == len(solo_frames)
+            for live_frame, sealed in zip(live, solo_frames):
+                assert live_frame["actual"] is None
+                assert live_frame["curr"] == sealed["curr"]
+                assert live_frame["estimates"] == sealed["estimates"]
+
+
+def _measurement_view(frame):
+    """The backend-independent projection of one WS frame.
+
+    Wall-clock fields (elapsed/ETA/rates) legitimately differ run to run,
+    and plan-node labels carry a process-global construction counter — so
+    compare every *measurement*: curr, bounds, estimator answers, totals,
+    the sealed trace, states.
+    """
+    keep = ("event", "curr", "actual", "lower_bound", "upper_bound",
+            "estimates", "total", "state", "trace", "tenant", "id")
+    return {key: frame[key] for key in keep if key in frame}
+
+
+def test_ws_trace_identical_across_backends(db):
+    """The same query streams the same frames on thread and process pools."""
+    traces = {}
+    for backend in ("thread", "process"):
+        server = ReproServer(db.catalog, config=ServerConfig(
+            options=ExecutionOptions(backend=backend, max_workers=1),
+        ))
+        with server.running():
+            client = ServerClient(server.config.host, server.port)
+            record = client.submit(
+                "SELECT COUNT(*) FROM lineitem", tenant="x",
+                target_samples=TARGET_SAMPLES,
+            )
+            frames = client.stream_events(record["id"])
+            traces[backend] = [_measurement_view(f) for f in frames]
+    assert traces["thread"] == traces["process"]

@@ -28,6 +28,7 @@ from repro.core import (
     standard_toolkit,
 )
 from repro.errors import AdmissionError, QueryCancelled, ServiceError
+from repro.options import ExecutionOptions
 from repro.service import (
     BACKENDS,
     CatalogSpec,
@@ -98,32 +99,47 @@ class _SuicideEstimator(SafeEstimator):
 class TestResolution:
     def test_known_backends(self):
         assert BACKENDS == ("thread", "process")
-        assert resolve_backend("thread") == "thread"
-        assert resolve_backend("process") == "process"
+        for backend in BACKENDS:
+            assert ExecutionOptions(backend=backend).resolve().backend == \
+                backend
 
     def test_default_is_thread(self, monkeypatch):
         monkeypatch.delenv("REPRO_BACKEND", raising=False)
-        assert resolve_backend(None) == "thread"
+        assert ExecutionOptions().resolve().backend == "thread"
 
     def test_env_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_BACKEND", "process")
-        assert resolve_backend(None) == "process"
+        assert ExecutionOptions().resolve().backend == "process"
         # An explicit argument still wins over the environment.
-        assert resolve_backend("thread") == "thread"
+        assert ExecutionOptions(backend="thread").resolve().backend == \
+            "thread"
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ServiceError):
-            resolve_backend("gevent")
+            ExecutionOptions(backend="gevent").resolve()
         with pytest.raises(ServiceError):
             QueryService(backend="gevent")
 
     def test_unknown_start_method_rejected(self):
         with pytest.raises(ServiceError):
-            resolve_start_method("teleport")
+            ExecutionOptions(start_method="teleport").resolve()
 
     def test_start_method_env_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_START_METHOD", "spawn")
-        assert resolve_start_method(None) == "spawn"
+        assert ExecutionOptions().resolve().start_method == "spawn"
+
+    def test_legacy_resolvers_warn_and_delegate(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        with pytest.warns(DeprecationWarning, match="ExecutionOptions"):
+            assert resolve_backend(None) == "thread"
+        with pytest.warns(DeprecationWarning, match="ExecutionOptions"):
+            assert resolve_backend("process") == "process"
+        monkeypatch.setenv("REPRO_START_METHOD", "spawn")
+        with pytest.warns(DeprecationWarning, match="ExecutionOptions"):
+            assert resolve_start_method(None) == "spawn"
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ServiceError):
+                resolve_start_method("teleport")
 
 
 class TestCatalogSpec:
