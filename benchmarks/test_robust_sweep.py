@@ -1,0 +1,151 @@
+"""Robust combination vs. the single-estimator pool on a randomized sweep.
+
+The König et al. (2012) sequel's claim, transplanted to this repo: no single
+estimator wins everywhere, but a combiner that tracks per-segment error
+statistics and re-weights the pool can approach the per-query best while
+never doing worse than the worst-case-optimal ``safe``.
+
+Protocol — for every sweep case (zipfian joins × skew × predictive order ×
+plan shape, plus jittered mini TPC-H):
+
+1. **cold run**: the robust estimator has no statistics, so by construction
+   it answers bit-identically to safe (asserted).  Its pool log is labelled
+   against the sealed total and folded into the case's history.
+2. **warm run**: a fresh robust instance over the learned history competes
+   with fresh dne / pmax / safe / hybrid-mu / hybrid-var instances on a
+   fresh plan over the same data.
+
+Each case gets its *own* ``RobustHistory``: plan signatures are structural,
+so two zipf cases that differ only in data (n, z, seed) would collide in a
+shared store and poison each other's statistics — the sweep measures
+per-query learning, not cross-query interference.
+
+Enforced gates (warm run, ratio errors at the paper's 0.01 truth cutoff):
+
+* **soundness**: robust's max ratio error ≤ safe's on EVERY sweep case;
+* **usefulness**: robust's mean avg ratio error over the sweep is strictly
+  below the best single candidate's mean.
+
+Results land in ``benchmarks/results/BENCH_robust_estimator.json``.
+"""
+
+import json
+
+from repro.bench.harness import save_artifact
+from repro.core import (
+    DneEstimator,
+    HybridMuEstimator,
+    HybridVarianceEstimator,
+    PmaxEstimator,
+    RobustEstimator,
+    RobustHistory,
+    SafeEstimator,
+    run_with_estimators,
+)
+from repro.workloads import generate_sweep
+
+SWEEP_COUNT = 160
+SWEEP_SEED = 2012  # the sequel's publication year
+MIN_CASES = 24
+MIN_ACTUAL = 0.01
+#: single-estimator candidates robust must beat on aggregate
+GATE_CANDIDATES = ("dne", "pmax", "safe", "hybrid-mu", "hybrid-var")
+#: tolerance on the per-case max-ratio gate (pure float noise, not slack)
+MAX_RATIO_TOLERANCE = 1e-9
+
+
+def _singles():
+    return [
+        DneEstimator(),
+        PmaxEstimator(),
+        SafeEstimator(),
+        HybridMuEstimator(),
+        HybridVarianceEstimator(),
+    ]
+
+
+def _run_case(case):
+    """Cold-learn-warm on one sweep case; returns the per-case result row."""
+    history = RobustHistory()
+
+    cold_robust = RobustEstimator(history)
+    cold_plan = case.plan()
+    cold = run_with_estimators(
+        cold_plan, [*_singles(), cold_robust], case.catalog
+    )
+    cold_equals_safe = all(
+        sample.estimates["robust"] == sample.estimates["safe"]
+        for sample in cold.trace.samples
+    )
+    cold_robust.observe_result(cold_plan, cold.total)
+
+    warm = run_with_estimators(
+        case.plan(), [*_singles(), RobustEstimator(history)], case.catalog
+    )
+    errors = {
+        name: {
+            "max_ratio": warm.trace.max_ratio_error(name, MIN_ACTUAL),
+            "avg_ratio": warm.trace.avg_ratio_error(name, MIN_ACTUAL),
+        }
+        for name in (*GATE_CANDIDATES, "robust")
+    }
+    return {
+        "case": case.name,
+        "family": case.family,
+        "params": case.params,
+        "total": warm.total,
+        "samples": len(warm.trace.samples),
+        "cold_equals_safe": cold_equals_safe,
+        "warm": errors,
+    }
+
+
+def test_robust_sweep(scale_factor):
+    count = max(MIN_CASES, int(SWEEP_COUNT * scale_factor))
+    cases = generate_sweep(count, seed=SWEEP_SEED)
+    rows = [_run_case(case) for case in cases]
+
+    aggregates = {
+        name: sum(row["warm"][name]["avg_ratio"] for row in rows) / len(rows)
+        for name in (*GATE_CANDIDATES, "robust")
+    }
+    best_single = min(aggregates[name] for name in GATE_CANDIDATES)
+    soundness_violations = [
+        row["case"]
+        for row in rows
+        if row["warm"]["robust"]["max_ratio"]
+        > row["warm"]["safe"]["max_ratio"] * (1 + MAX_RATIO_TOLERANCE)
+    ]
+
+    artifact = {
+        "benchmark": "robust_estimator_sweep",
+        "sweep": {
+            "count": count,
+            "seed": SWEEP_SEED,
+            "min_actual": MIN_ACTUAL,
+            "scale_factor": scale_factor,
+        },
+        "gates": {
+            "per_case_max_ratio_not_worse_than_safe": not soundness_violations,
+            "aggregate_avg_ratio_beats_best_single": (
+                aggregates["robust"] < best_single
+            ),
+        },
+        "aggregates": {
+            "mean_avg_ratio_error": aggregates,
+            "best_single": best_single,
+        },
+        "cases": rows,
+    }
+    save_artifact(
+        "BENCH_robust_estimator.json", json.dumps(artifact, indent=2)
+    )
+
+    assert all(row["cold_equals_safe"] for row in rows)
+    assert not soundness_violations, (
+        "robust exceeded safe's max ratio error on: %s" % soundness_violations
+    )
+    assert aggregates["robust"] < best_single, (
+        "robust mean avg ratio %.4f not below best single %.4f"
+        % (aggregates["robust"], best_single)
+    )

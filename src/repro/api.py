@@ -30,7 +30,12 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Union
 
-from repro.core.estimators import ProgressEstimator, standard_toolkit
+from repro.core.estimators import (
+    ProgressEstimator,
+    RobustHistory,
+    make_estimator,
+    standard_toolkit,
+)
 from repro.core.observe import ProgressEventSink
 from repro.core.runner import ProgressReport, ProgressRunner
 from repro.engine.executor import ExecutionResult, execute
@@ -53,6 +58,10 @@ __all__ = [
 ]
 
 Query = Union[Plan, str]
+
+#: an estimator instance, or a registry name (``"dne"``, ``"safe"``,
+#: ``"robust"``, ...) the session resolves against its shared histories
+EstimatorSpec = Union[str, ProgressEstimator]
 
 
 def connect(
@@ -130,6 +139,12 @@ class Session:
         self.target_samples = self.options.target_samples
         self._service: Optional[QueryService] = None
         self._closed = False
+        #: shared learning state for name-resolved history-backed
+        #: estimators: ``"feedback"`` reads its expected totals from
+        #: ``_histories.totals``, ``"robust"`` reads its candidate error
+        #: statistics from ``_histories`` — and every :meth:`run` whose
+        #: toolkit came from names feeds both back automatically.
+        self._histories = RobustHistory()
 
     # -- planning ----------------------------------------------------------------
 
@@ -149,6 +164,26 @@ class Session:
             % (type(query).__name__,)
         )
 
+    def _resolve_toolkit(
+        self, estimators: Optional[Sequence[EstimatorSpec]]
+    ) -> List[ProgressEstimator]:
+        """Instances pass through; names resolve against the session's
+        shared histories, so ``"feedback"`` and ``"robust"`` learn across
+        the session's runs."""
+        if estimators is None:
+            return standard_toolkit()
+        toolkit: List[ProgressEstimator] = []
+        for spec in estimators:
+            if isinstance(spec, str):
+                toolkit.append(make_estimator(
+                    spec,
+                    history=self._histories.totals,
+                    robust_history=self._histories,
+                ))
+            else:
+                toolkit.append(spec)
+        return toolkit
+
     # -- synchronous execution -----------------------------------------------------
 
     def execute(
@@ -167,18 +202,25 @@ class Session:
         query: Query,
         *,
         name: Optional[str] = None,
-        estimators: Optional[Sequence[ProgressEstimator]] = None,
+        estimators: Optional[Sequence[EstimatorSpec]] = None,
         target_samples: Optional[int] = None,
         sinks: Sequence[ProgressEventSink] = (),
         engine: Optional[str] = None,
         protocol: Optional[str] = None,
     ) -> ProgressReport:
-        """One instrumented run: execute while sampling every estimator."""
+        """One instrumented run: execute while sampling every estimator.
+
+        ``estimators`` accepts instances and/or registry names
+        (``"dne"``, ``"safe"``, ``"robust"``, ...).  History-backed
+        estimators resolved by name share the session's histories, and any
+        toolkit member exposing ``observe_result`` (the robust
+        combination) is fed the sealed total after the run — so repeated
+        ``session.run(plan, estimators=["safe", "robust"])`` calls learn
+        from one run to the next with no extra plumbing.
+        """
         plan = self._plan_for(query, name=name)
-        toolkit: List[ProgressEstimator] = (
-            list(estimators) if estimators is not None else standard_toolkit()
-        )
-        return ProgressRunner(
+        toolkit = self._resolve_toolkit(estimators)
+        report = ProgressRunner(
             plan,
             toolkit,
             self.catalog,
@@ -190,6 +232,11 @@ class Session:
             engine=engine or self.engine,
             protocol=protocol or self.protocol,
         ).run()
+        for estimator in toolkit:
+            observe = getattr(estimator, "observe_result", None)
+            if observe is not None:
+                observe(plan, report.total)
+        return report
 
     # -- concurrent execution ------------------------------------------------------
 
@@ -210,7 +257,7 @@ class Session:
         query: Query,
         *,
         name: Optional[str] = None,
-        estimators: Optional[Sequence[ProgressEstimator]] = None,
+        estimators: Optional[Sequence[EstimatorSpec]] = None,
         deadline: Optional[float] = None,
         sinks: Sequence[ProgressEventSink] = (),
         block: bool = False,
@@ -219,13 +266,19 @@ class Session:
         """Admit a query onto the concurrent service; returns its handle.
 
         ``sinks`` subscribe to this query's live cadence samples (the
-        stream the network tier forwards over WebSockets).
+        stream the network tier forwards over WebSockets).  ``estimators``
+        accepts registry names like :meth:`run`; note the process backend
+        hands each worker a pickled *copy* of the session's histories, so
+        cross-run learning through ``submit`` requires the thread backend.
         """
         plan = self._plan_for(query, name=name)
         return self.service.submit(
             plan,
             name=name,
-            estimators=estimators,
+            estimators=(
+                self._resolve_toolkit(estimators)
+                if estimators is not None else None
+            ),
             deadline=deadline,
             sinks=sinks,
             block=block,

@@ -49,9 +49,11 @@ from repro.bench.harness import downsample
 from repro.core import (
     JsonlTraceWriter,
     ProgressRunner,
+    estimator_names,
     mu,
     run_with_estimators,
     standard_toolkit,
+    toolkit_from_names,
 )
 from repro.core.runner import ProgressReport
 from repro.options import BACKENDS, ENGINES, PROTOCOLS, ExecutionOptions
@@ -97,6 +99,21 @@ def _series_artifact(result, title: str) -> str:
     return render_series(result["series"], title=title)
 
 
+def _toolkit_for(args: argparse.Namespace):
+    """The run's toolkit: ``--estimators`` names, or the paper's three.
+
+    History-backed estimators (``feedback``, ``robust``) start cold here —
+    a CLI invocation is one run — so they answer exactly as safe until an
+    application wires a shared history through :class:`repro.api.Session`.
+    """
+    names = getattr(args, "estimators", None)
+    if not names:
+        return standard_toolkit()
+    return toolkit_from_names(
+        [part.strip() for part in names.split(",") if part.strip()]
+    )
+
+
 def _print_progress_table(report: ProgressReport, points: int = 15) -> None:
     names = report.trace.estimator_names()
     print("%9s" % ("actual",) + "".join("%10s" % (name,) for name in names))
@@ -127,7 +144,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
     print(plan.explain())
     print()
     report = run_with_estimators(
-        plan, standard_toolkit(), db.catalog, engine=args.engine,
+        plan, _toolkit_for(args), db.catalog, engine=args.engine,
         protocol=args.protocol,
     )
     _print_progress_table(report)
@@ -140,7 +157,7 @@ def cmd_sql(args: argparse.Namespace) -> int:
     print(plan.explain())
     print()
     report = run_with_estimators(
-        plan, standard_toolkit(), db.catalog, engine=args.engine,
+        plan, _toolkit_for(args), db.catalog, engine=args.engine,
         protocol=args.protocol,
     )
     _print_progress_table(report)
@@ -167,7 +184,7 @@ def cmd_progress(args: argparse.Namespace) -> int:
         sinks.append(JsonlTraceWriter(args.trace))
     runner = ProgressRunner(
         plan,
-        standard_toolkit(),
+        _toolkit_for(args),
         db.catalog,
         target_samples=args.samples,
         sinks=sinks,
@@ -380,10 +397,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: $REPRO_PROTOCOL or %s)"
                        % (defaults.protocol,))
 
+    def add_estimators_option(p):
+        p.add_argument("--estimators", default=None, metavar="NAME,NAME,...",
+                       help="comma-separated estimator names to sample "
+                            "(default: dne,pmax,safe; choose from: %s)"
+                       % (", ".join(estimator_names()),))
+
     demo = subparsers.add_parser("demo", help="monitor a TPC-H query")
     add_db_options(demo)
     add_engine_option(demo)
     add_protocol_option(demo)
+    add_estimators_option(demo)
     demo.add_argument("--query", type=int, default=1, choices=range(1, 23),
                       metavar="N", help="TPC-H query number (1-22)")
     demo.set_defaults(func=cmd_demo)
@@ -392,6 +416,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_db_options(sql)
     add_engine_option(sql)
     add_protocol_option(sql)
+    add_estimators_option(sql)
     sql.add_argument("query", help="SQL text against the TPC-H schema")
     sql.add_argument("--rows", type=int, default=0,
                      help="also print the first N result rows")
@@ -403,6 +428,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_db_options(progress)
     add_engine_option(progress)
     add_protocol_option(progress)
+    add_estimators_option(progress)
     progress.add_argument("sql", nargs="?", default=None,
                           help="SQL text (default: the --tpch query)")
     progress.add_argument("--tpch", type=int, default=1, choices=range(1, 23),

@@ -13,14 +13,17 @@ wrong it can be:
 * :func:`guarantee_width` — the mean width of the sound interval
   ``[Curr/UB, Curr/LB]``, i.e. how much the §5.1 bounds actually pin down;
 * :func:`pipeline_breakdown` — per-pipeline tick shares of a finished run,
-  the quantity dne's weights are trying to forecast.
+  the quantity dne's weights are trying to forecast;
+* :func:`aggregate_segment_residuals` / :func:`segment_residual_summary` —
+  per-pipeline-segment residual aggregation against a sealed run's truth,
+  the statistic the robust combination (König et al. 2012) selects on.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.metrics import ProgressTrace
+from repro.core.metrics import ProgressTrace, log_ratio_residual
 from repro.core.pipelines import Pipeline, decompose
 from repro.engine.monitor import ExecutionMonitor
 from repro.engine.operators.base import ExecutionContext
@@ -82,6 +85,82 @@ def guarantee_width(trace: ProgressTrace) -> float:
         high = min(1.0, sample.curr / sample.lower_bound)
         widths.append(max(0.0, high - low))
     return sum(widths) / len(widths) if widths else 0.0
+
+
+# -- per-segment residual aggregation (the robust combination's input) ---------
+
+#: one raw observation of candidate estimates: (segment, curr, name → value)
+SegmentObservation = Tuple[int, float, Dict[str, float]]
+
+
+def aggregate_segment_residuals(
+    observations: Sequence[SegmentObservation],
+    total: float,
+    min_actual: float = 0.01,
+    phases: int = 1,
+) -> Dict[int, Dict[str, List[float]]]:
+    """Label a run log against its sealed ``total`` and group residuals.
+
+    ``observations`` is what an estimator pool records while a run is in
+    flight: for each sampled instant, the pipeline segment that was
+    executing, ``Curr``, and every candidate's estimate.  Truth is only
+    known once the run seals (``actual = curr / total``), so residuals are
+    computed here, after the fact, and grouped by segment — the unit the
+    robust combination keeps statistics on, because estimator behaviour
+    changes at pipeline boundaries, not uniformly over a run.
+
+    ``phases > 1`` subdivides each segment by the truth's phase within the
+    run (which ``phases``-ile of [0, 1] ``actual`` fell in): an estimator
+    can be terrible in a segment's first samples and excellent later (pmax
+    before the whale tuple, dne before the weights settle), and whole-
+    segment statistics would average that away.  Keys are then encoded as
+    ``segment * phases + phase`` — still plain ints, unique because every
+    segment contributes exactly ``phases`` consecutive codes.
+
+    Samples with ``actual ≤ min_actual`` are skipped, mirroring the
+    ratio-error machinery: at near-zero truth the ratio is numerically
+    meaningless (the paper's metrics apply the same cutoff).
+    """
+    residuals: Dict[int, Dict[str, List[float]]] = {}
+    for segment, curr, values in observations:
+        actual = min(curr / total, 1.0) if total else 1.0
+        if actual <= min_actual:
+            continue
+        key = segment
+        if phases > 1:
+            phase = min(int(actual * phases), phases - 1)
+            key = segment * phases + phase
+        bucket = residuals.setdefault(key, {})
+        for name, value in values.items():
+            bucket.setdefault(name, []).append(
+                log_ratio_residual(value, actual)
+            )
+    return residuals
+
+
+def segment_residual_summary(
+    observations: Sequence[SegmentObservation],
+    total: float,
+    min_actual: float = 0.01,
+) -> Dict[int, Dict[str, Dict[str, float]]]:
+    """Mean-square / mean / count of log residuals per segment × candidate.
+
+    The inspectable form of what :class:`~repro.core.estimators.robust.
+    RobustHistory` folds into its EWMA store — useful for debugging why the
+    robust estimator weighted the pool the way it did.
+    """
+    summary: Dict[int, Dict[str, Dict[str, float]]] = {}
+    grouped = aggregate_segment_residuals(observations, total, min_actual)
+    for segment, by_name in grouped.items():
+        summary[segment] = {}
+        for name, residuals in by_name.items():
+            count = len(residuals)
+            summary[segment][name] = {
+                "count": float(count),
+                "mean": sum(residuals) / count,
+                "mean_square": sum(r * r for r in residuals) / count,
+            }
+    return summary
 
 
 def pipeline_breakdown(plan: Plan) -> List[Dict[str, object]]:

@@ -1,5 +1,7 @@
 """The tool-kit of progress estimators the paper analyzes."""
 
+from typing import Callable, Dict, List, Optional, Sequence
+
 from repro.core.estimators.base import (
     Observation,
     ProgressEstimator,
@@ -16,8 +18,14 @@ from repro.core.estimators.feedback import (
 )
 from repro.core.estimators.hybrid import HybridMuEstimator, HybridVarianceEstimator
 from repro.core.estimators.pmax import PmaxEstimator
+from repro.core.estimators.robust import (
+    RobustEstimator,
+    RobustHistory,
+    SelectionEvent,
+)
 from repro.core.estimators.safe import SafeEstimator
 from repro.core.estimators.trivial import TrivialEstimator
+from repro.errors import EstimatorConfigError
 
 
 def standard_toolkit():
@@ -38,6 +46,87 @@ def full_toolkit():
     ]
 
 
+def robust_toolkit(history: Optional[RobustHistory] = None):
+    """The robust combination plus the candidates it is judged against."""
+    return [
+        DneEstimator(),
+        PmaxEstimator(),
+        SafeEstimator(),
+        RobustEstimator(history),
+    ]
+
+
+#: name → zero/one-argument factory for every estimator reachable by name.
+#: History-backed estimators receive the shared histories via
+#: :func:`make_estimator`'s keyword arguments.
+_REGISTRY: Dict[str, Callable[..., ProgressEstimator]] = {
+    DneEstimator.name: DneEstimator,
+    DneBoundedEstimator.name: DneBoundedEstimator,
+    PmaxEstimator.name: PmaxEstimator,
+    SafeEstimator.name: SafeEstimator,
+    TrivialEstimator.name: TrivialEstimator,
+    HybridMuEstimator.name: HybridMuEstimator,
+    HybridVarianceEstimator.name: HybridVarianceEstimator,
+    FeedbackEstimator.name: FeedbackEstimator,
+    RobustEstimator.name: RobustEstimator,
+}
+
+
+def estimator_names() -> List[str]:
+    """Every name :func:`make_estimator` accepts, sorted."""
+    return sorted(_REGISTRY)
+
+
+def make_estimator(
+    name: str,
+    *,
+    history: Optional[QueryHistory] = None,
+    robust_history: Optional[RobustHistory] = None,
+) -> ProgressEstimator:
+    """Construct one estimator by its trace name.
+
+    ``feedback`` requires (or creates) a :class:`QueryHistory`; ``robust``
+    requires (or creates) a :class:`RobustHistory`.  Pass shared instances
+    to let estimators learn across runs — a fresh per-call history makes
+    them behave exactly like their cold fallbacks.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise EstimatorConfigError(
+            "unknown estimator %r (choose from: %s)"
+            % (name, ", ".join(estimator_names()))
+        )
+    if name == FeedbackEstimator.name:
+        return FeedbackEstimator(history if history is not None else QueryHistory())
+    if name == RobustEstimator.name:
+        return RobustEstimator(robust_history)
+    return factory()
+
+
+def toolkit_from_names(
+    names: Sequence[str],
+    *,
+    history: Optional[QueryHistory] = None,
+    robust_history: Optional[RobustHistory] = None,
+) -> List[ProgressEstimator]:
+    """Build a toolkit from estimator names, preserving order.
+
+    Duplicate names are rejected up front (the runner would reject them
+    later with a less specific message).
+    """
+    if not names:
+        raise EstimatorConfigError("at least one estimator name is required")
+    if len(set(names)) != len(names):
+        raise EstimatorConfigError(
+            "estimator names must be unique: %s" % (list(names),)
+        )
+    return [
+        make_estimator(name, history=history, robust_history=robust_history)
+        for name in names
+    ]
+
+
 __all__ = [
     "DneBoundedEstimator",
     "DneEstimator",
@@ -48,13 +137,20 @@ __all__ = [
     "Observation",
     "PmaxEstimator",
     "ProgressEstimator",
+    "RobustEstimator",
+    "RobustHistory",
     "SafeEstimator",
+    "SelectionEvent",
     "TrivialEstimator",
     "clamp_progress",
     "degenerate_reason",
+    "estimator_names",
+    "make_estimator",
     "plan_signature",
     "progress_interval",
     "require_sound_bounds",
     "full_toolkit",
+    "robust_toolkit",
     "standard_toolkit",
+    "toolkit_from_names",
 ]

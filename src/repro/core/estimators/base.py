@@ -53,6 +53,17 @@ class ProgressEstimator(abc.ABC):
         value = self.estimate(observation)
         return value, value
 
+    def event_extras(self) -> Optional[Dict[str, object]]:
+        """Structured extras describing the *last* estimate, for event sinks.
+
+        Combining estimators override this to expose which candidate they
+        preferred and with what weights; the runner attaches the result to
+        each sample event's payload (and emits an ``estimator_selected``
+        event when the selection changes).  ``None`` — the default — means
+        "nothing to report" and costs nothing.
+        """
+        return None
+
     def __repr__(self) -> str:
         return "%s(%s)" % (type(self).__name__, self.name)
 

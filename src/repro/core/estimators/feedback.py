@@ -20,8 +20,10 @@ the clamp; Theorem 7 still applies if the data shifts between runs.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.core.estimators.base import (
     Observation,
@@ -63,32 +65,72 @@ class HistoryEntry:
 
 
 class QueryHistory:
-    """Remembers ``total(Q)`` per plan signature across runs."""
+    """Remembers ``total(Q)`` per plan signature across runs.
 
-    def __init__(self, smoothing: float = 0.5) -> None:
+    Shared state: one history typically serves every run of a session (and
+    every worker of a service), so it is bounded and thread-safe —
+    ``record`` and ``expected_total`` race across service worker threads
+    under traffic.  At most ``max_signatures`` entries are retained
+    (least-recently-used signatures are evicted first; a lookup counts as
+    use), and every access holds the history's lock: ``record`` mutates
+    :class:`HistoryEntry` fields in place, which without the lock would
+    interleave the EWMA read-modify-write across threads.
+    """
+
+    def __init__(
+        self, smoothing: float = 0.5, max_signatures: int = 4096
+    ) -> None:
         if not 0 < smoothing <= 1:
             raise EstimatorConfigError("smoothing must be in (0, 1]")
+        if max_signatures < 1:
+            raise EstimatorConfigError("max_signatures must be >= 1")
         self.smoothing = smoothing
-        self._entries: Dict[str, HistoryEntry] = {}
+        self.max_signatures = max_signatures
+        self._entries: "OrderedDict[str, HistoryEntry]" = OrderedDict()
+        self._lock = threading.Lock()
 
     def record(self, plan: Plan, total: int) -> None:
         """Fold one finished run's total into the history."""
         signature = plan_signature(plan)
-        entry = self._entries.get(signature)
-        if entry is None:
-            self._entries[signature] = HistoryEntry(float(total), 1)
-        else:
-            entry.expected_total = (
-                self.smoothing * total + (1 - self.smoothing) * entry.expected_total
-            )
-            entry.observations += 1
+        with self._lock:
+            entry = self._entries.get(signature)
+            if entry is None:
+                while len(self._entries) >= self.max_signatures:
+                    self._entries.popitem(last=False)
+                self._entries[signature] = HistoryEntry(float(total), 1)
+            else:
+                entry.expected_total = (
+                    self.smoothing * total
+                    + (1 - self.smoothing) * entry.expected_total
+                )
+                entry.observations += 1
+                self._entries.move_to_end(signature)
 
     def expected_total(self, plan: Plan) -> Optional[float]:
-        entry = self._entries.get(plan_signature(plan))
-        return entry.expected_total if entry is not None else None
+        signature = plan_signature(plan)
+        with self._lock:
+            entry = self._entries.get(signature)
+            if entry is None:
+                return None
+            self._entries.move_to_end(signature)
+            return entry.expected_total
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
+
+    # A history crosses the process-backend boundary inside a pickled
+    # FeedbackEstimator; locks do not pickle, so ship the entries and
+    # rebuild a fresh lock on the other side (the worker gets a *copy* —
+    # updates there do not flow back).
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
 
 class FeedbackEstimator(ProgressEstimator):
@@ -104,6 +146,27 @@ class FeedbackEstimator(ProgressEstimator):
 
     def prepare(self, plan: Plan) -> None:
         self._expected = self.history.expected_total(plan)
+
+    def observe_result(self, plan: Plan, total: float) -> None:
+        """Feed one sealed run's total back into the shared history.
+
+        The uniform "learning" hook of history-backed estimators (the
+        robust combination exposes the same method): callers that know the
+        truth at end-of-run call it and the next ``prepare`` sees it.
+        """
+        self.history.record(plan, int(total))
+
+    def retrospective_estimate(self, curr: float, total: float) -> float:
+        """What this candidate would answer on a repeat run.
+
+        During a cold run the feedback estimator has no remembered total and
+        falls back to safe, so its logged values say nothing about how it
+        will behave once the total *is* remembered.  The robust combination
+        relabels its log with this value before folding error statistics:
+        ``curr / total`` is the estimate a warm repeat produces (the sound
+        interval always contains the truth, so clamping is a no-op on it).
+        """
+        return min(curr / total, 1.0) if total > 0 else 1.0
 
     def estimate(self, observation: Observation) -> float:
         if self.strict:

@@ -23,6 +23,7 @@ from repro.core.estimators.base import Observation, ProgressEstimator, clamp_pro
 from repro.core.estimators.dne import DneEstimator
 from repro.core.estimators.pmax import PmaxEstimator
 from repro.core.estimators.safe import SafeEstimator
+from repro.errors import EstimatorConfigError
 
 
 class HybridMuEstimator(ProgressEstimator):
@@ -67,6 +68,11 @@ class HybridVarianceEstimator(ProgressEstimator):
     name = "hybrid-var"
 
     def __init__(self, window: int = 64, cv_threshold: float = 0.5) -> None:
+        if window < 2:
+            # A 1-sample window has no variance to watch, and the
+            # ``len >= window // 2`` readiness guard would pass on an
+            # *empty* window, dividing by zero in the mean.
+            raise EstimatorConfigError("window must be >= 2")
         self.window = window
         self.cv_threshold = cv_threshold
         self._dne = DneEstimator()
@@ -88,7 +94,9 @@ class HybridVarianceEstimator(ProgressEstimator):
         self._last = point
 
     def _window_cv(self) -> Optional[float]:
-        if len(self._samples) < self.window // 2:
+        # max(1, ...) keeps the empty-window path unreachable even if the
+        # window shrinks: no samples, no variance verdict.
+        if len(self._samples) < max(1, self.window // 2):
             return None
         rates = [work / consumed for consumed, work in self._samples]
         mean = sum(rates) / len(rates)

@@ -13,6 +13,7 @@ Plus the absolute max/avg errors the paper's Table 1 reports.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -27,6 +28,25 @@ def ratio_error(estimate: float, actual: float) -> float:
     if estimate <= 0 or actual <= 0:
         return float("inf")
     return max(estimate / actual, actual / estimate)
+
+
+#: floor for log-ratio residuals: a zero estimate against a non-zero truth
+#: is "very wrong", not "infinitely wrong" — an unbounded residual would
+#: let one early sample dominate every statistic built on it
+RESIDUAL_FLOOR = 1e-9
+
+
+def log_ratio_residual(estimate: float, actual: float) -> float:
+    """Signed log-space residual ``log(estimate / actual)``.
+
+    The currency of the robust-combination machinery (König et al. 2012):
+    ``|r|`` is ``log`` of the ratio error, so squared residuals aggregate
+    like variances and the sign keeps over- vs under-estimation visible.
+    Non-positive inputs are floored at :data:`RESIDUAL_FLOOR`.
+    """
+    return math.log(
+        max(estimate, RESIDUAL_FLOOR) / max(actual, RESIDUAL_FLOOR)
+    )
 
 
 @dataclass(frozen=True)

@@ -457,7 +457,8 @@ class ProgressRunner:
         def emit(kind: str, curr: float, actual: Optional[float],
                  estimate_values: Dict[str, float],
                  lower: float, upper: float,
-                 snapshots=(), event_total: Optional[float] = None) -> None:
+                 snapshots=(), event_total: Optional[float] = None,
+                 payload: Optional[Dict[str, object]] = None) -> None:
             if not sinks:
                 return
             elapsed = clock() - started_at
@@ -491,8 +492,35 @@ class ProgressRunner:
                 ticks_per_second=rate,
                 eta_seconds=eta,
                 eta_interval_seconds=interval,
+                payload=payload,
             ))
             seq[0] += 1
+
+        # Last reported "selected" candidate per combining estimator, so
+        # selection *changes* (not every sample) become events.
+        last_selected: Dict[str, object] = {}
+
+        def collect_extras(
+            curr: float, estimate_values: Dict[str, float],
+            lower: float, upper: float,
+        ) -> Optional[Dict[str, object]]:
+            extras: Dict[str, object] = {}
+            for estimator in self.estimators:
+                detail = estimator.event_extras()
+                if detail is None:
+                    continue
+                extras[estimator.name] = detail
+                selected = detail.get("selected")
+                if selected is None:
+                    continue
+                if last_selected.get(estimator.name) != selected:
+                    last_selected[estimator.name] = selected
+                    emit(
+                        "estimator_selected", curr, None,
+                        estimate_values, lower, upper,
+                        payload={"estimator": estimator.name, **detail},
+                    )
+            return {"estimators": extras} if extras else None
 
         def sample(monitor: ExecutionMonitor, final: bool = False) -> None:
             sample_started = clock()
@@ -538,7 +566,13 @@ class ProgressRunner:
             profile.samples += 1
             if sinks:
                 # Capturing per-pipeline snapshots costs real work per
-                # sample; only do it when someone is listening.
+                # sample; only do it when someone is listening.  Extras are
+                # collected first so a selection change is announced before
+                # the sample that exhibits it.
+                payload = collect_extras(
+                    curr, estimate_values,
+                    observation.bounds.lower, observation.bounds.upper,
+                )
                 emit(
                     "sample", curr, actual, estimate_values,
                     observation.bounds.lower, observation.bounds.upper,
@@ -547,6 +581,7 @@ class ProgressRunner:
                         for pipeline in pipelines
                     ),
                     event_total=live_total,
+                    payload=payload,
                 )
             profile.sample_seconds += clock() - sample_started
 

@@ -11,17 +11,25 @@ drift.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from typing import Callable, Dict, List, Optional
 
 
 def percentile(values: List[float], fraction: float) -> Optional[float]:
-    """Nearest-rank percentile; None on an empty population."""
+    """Nearest-rank percentile; None on an empty population.
+
+    The nearest-rank definition: the smallest value with at least
+    ``fraction`` of the population at or below it, i.e. the element at
+    1-based rank ``ceil(fraction * n)``.  (``int(fraction * n)`` is the
+    classic off-by-one: p50 of ``[a, b]`` would return the max.)
+    """
     if not values:
         return None
     ordered = sorted(values)
-    index = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    rank = math.ceil(fraction * len(ordered))
+    index = min(len(ordered) - 1, max(0, rank - 1))
     return ordered[index]
 
 

@@ -94,3 +94,15 @@ class ResilientEstimator(ProgressEstimator):
             # Mirror estimate()'s total fallback: progress_interval is
             # defined for every bounds state, so interval() never escapes.
             return progress_interval(observation.curr, observation.bounds)
+
+    def event_extras(self):
+        # A degraded slot answers as safe, so the inner estimator's last
+        # extras would describe estimates that were never reported.
+        if self.degraded_reason is not None:
+            return None
+        try:
+            return self.inner.event_extras()
+        except Exception:
+            # Extras are advisory; a buggy implementation must not degrade
+            # the slot (estimates are still flowing) nor escape the sample.
+            return None

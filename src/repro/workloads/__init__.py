@@ -15,6 +15,12 @@ from repro.workloads.skyserver import (
     build_skyserver_query,
     generate_skyserver,
 )
+from repro.workloads.sweep import (
+    SweepCase,
+    TPCH_SWEEP_QUERIES,
+    ZIPF_SHAPES,
+    generate_sweep,
+)
 from repro.workloads.tpch import (
     QUERIES,
     TpchDatabase,
@@ -29,11 +35,15 @@ __all__ = [
     "QUERIES",
     "SKYSERVER_QUERIES",
     "SkyServerDatabase",
+    "SweepCase",
+    "TPCH_SWEEP_QUERIES",
     "TpchDatabase",
     "TwinInstances",
+    "ZIPF_SHAPES",
     "ZipfSampler",
     "ZipfianJoinWorkload",
     "all_queries",
+    "generate_sweep",
     "build_query",
     "build_skyserver_query",
     "generate_skyserver",

@@ -1,0 +1,143 @@
+"""Randomized workload sweeps: skew × predictive order × plan shape.
+
+The robust-combination evaluation (and any other "hundreds of queries"
+experiment) needs a reproducible stream of heterogeneous cases rather than
+the handful of hand-picked instances the targeted tests use.  This module
+generates one: a seeded mix of zipfian self-joins — every skew parameter,
+predictive order and physical shape the adversarial workload supports —
+and mini TPC-H queries at jittered scales.
+
+Catalog generation dominates sweep cost, so cases are *descriptions*:
+:meth:`SweepCase.build` materializes the catalog on first use and caches
+it, while :meth:`SweepCase.plan` always returns a **fresh** plan (plans
+hold runtime counters; a reused plan object would leak state between the
+cold and warm runs of a feedback experiment).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.engine.plan import Plan
+from repro.storage.catalog import Catalog
+from repro.workloads.adversarial import ORDERS, ZipfianJoinWorkload, make_zipfian_join
+from repro.workloads.tpch import QUERIES, build_query, generate_tpch
+
+#: physical shapes of the zipfian join, in the adversarial workload's terms
+ZIPF_SHAPES = ("inl", "hash", "merge")
+
+#: TPC-H queries cheap enough for sweep duty (sub-second at scale ~0.002)
+TPCH_SWEEP_QUERIES = (1, 3, 4, 5, 6, 10, 12, 14, 19)
+
+
+@dataclass
+class SweepCase:
+    """One sweep query: a lazily-built catalog plus a fresh-plan factory."""
+
+    name: str
+    family: str  # "zipf" or "tpch"
+    params: Dict[str, object]
+    _build: Callable[[], Tuple[Catalog, Callable[[], Plan]]] = field(repr=False)
+    _built: Optional[Tuple[Catalog, Callable[[], Plan]]] = field(
+        default=None, repr=False
+    )
+
+    def build(self) -> Tuple[Catalog, Callable[[], Plan]]:
+        if self._built is None:
+            self._built = self._build()
+        return self._built
+
+    @property
+    def catalog(self) -> Catalog:
+        return self.build()[0]
+
+    def plan(self) -> Plan:
+        """A fresh plan over the (cached) catalog — safe to run repeatedly."""
+        return self.build()[1]()
+
+
+def _zipf_case(index: int, rng: random.Random) -> SweepCase:
+    n = int(2000 * rng.uniform(0.5, 2.0))
+    z = round(rng.uniform(1.0, 3.0), 2)
+    order = ORDERS[rng.randrange(len(ORDERS))]
+    shape = ZIPF_SHAPES[rng.randrange(len(ZIPF_SHAPES))]
+    distinct_fraction = rng.choice((1.0, 0.5))
+    seed = rng.randrange(1 << 30)
+    params: Dict[str, object] = {
+        "n": n, "z": z, "order": order, "shape": shape,
+        "distinct_fraction": distinct_fraction, "seed": seed,
+    }
+
+    def build() -> Tuple[Catalog, Callable[[], Plan]]:
+        workload: ZipfianJoinWorkload = make_zipfian_join(
+            n, z, order, seed=seed, distinct_fraction=distinct_fraction
+        )
+        maker = {
+            "inl": workload.inl_plan,
+            "hash": workload.hash_plan,
+            "merge": workload.merge_plan,
+        }[shape]
+        return workload.catalog, lambda: maker()
+
+    return SweepCase(
+        name="zipf%03d-%s-%s-z%.2f" % (index, shape, order, z),
+        family="zipf",
+        params=params,
+        _build=build,
+    )
+
+
+def _tpch_case(index: int, rng: random.Random) -> SweepCase:
+    number = TPCH_SWEEP_QUERIES[rng.randrange(len(TPCH_SWEEP_QUERIES))]
+    scale = round(0.002 * rng.uniform(0.6, 1.5), 5)
+    skew = round(rng.uniform(1.2, 2.6), 2)
+    seed = rng.randrange(1 << 30)
+    params: Dict[str, object] = {
+        "query": number, "scale": scale, "skew": skew, "seed": seed,
+    }
+
+    def build() -> Tuple[Catalog, Callable[[], Plan]]:
+        db = generate_tpch(scale=scale, skew=skew, seed=seed)
+        return db.catalog, lambda: build_query(db, number)
+
+    return SweepCase(
+        name="tpch%03d-q%d-sf%g" % (index, number, scale),
+        family="tpch",
+        params=params,
+        _build=build,
+    )
+
+
+def generate_sweep(
+    count: int,
+    seed: int = 0,
+    tpch_fraction: float = 0.25,
+) -> List[SweepCase]:
+    """``count`` seeded cases: ~``tpch_fraction`` TPC-H, the rest zipf joins.
+
+    Deterministic in ``(count, seed, tpch_fraction)``; a prefix of a longer
+    sweep with the same seed is NOT guaranteed to match a shorter one (the
+    stream is consumed per case, not per family).
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if not 0 <= tpch_fraction <= 1:
+        raise ValueError("tpch_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    cases: List[SweepCase] = []
+    for index in range(count):
+        if rng.random() < tpch_fraction and QUERIES:
+            cases.append(_tpch_case(index, rng))
+        else:
+            cases.append(_zipf_case(index, rng))
+    return cases
+
+
+__all__ = [
+    "SweepCase",
+    "TPCH_SWEEP_QUERIES",
+    "ZIPF_SHAPES",
+    "generate_sweep",
+]

@@ -192,6 +192,26 @@ class TestHybrids:
         estimator.prepare(None)
         assert len(estimator._samples) == 0
 
+    @pytest.mark.parametrize("window", [1, 0, -5])
+    def test_hybrid_var_rejects_degenerate_window(self, window):
+        # The regression: window=1 made the readiness guard pass on an
+        # *empty* window (1 // 2 == 0), dividing by zero in the mean.
+        with pytest.raises(ValueError):
+            HybridVarianceEstimator(window=window)
+
+    def test_hybrid_var_smallest_valid_window_runs(self):
+        table = Table("t", schema_of("t", "a:int"), [(i,) for i in range(500)])
+        plan = Plan(Filter(TableScan(table), col("a") >= lit(0)))
+        report = run_with_estimators(
+            plan, [HybridVarianceEstimator(window=2)], None
+        )
+        for sample in report.trace.samples:
+            assert 0.0 <= sample.estimates["hybrid-var"] <= 1.0
+
+    def test_hybrid_var_empty_window_gives_no_verdict(self):
+        estimator = HybridVarianceEstimator(window=2)
+        assert estimator._window_cv() is None
+
 
 class TestToolkits:
     def test_standard(self):

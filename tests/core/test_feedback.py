@@ -1,16 +1,24 @@
 """Inter-query feedback (§6.4): plan signatures, history, FeedbackEstimator."""
 
+import pickle
+import threading
+
 import pytest
 
 from repro.core import (
     FeedbackEstimator,
     QueryHistory,
+    SafeEstimator,
     plan_signature,
     run_with_estimators,
 )
+from repro.core.bounds import BoundsSnapshot
+from repro.core.estimators.base import Observation
 from repro.engine.expressions import col, lit
 from repro.engine.operators import Filter, TableScan
 from repro.engine.plan import Plan
+from repro.errors import DegenerateBoundsError
+from repro.options import ENGINES
 from repro.storage import Table, schema_of
 from repro.workloads import make_zipfian_join
 
@@ -60,6 +68,76 @@ class TestQueryHistory:
     def test_smoothing_validated(self):
         with pytest.raises(ValueError):
             QueryHistory(smoothing=0.0)
+
+    def test_max_signatures_validated(self):
+        with pytest.raises(ValueError):
+            QueryHistory(max_signatures=0)
+
+    def test_lru_cap_evicts_oldest(self):
+        history = QueryHistory(max_signatures=3)
+        plans = [make_plan(threshold=t) for t in (1, 2, 3, 4)]
+        for plan in plans:
+            history.record(plan, 100)
+        assert len(history) == 3
+        assert history.expected_total(plans[0]) is None
+        for plan in plans[1:]:
+            assert history.expected_total(plan) == 100.0
+
+    def test_lookup_counts_as_use(self):
+        history = QueryHistory(max_signatures=2)
+        a, b, c = (make_plan(threshold=t) for t in (1, 2, 3))
+        history.record(a, 100)
+        history.record(b, 200)
+        history.expected_total(a)  # a is now the most recently used
+        history.record(c, 300)     # evicts b, not a
+        assert history.expected_total(a) == 100.0
+        assert history.expected_total(b) is None
+
+    def test_recording_existing_signature_does_not_evict(self):
+        history = QueryHistory(max_signatures=2)
+        a, b = make_plan(threshold=1), make_plan(threshold=2)
+        history.record(a, 100)
+        history.record(b, 200)
+        history.record(a, 100)  # update in place; len stays at the cap
+        assert len(history) == 2
+        assert history.expected_total(b) == 200.0
+
+    def test_concurrent_records_stay_consistent(self):
+        """N threads × M records against a small cap: no lost updates on a
+        shared signature, size never exceeds the cap, no exceptions."""
+        history = QueryHistory(max_signatures=8)
+        shared = make_plan(threshold=999)
+        errors = []
+
+        def worker(offset):
+            try:
+                for i in range(50):
+                    history.record(shared, 100)
+                    history.record(make_plan(threshold=offset * 50 + i), 10)
+                    history.expected_total(shared)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(history) <= 8
+        # Every record against the shared signature folded the same total,
+        # so regardless of interleaving the EWMA must sit exactly there.
+        assert history.expected_total(shared) == pytest.approx(100.0)
+
+    def test_pickle_round_trip(self):
+        history = QueryHistory()
+        plan = make_plan()
+        history.record(plan, 500)
+        clone = pickle.loads(pickle.dumps(history))
+        assert clone.expected_total(plan) == 500.0
+        clone.record(plan, 700)  # the rebuilt lock works
 
 
 class TestFeedbackEstimator:
@@ -120,7 +198,6 @@ class TestFeedbackEstimator:
         """The §6.4 motivation: a remembered total defuses the worst case."""
         workload = make_zipfian_join(n=2000, order="skew_last")
         history = QueryHistory()
-        from repro.core import SafeEstimator
 
         plan = workload.inl_plan()
         first = run_with_estimators(plan, [SafeEstimator()], workload.catalog)
@@ -131,3 +208,89 @@ class TestFeedbackEstimator:
         )
         assert (second.trace.max_abs_error("feedback")
                 < second.trace.max_abs_error("safe") * 0.2)
+
+    def test_observe_result_records_the_total(self):
+        history = QueryHistory()
+        plan = make_plan()
+        estimator = FeedbackEstimator(history)
+        report = run_with_estimators(plan, [estimator])
+        estimator.observe_result(plan, report.total)
+        assert history.expected_total(plan) == report.total
+
+
+class TestFeedbackClampAndFallbackMatrix:
+    """The clamp/fallback decision table, run under every engine."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_no_history_tracks_safe(self, engine):
+        plan = make_plan()
+        report = run_with_estimators(
+            plan, [FeedbackEstimator(QueryHistory()), SafeEstimator()],
+            engine=engine,
+        )
+        for sample in report.trace.samples:
+            assert sample.estimates["feedback"] == pytest.approx(
+                sample.estimates["safe"]
+            )
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_curr_past_expected_tracks_safe(self, engine):
+        history = QueryHistory()
+        plan = make_plan(n=400, threshold=400)  # total = 800
+        history.record(plan, 50)  # stale: outlived within the first samples
+        report = run_with_estimators(
+            plan, [FeedbackEstimator(history), SafeEstimator()],
+            engine=engine,
+        )
+        late = [s for s in report.trace.samples if s.curr > 50]
+        assert late
+        for sample in late:
+            assert sample.estimates["feedback"] == pytest.approx(
+                sample.estimates["safe"]
+            )
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_accurate_history_beats_safe(self, engine):
+        history = QueryHistory()
+        plan = make_plan()
+        first = run_with_estimators(plan, [SafeEstimator()], engine=engine)
+        history.record(plan, first.total)
+        second = run_with_estimators(
+            plan, [FeedbackEstimator(history)], engine=engine,
+        )
+        assert second.trace.max_abs_error("feedback") < 0.01
+
+    def test_non_positive_expected_falls_back(self):
+        estimator = FeedbackEstimator(QueryHistory())
+        estimator._expected = 0.0
+        observation = Observation(
+            curr=10, bounds=BoundsSnapshot(10, 20, 40, {}), pipelines=[],
+        )
+        assert estimator.estimate(observation) == pytest.approx(
+            SafeEstimator().estimate(observation)
+        )
+
+    def test_degenerate_bounds_widen_the_clamp(self):
+        # UB=0 contributes no floor, LB=0 no ceiling: the clamp interval is
+        # [0, 1] and the raw feedback value passes through untouched.
+        estimator = FeedbackEstimator(QueryHistory())
+        estimator._expected = 100.0
+        observation = Observation(
+            curr=25, bounds=BoundsSnapshot(25, 0, 0, {}), pipelines=[],
+        )
+        assert estimator.estimate(observation) == pytest.approx(0.25)
+
+    def test_strict_mode_raises_on_degenerate_bounds(self):
+        estimator = FeedbackEstimator(QueryHistory(), strict=True)
+        observation = Observation(
+            curr=25, bounds=BoundsSnapshot(25, 0, 0, {}), pipelines=[],
+        )
+        with pytest.raises(DegenerateBoundsError):
+            estimator.estimate(observation)
+
+    def test_strict_mode_passes_on_sound_bounds(self):
+        estimator = FeedbackEstimator(QueryHistory(), strict=True)
+        observation = Observation(
+            curr=10, bounds=BoundsSnapshot(10, 20, 40, {}), pipelines=[],
+        )
+        assert 0.0 <= estimator.estimate(observation) <= 1.0

@@ -1,0 +1,320 @@
+"""Robust statistical combination (König et al. 2012): RobustEstimator."""
+
+import pickle
+
+import pytest
+
+from repro.core import (
+    MemorySink,
+    RobustEstimator,
+    RobustHistory,
+    SafeEstimator,
+    make_estimator,
+    robust_toolkit,
+    run_with_estimators,
+    standard_toolkit,
+    toolkit_from_names,
+)
+from repro.core.analysis import segment_residual_summary
+from repro.core.bounds import BoundsSnapshot
+from repro.core.estimators.base import Observation, ProgressEstimator
+from repro.core.estimators.robust import default_pool
+from repro.errors import DegenerateBoundsError, EstimatorConfigError
+from repro.service.resilient import ResilientEstimator
+from repro.workloads import make_zipfian_join
+
+
+def run_cold_and_learn(workload, history, **kwargs):
+    """One cold instrumented run whose pool log is folded into history."""
+    robust = RobustEstimator(history, **kwargs)
+    plan = workload.inl_plan()
+    report = run_with_estimators(
+        plan, [*standard_toolkit(), robust], workload.catalog,
+    )
+    robust.observe_result(plan, report.total)
+    return report
+
+
+class TestRobustHistory:
+    def test_validation(self):
+        with pytest.raises(EstimatorConfigError):
+            RobustHistory(smoothing=0.0)
+        with pytest.raises(EstimatorConfigError):
+            RobustHistory(max_signatures=0)
+
+    def test_record_run_populates_stats_and_totals(self):
+        workload = make_zipfian_join(n=400, order="skew_first", seed=5)
+        history = RobustHistory()
+        run_cold_and_learn(workload, history)
+        assert len(history) == 1
+        assert len(history.totals) == 1
+        stats = history.stats_for(workload.inl_plan())
+        assert stats
+        names = {name for by_name in stats.values() for name in by_name}
+        assert "safe" in names and "dne" in names
+
+    def test_lru_cap(self):
+        from repro.engine.expressions import col, lit
+        from repro.engine.operators import Filter, TableScan
+        from repro.engine.plan import Plan
+        from repro.storage import Table, schema_of
+
+        history = RobustHistory(max_signatures=2)
+        table = Table("t", schema_of("t", "a:int"), [(i,) for i in range(10)])
+        log = [(0, 50.0, {"safe": 0.5, "dne": 0.6})]
+        plans = [
+            Plan(Filter(TableScan(table), col("a") < lit(t))) for t in (1, 2, 3)
+        ]
+        for plan in plans:
+            history.record_run(plan, log, 100.0)
+        assert len(history) == 2
+        assert not history.stats_for(plans[0])
+        assert history.stats_for(plans[-1])
+
+    def test_pickle_round_trip(self):
+        workload = make_zipfian_join(n=300, order="skew_first", seed=9)
+        history = RobustHistory()
+        run_cold_and_learn(workload, history)
+        clone = pickle.loads(pickle.dumps(history))
+        assert clone.stats_for(workload.inl_plan())
+        assert clone.totals.expected_total(workload.inl_plan()) is not None
+
+    def test_segment_residual_summary_matches_fold(self):
+        observations = [
+            (0, 25.0, {"safe": 0.5, "dne": 0.1}),
+            (0, 50.0, {"safe": 0.6, "dne": 0.4}),
+            (1, 75.0, {"safe": 0.8, "dne": 0.9}),
+        ]
+        summary = segment_residual_summary(observations, total=100.0)
+        assert set(summary) == {0, 1}
+        assert summary[0]["safe"]["count"] == 2.0
+        assert summary[1]["dne"]["count"] == 1.0
+
+
+class TestRobustEstimatorConfig:
+    def test_mode_validated(self):
+        with pytest.raises(EstimatorConfigError):
+            RobustEstimator(mode="vote")
+
+    def test_pool_must_contain_safe(self):
+        from repro.core import DneEstimator
+
+        with pytest.raises(EstimatorConfigError):
+            RobustEstimator(candidates=[DneEstimator()])
+
+    def test_pool_names_must_be_unique(self):
+        with pytest.raises(EstimatorConfigError):
+            RobustEstimator(candidates=[SafeEstimator(), SafeEstimator()])
+
+    def test_registry_and_toolkits(self):
+        assert isinstance(make_estimator("robust"), RobustEstimator)
+        names = [e.name for e in robust_toolkit()]
+        assert names == ["dne", "pmax", "safe", "robust"]
+        shared = RobustHistory()
+        toolkit = toolkit_from_names(
+            ["safe", "robust"], robust_history=shared
+        )
+        assert toolkit[1].history is shared
+
+    def test_toolkit_from_names_rejects_unknown_and_duplicates(self):
+        with pytest.raises(EstimatorConfigError):
+            toolkit_from_names(["nope"])
+        with pytest.raises(EstimatorConfigError):
+            toolkit_from_names(["safe", "safe"])
+        with pytest.raises(EstimatorConfigError):
+            toolkit_from_names([])
+
+
+class TestRobustEstimatorBehaviour:
+    def test_cold_run_equals_safe_exactly(self):
+        """No history → all weight on safe → bit-identical answers."""
+        workload = make_zipfian_join(n=600, order="skew_last", seed=3)
+        report = run_with_estimators(
+            workload.inl_plan(),
+            [SafeEstimator(), RobustEstimator(RobustHistory())],
+            workload.catalog,
+        )
+        for sample in report.trace.samples:
+            assert sample.estimates["robust"] == sample.estimates["safe"]
+
+    def test_warm_run_beats_safe_on_adversarial_repeat(self):
+        workload = make_zipfian_join(n=2000, order="skew_last", seed=11)
+        history = RobustHistory()
+        run_cold_and_learn(workload, history)
+        robust = RobustEstimator(history)
+        second = run_with_estimators(
+            workload.inl_plan(), [*standard_toolkit(), robust],
+            workload.catalog,
+        )
+        assert (second.trace.max_ratio_error("robust", 0.01)
+                <= second.trace.max_ratio_error("safe", 0.01))
+        assert (second.trace.avg_ratio_error("robust", 0.01)
+                < second.trace.avg_ratio_error("safe", 0.01))
+
+    def test_select_mode_answers_from_one_candidate(self):
+        workload = make_zipfian_join(n=800, order="skew_first", seed=21)
+        history = RobustHistory()
+        run_cold_and_learn(workload, history)
+        robust = RobustEstimator(history, mode="select")
+        pool = {e.name: e for e in default_pool(history)}
+        report = run_with_estimators(
+            workload.inl_plan(),
+            [*standard_toolkit(), *[
+                pool[name] for name in ("hybrid-mu", "hybrid-var", "feedback")
+            ], robust],
+            workload.catalog,
+        )
+        for sample in report.trace.samples:
+            low = (sample.curr / sample.upper_bound
+                   if sample.upper_bound else 0.0)
+            high = (min(1.0, sample.curr / sample.lower_bound)
+                    if sample.lower_bound else 1.0)
+            clamped = {
+                min(max(value, low), high)
+                for name, value in sample.estimates.items()
+                if name != "robust"
+            }
+            assert any(
+                sample.estimates["robust"] == pytest.approx(v, abs=1e-12)
+                for v in clamped
+            )
+
+    def test_always_inside_sound_interval(self):
+        workload = make_zipfian_join(n=1000, order="skew_last", seed=17)
+        history = RobustHistory()
+        run_cold_and_learn(workload, history)
+        report = run_with_estimators(
+            workload.inl_plan(), [RobustEstimator(history)], workload.catalog,
+        )
+        for sample in report.trace.samples:
+            if sample.upper_bound > 0:
+                assert (sample.estimates["robust"]
+                        >= sample.curr / sample.upper_bound - 1e-9)
+            if sample.lower_bound > 0:
+                assert (sample.estimates["robust"]
+                        <= min(1.0, sample.curr / sample.lower_bound) + 1e-9)
+
+    def test_interval_is_the_sound_interval(self):
+        robust = RobustEstimator(RobustHistory())
+        observation = Observation(
+            curr=10, bounds=BoundsSnapshot(10, 20, 40, {}), pipelines=[],
+        )
+        assert robust.interval(observation) == (0.25, 0.5)
+
+    def test_strict_mode_raises_on_degenerate_bounds(self):
+        robust = RobustEstimator(RobustHistory(), strict=True)
+        observation = Observation(
+            curr=10, bounds=BoundsSnapshot(10, 0, 0, {}), pipelines=[],
+        )
+        with pytest.raises(DegenerateBoundsError):
+            robust.estimate(observation)
+
+    def test_observe_result_requires_prepare(self):
+        from repro.errors import ProgressError
+
+        workload = make_zipfian_join(n=100, order="random", seed=1)
+        with pytest.raises(ProgressError):
+            RobustEstimator(RobustHistory()).observe_result(
+                workload.inl_plan(), 100.0
+            )
+
+
+class _ExplodingEstimator(ProgressEstimator):
+    name = "exploding"
+
+    def estimate(self, observation):
+        raise RuntimeError("boom")
+
+
+class TestRobustDegradation:
+    def test_failing_candidate_is_degraded_not_fatal(self):
+        degradations = []
+        robust = RobustEstimator(
+            RobustHistory(),
+            candidates=[SafeEstimator(), _ExplodingEstimator()],
+            on_degrade=lambda name, reason: degradations.append((name, reason)),
+        )
+        workload = make_zipfian_join(n=300, order="skew_first", seed=2)
+        report = run_with_estimators(
+            workload.inl_plan(), [robust], workload.catalog,
+        )
+        assert report.trace.samples
+        assert "exploding" in robust.degraded
+        assert degradations and degradations[0][0] == "exploding"
+        for sample in report.trace.samples:
+            assert 0.0 <= sample.estimates["robust"] <= 1.0
+
+    def test_all_candidates_degraded_uses_interval_midpoint(self):
+        robust = RobustEstimator(
+            RobustHistory(),
+            candidates=[_FailingSafe(), _ExplodingEstimator()],
+        )
+        observation = Observation(
+            curr=10, bounds=BoundsSnapshot(10, 20, 40, {}), pipelines=[],
+        )
+        value = robust.estimate(observation)
+        assert value == pytest.approx((0.25 + 0.5) / 2)
+
+    def test_resilient_wrapper_forwards_extras(self):
+        robust = RobustEstimator(RobustHistory())
+        wrapped = ResilientEstimator(robust)
+        workload = make_zipfian_join(n=200, order="random", seed=4)
+        run_with_estimators(workload.inl_plan(), [wrapped], workload.catalog)
+        extras = wrapped.event_extras()
+        assert extras is not None and extras["selected"] == "safe"
+        wrapped._degrade("forced")
+        assert wrapped.event_extras() is None
+
+
+class _FailingSafe(SafeEstimator):
+    def estimate(self, observation):
+        raise RuntimeError("safe down")
+
+
+class TestRobustObservability:
+    def test_event_extras_and_selection_events(self):
+        workload = make_zipfian_join(n=1500, order="skew_last", seed=13)
+        history = RobustHistory()
+        run_cold_and_learn(workload, history)
+        sink = MemorySink()
+        robust = RobustEstimator(history)
+        run_with_estimators(
+            workload.inl_plan(), [*standard_toolkit(), robust],
+            workload.catalog, sinks=[sink],
+        )
+        samples = sink.samples()
+        assert samples
+        payloads = [e.payload for e in samples if e.payload is not None]
+        assert payloads, "warm robust runs must attach estimator extras"
+        extras = payloads[-1]["estimators"]["robust"]
+        assert extras["selected"] in {e.name for e in default_pool(history)}
+        assert extras["weights"] and abs(
+            sum(extras["weights"].values()) - 1.0
+        ) < 1e-9
+        selected_events = [
+            e for e in sink.events if e.kind == "estimator_selected"
+        ]
+        assert selected_events
+        assert selected_events[0].payload["estimator"] == "robust"
+
+    def test_on_select_callback_fires_on_change(self):
+        events = []
+        workload = make_zipfian_join(n=1200, order="skew_last", seed=19)
+        history = RobustHistory()
+        run_cold_and_learn(workload, history)
+        robust = RobustEstimator(history, on_select=events.append)
+        run_with_estimators(
+            workload.inl_plan(), [robust], workload.catalog,
+        )
+        assert events
+        for event in events:
+            assert event.mode == "weight"
+            assert abs(sum(event.weights.values()) - 1.0) < 1e-9
+
+    def test_cold_extras_report_safe(self):
+        robust = RobustEstimator(RobustHistory())
+        workload = make_zipfian_join(n=200, order="random", seed=8)
+        run_with_estimators(workload.inl_plan(), [robust], workload.catalog)
+        extras = robust.event_extras()
+        assert extras["selected"] == "safe"
+        assert extras["weights"]["safe"] == pytest.approx(1.0)

@@ -1,0 +1,96 @@
+"""Randomized sweep generation: determinism, coverage, runnability."""
+
+import pytest
+
+from repro.core import run_with_estimators, standard_toolkit
+from repro.workloads import (
+    TPCH_SWEEP_QUERIES,
+    ZIPF_SHAPES,
+    generate_sweep,
+)
+from repro.workloads.adversarial import ORDERS
+
+
+class TestGenerateSweep:
+    def test_deterministic_in_count_and_seed(self):
+        first = generate_sweep(30, seed=7)
+        second = generate_sweep(30, seed=7)
+        assert [c.name for c in first] == [c.name for c in second]
+        assert [c.params for c in first] == [c.params for c in second]
+
+    def test_different_seed_different_sweep(self):
+        a = generate_sweep(30, seed=1)
+        b = generate_sweep(30, seed=2)
+        assert [c.params for c in a] != [c.params for c in b]
+
+    def test_family_mix(self):
+        cases = generate_sweep(80, seed=3, tpch_fraction=0.25)
+        families = {c.family for c in cases}
+        assert families == {"zipf", "tpch"}
+        tpch = sum(1 for c in cases if c.family == "tpch")
+        assert 0.1 * len(cases) < tpch < 0.5 * len(cases)
+
+    def test_zipf_cases_cover_orders_and_shapes(self):
+        cases = [
+            c for c in generate_sweep(120, seed=5) if c.family == "zipf"
+        ]
+        assert {c.params["order"] for c in cases} == set(ORDERS)
+        assert {c.params["shape"] for c in cases} == set(ZIPF_SHAPES)
+
+    def test_tpch_cases_draw_from_sweep_queries(self):
+        cases = [
+            c
+            for c in generate_sweep(120, seed=5, tpch_fraction=0.5)
+            if c.family == "tpch"
+        ]
+        assert cases
+        assert {c.params["query"] for c in cases} <= set(TPCH_SWEEP_QUERIES)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_sweep(0)
+        with pytest.raises(ValueError):
+            generate_sweep(10, tpch_fraction=1.5)
+
+    def test_all_tpch_when_fraction_is_one(self):
+        cases = generate_sweep(10, seed=9, tpch_fraction=1.0)
+        assert all(c.family == "tpch" for c in cases)
+
+
+class TestSweepCase:
+    def test_catalog_is_cached_and_plans_are_fresh(self):
+        case = next(
+            c for c in generate_sweep(20, seed=11) if c.family == "zipf"
+        )
+        assert case.catalog is case.catalog
+        assert case.plan() is not case.plan()
+
+    def test_cases_execute_end_to_end(self):
+        cases = generate_sweep(40, seed=13)
+        picked = [
+            next(c for c in cases if c.family == "zipf"),
+            next(c for c in cases if c.family == "tpch"),
+        ]
+        for case in picked:
+            report = run_with_estimators(
+                case.plan(), standard_toolkit(), case.catalog
+            )
+            assert report.total > 0
+            assert report.trace.samples
+
+    def test_repeat_runs_are_bit_identical(self):
+        """The property the warm-run benchmark leans on: same case, same
+        trace."""
+        case = next(
+            c for c in generate_sweep(10, seed=17) if c.family == "zipf"
+        )
+        first = run_with_estimators(
+            case.plan(), standard_toolkit(), case.catalog
+        )
+        second = run_with_estimators(
+            case.plan(), standard_toolkit(), case.catalog
+        )
+        assert first.total == second.total
+        assert [s.curr for s in first.trace.samples] == [
+            s.curr for s in second.trace.samples
+        ]
