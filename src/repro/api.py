@@ -70,6 +70,7 @@ def connect(
     options: Optional[ExecutionOptions] = None,
     engine: Optional[str] = None,
     protocol: Optional[str] = None,
+    bounds: Optional[Sequence[str]] = None,
     target_samples: Optional[int] = None,
     max_workers: Optional[int] = None,
     queue_depth: Optional[int] = None,
@@ -86,7 +87,11 @@ def connect(
     (fallback: the fused compiler); ``protocol`` picks the evaluation
     protocol — ``"single_pass"`` (one execution per query, truth labeled
     at completion) or ``"two_pass"`` (legacy oracle pre-run, eager live
-    labels).  ``max_workers``/``queue_depth`` size the concurrent query
+    labels).  ``bounds`` names the bound-provider stack for the runtime
+    bounds tracker — the default ``["paper2005"]`` is the paper's §5.1
+    rules alone; stacking ``"degree_seq"`` on top intersects
+    degree-sequence join bounds into every snapshot (see
+    ``docs/bounds.md``).  ``max_workers``/``queue_depth`` size the concurrent query
     service behind :meth:`Session.submit` (started lazily on first use).
     ``backend`` picks that service's execution backend — ``"thread"``
     (fallback) or ``"process"`` for real CPU parallelism; ``start_method``
@@ -98,6 +103,7 @@ def connect(
         options=options,
         engine=engine,
         protocol=protocol,
+        bounds=bounds,
         target_samples=target_samples,
         max_workers=max_workers,
         queue_depth=queue_depth,
@@ -116,6 +122,7 @@ class Session:
         options: Optional[ExecutionOptions] = None,
         engine: Optional[str] = None,
         protocol: Optional[str] = None,
+        bounds: Optional[Sequence[str]] = None,
         target_samples: Optional[int] = None,
         max_workers: Optional[int] = None,
         queue_depth: Optional[int] = None,
@@ -129,6 +136,7 @@ class Session:
             protocol=protocol,
             backend=backend,
             start_method=start_method,
+            bounds=bounds,
             target_samples=target_samples,
             max_workers=max_workers,
             queue_depth=queue_depth,
@@ -136,6 +144,7 @@ class Session:
         self.engine = self.options.engine
         self.protocol = self.options.protocol
         self.backend = self.options.backend
+        self.bounds = self.options.bounds
         self.target_samples = self.options.target_samples
         self._service: Optional[QueryService] = None
         self._closed = False
@@ -143,8 +152,10 @@ class Session:
         #: estimators: ``"feedback"`` reads its expected totals from
         #: ``_histories.totals``, ``"robust"`` reads its candidate error
         #: statistics from ``_histories`` — and every :meth:`run` whose
-        #: toolkit came from names feeds both back automatically.
-        self._histories = RobustHistory()
+        #: toolkit came from names feeds both back automatically.  Keys are
+        #: qualified by the session catalog's data fingerprint, so a
+        #: same-shaped plan over changed data starts a fresh entry.
+        self._histories = RobustHistory(catalog=self.catalog)
 
     # -- planning ----------------------------------------------------------------
 
@@ -179,6 +190,7 @@ class Session:
                     spec,
                     history=self._histories.totals,
                     robust_history=self._histories,
+                    catalog=self.catalog,
                 ))
             else:
                 toolkit.append(spec)
@@ -207,6 +219,7 @@ class Session:
         sinks: Sequence[ProgressEventSink] = (),
         engine: Optional[str] = None,
         protocol: Optional[str] = None,
+        bounds: Optional[Sequence[str]] = None,
     ) -> ProgressReport:
         """One instrumented run: execute while sampling every estimator.
 
@@ -231,6 +244,7 @@ class Session:
             sinks=sinks,
             engine=engine or self.engine,
             protocol=protocol or self.protocol,
+            bounds=bounds if bounds is not None else self.bounds,
         ).run()
         for estimator in toolkit:
             observe = getattr(estimator, "observe_result", None)

@@ -56,7 +56,13 @@ from repro.core import (
     toolkit_from_names,
 )
 from repro.core.runner import ProgressReport
-from repro.options import BACKENDS, ENGINES, PROTOCOLS, ExecutionOptions
+from repro.options import (
+    BACKENDS,
+    BOUND_PROVIDERS,
+    ENGINES,
+    PROTOCOLS,
+    ExecutionOptions,
+)
 from repro.sql import plan_query
 from repro.workloads import (
     SKYSERVER_QUERIES,
@@ -97,6 +103,12 @@ EXPERIMENTS = {
 
 def _series_artifact(result, title: str) -> str:
     return render_series(result["series"], title=title)
+
+
+def _bounds_for(args: argparse.Namespace) -> Optional[List[str]]:
+    if getattr(args, "bounds", None) is None:
+        return None
+    return [name.strip() for name in args.bounds.split(",") if name.strip()]
 
 
 def _toolkit_for(args: argparse.Namespace):
@@ -145,7 +157,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
     print()
     report = run_with_estimators(
         plan, _toolkit_for(args), db.catalog, engine=args.engine,
-        protocol=args.protocol,
+        protocol=args.protocol, bounds=_bounds_for(args),
     )
     _print_progress_table(report)
     return 0
@@ -158,7 +170,7 @@ def cmd_sql(args: argparse.Namespace) -> int:
     print()
     report = run_with_estimators(
         plan, _toolkit_for(args), db.catalog, engine=args.engine,
-        protocol=args.protocol,
+        protocol=args.protocol, bounds=_bounds_for(args),
     )
     _print_progress_table(report)
     if args.rows:
@@ -190,6 +202,7 @@ def cmd_progress(args: argparse.Namespace) -> int:
         sinks=sinks,
         engine=args.engine,
         protocol=args.protocol,
+        bounds=_bounds_for(args),
     )
     report = runner.run()
     _print_progress_table(report)
@@ -232,6 +245,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     options = ExecutionOptions(
         engine=args.engine,
         protocol=args.protocol,
+        bounds=_bounds_for(args),
         backend=args.backend,
         start_method=args.start_method,
         max_workers=args.workers,
@@ -389,6 +403,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="execution engine (default: $REPRO_ENGINE or %s)"
                        % (defaults.engine,))
 
+    def add_bounds_option(p):
+        p.add_argument("--bounds", default=None, metavar="NAME,NAME,...",
+                       help="comma-separated bound-provider stack for the "
+                            "runtime bounds tracker (default: $REPRO_BOUNDS "
+                            "or %s; choose from: %s)"
+                       % (",".join(defaults.bounds),
+                          ", ".join(BOUND_PROVIDERS)))
+
     def add_protocol_option(p):
         p.add_argument("--protocol", choices=PROTOCOLS, default=None,
                        help="evaluation protocol: single_pass executes once "
@@ -407,6 +429,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_db_options(demo)
     add_engine_option(demo)
     add_protocol_option(demo)
+    add_bounds_option(demo)
     add_estimators_option(demo)
     demo.add_argument("--query", type=int, default=1, choices=range(1, 23),
                       metavar="N", help="TPC-H query number (1-22)")
@@ -416,6 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_db_options(sql)
     add_engine_option(sql)
     add_protocol_option(sql)
+    add_bounds_option(sql)
     add_estimators_option(sql)
     sql.add_argument("query", help="SQL text against the TPC-H schema")
     sql.add_argument("--rows", type=int, default=0,
@@ -428,6 +452,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_db_options(progress)
     add_engine_option(progress)
     add_protocol_option(progress)
+    add_bounds_option(progress)
     add_estimators_option(progress)
     progress.add_argument("sql", nargs="?", default=None,
                           help="SQL text (default: the --tpch query)")
@@ -445,6 +470,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_db_options(serve)
     add_engine_option(serve)
     add_protocol_option(serve)
+    add_bounds_option(serve)
     serve.add_argument("--queries", default="1,3,6,10,12,14,19,6",
                        help="comma-separated TPC-H query numbers")
     serve.add_argument("--repeat", type=int, default=1,

@@ -1,0 +1,55 @@
+"""Shared value types of the bounds layer.
+
+:class:`NodeBounds` and :class:`BoundsSnapshot` are the only objects the
+rest of the system sees: estimators consume snapshot ``lower``/``upper``
+aggregates, the differential suites compare them field by field, and the
+workmodels re-express them in weighted units.  :class:`BoundRefinement`
+records that a non-default bound provider tightened one node's upper bound
+(the ``bound_refined`` observability event carries it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class NodeBounds:
+    """Bounds on one node's total counted getnext calls."""
+
+    lower: float
+    upper: float
+
+
+@dataclass(frozen=True)
+class BoundsSnapshot:
+    """Plan-wide bounds at one instant.
+
+    ``curr`` is an integer tick count under the GetNext model but a float
+    once re-expressed in weighted work units (see
+    :class:`repro.core.workmodels.WeightedWork`).
+    """
+
+    curr: float
+    lower: float
+    upper: float
+    per_node: Dict[int, NodeBounds]
+
+    @property
+    def ratio(self) -> float:
+        """UB/LB — safe's worst-case ratio error is √(this)."""
+        if self.lower <= 0:
+            return float("inf")
+        return self.upper / self.lower
+
+
+@dataclass(frozen=True)
+class BoundRefinement:
+    """One node whose upper bound a non-default provider tightened."""
+
+    operator_id: int
+    operator: str
+    provider: str
+    upper_before: float
+    upper_after: float

@@ -82,13 +82,16 @@ def make_estimator(
     *,
     history: Optional[QueryHistory] = None,
     robust_history: Optional[RobustHistory] = None,
+    catalog: object = None,
 ) -> ProgressEstimator:
     """Construct one estimator by its trace name.
 
     ``feedback`` requires (or creates) a :class:`QueryHistory`; ``robust``
     requires (or creates) a :class:`RobustHistory`.  Pass shared instances
     to let estimators learn across runs — a fresh per-call history makes
-    them behave exactly like their cold fallbacks.
+    them behave exactly like their cold fallbacks.  ``catalog`` qualifies
+    the history keys with a data fingerprint, so same-shaped plans over
+    different data stop polluting each other's learned totals.
     """
     try:
         factory = _REGISTRY[name]
@@ -98,9 +101,12 @@ def make_estimator(
             % (name, ", ".join(estimator_names()))
         )
     if name == FeedbackEstimator.name:
-        return FeedbackEstimator(history if history is not None else QueryHistory())
+        return FeedbackEstimator(
+            history if history is not None else QueryHistory(),
+            catalog=catalog,
+        )
     if name == RobustEstimator.name:
-        return RobustEstimator(robust_history)
+        return RobustEstimator(robust_history, catalog=catalog)
     return factory()
 
 
@@ -109,6 +115,7 @@ def toolkit_from_names(
     *,
     history: Optional[QueryHistory] = None,
     robust_history: Optional[RobustHistory] = None,
+    catalog: object = None,
 ) -> List[ProgressEstimator]:
     """Build a toolkit from estimator names, preserving order.
 
@@ -122,7 +129,10 @@ def toolkit_from_names(
             "estimator names must be unique: %s" % (list(names),)
         )
     return [
-        make_estimator(name, history=history, robust_history=robust_history)
+        make_estimator(
+            name, history=history, robust_history=robust_history,
+            catalog=catalog,
+        )
         for name in names
     ]
 

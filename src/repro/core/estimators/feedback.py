@@ -56,6 +56,34 @@ def plan_signature(plan: Plan) -> str:
     return "|".join(parts)
 
 
+def catalog_fingerprint(catalog: object) -> str:
+    """A cheap *data* fingerprint of a catalog ('' when unavailable).
+
+    ``plan_signature`` is deliberately data-blind: two same-shaped queries
+    over different data collide.  Catalogs expose ``fingerprint()``
+    (instance identity + statistics version + per-table row counts — see
+    :meth:`repro.storage.catalog.Catalog.fingerprint`); duck-typing here
+    keeps this module free of a storage import.
+    """
+    if catalog is None:
+        return ""
+    fingerprint = getattr(catalog, "fingerprint", None)
+    if fingerprint is None:
+        return ""
+    return fingerprint()
+
+
+def history_key(plan: Plan, catalog: object = None) -> str:
+    """The history key: plan signature, qualified by the data fingerprint.
+
+    Without a catalog the key degrades to the bare signature (the historic
+    behavior — still correct for single-catalog processes).
+    """
+    signature = plan_signature(plan)
+    fingerprint = catalog_fingerprint(catalog)
+    return signature + "\n@" + fingerprint if fingerprint else signature
+
+
 @dataclass
 class HistoryEntry:
     """EWMA of observed totals plus the raw observation count."""
@@ -78,7 +106,10 @@ class QueryHistory:
     """
 
     def __init__(
-        self, smoothing: float = 0.5, max_signatures: int = 4096
+        self,
+        smoothing: float = 0.5,
+        max_signatures: int = 4096,
+        catalog: object = None,
     ) -> None:
         if not 0 < smoothing <= 1:
             raise EstimatorConfigError("smoothing must be in (0, 1]")
@@ -86,12 +117,22 @@ class QueryHistory:
             raise EstimatorConfigError("max_signatures must be >= 1")
         self.smoothing = smoothing
         self.max_signatures = max_signatures
+        #: default catalog whose data fingerprint qualifies every key (a
+        #: per-call ``catalog=`` beats it; None keys on shape alone)
+        self.catalog = catalog
         self._entries: "OrderedDict[str, HistoryEntry]" = OrderedDict()
         self._lock = threading.Lock()
 
-    def record(self, plan: Plan, total: int) -> None:
+    def _key(self, plan: Plan, catalog: object) -> str:
+        return history_key(
+            plan, catalog if catalog is not None else self.catalog
+        )
+
+    def record(
+        self, plan: Plan, total: int, catalog: object = None
+    ) -> None:
         """Fold one finished run's total into the history."""
-        signature = plan_signature(plan)
+        signature = self._key(plan, catalog)
         with self._lock:
             entry = self._entries.get(signature)
             if entry is None:
@@ -106,8 +147,10 @@ class QueryHistory:
                 entry.observations += 1
                 self._entries.move_to_end(signature)
 
-    def expected_total(self, plan: Plan) -> Optional[float]:
-        signature = plan_signature(plan)
+    def expected_total(
+        self, plan: Plan, catalog: object = None
+    ) -> Optional[float]:
+        signature = self._key(plan, catalog)
         with self._lock:
             entry = self._entries.get(signature)
             if entry is None:
@@ -138,14 +181,25 @@ class FeedbackEstimator(ProgressEstimator):
 
     name = "feedback"
 
-    def __init__(self, history: QueryHistory, *, strict: bool = False) -> None:
+    def __init__(
+        self,
+        history: QueryHistory,
+        *,
+        strict: bool = False,
+        catalog: object = None,
+    ) -> None:
         self.history = history
         self.strict = strict
+        #: catalog whose fingerprint qualifies this estimator's history keys
+        #: (falls back to the history's own default when None)
+        self.catalog = catalog
         self._expected: Optional[float] = None
         self._safe = SafeEstimator()
 
     def prepare(self, plan: Plan) -> None:
-        self._expected = self.history.expected_total(plan)
+        self._expected = self.history.expected_total(
+            plan, catalog=self.catalog
+        )
 
     def observe_result(self, plan: Plan, total: float) -> None:
         """Feed one sealed run's total back into the shared history.
@@ -154,7 +208,7 @@ class FeedbackEstimator(ProgressEstimator):
         robust combination exposes the same method): callers that know the
         truth at end-of-run call it and the next ``prepare`` sees it.
         """
-        self.history.record(plan, int(total))
+        self.history.record(plan, int(total), catalog=self.catalog)
 
     def retrospective_estimate(self, curr: float, total: float) -> float:
         """What this candidate would answer on a repeat run.

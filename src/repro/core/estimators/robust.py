@@ -55,6 +55,7 @@ from repro.core.estimators.dne import DneEstimator
 from repro.core.estimators.feedback import (
     FeedbackEstimator,
     QueryHistory,
+    history_key,
     plan_signature,
 )
 from repro.core.estimators.hybrid import HybridMuEstimator, HybridVarianceEstimator
@@ -135,6 +136,7 @@ class RobustHistory:
         max_signatures: int = 4096,
         min_actual: float = 0.01,
         totals: Optional[QueryHistory] = None,
+        catalog: object = None,
     ) -> None:
         if not 0 < smoothing <= 1:
             raise EstimatorConfigError("smoothing must be in (0, 1]")
@@ -143,8 +145,11 @@ class RobustHistory:
         self.smoothing = smoothing
         self.max_signatures = max_signatures
         self.min_actual = min_actual
+        #: default catalog whose data fingerprint qualifies every key (a
+        #: per-call ``catalog=`` beats it; None keys on shape alone)
+        self.catalog = catalog
         self.totals = totals if totals is not None else QueryHistory(
-            max_signatures=max_signatures
+            max_signatures=max_signatures, catalog=catalog
         )
         self._stats: "OrderedDict[str, Dict[int, Dict[str, ErrorStat]]]" = (
             OrderedDict()
@@ -156,6 +161,7 @@ class RobustHistory:
         plan: Plan,
         observations: Sequence[SegmentObservation],
         total: float,
+        catalog: object = None,
     ) -> None:
         """Label one finished run's pool log against its sealed total.
 
@@ -163,13 +169,13 @@ class RobustHistory:
         the phase is derived from the sealed truth here, and from the
         remembered total at estimation time.
         """
-        self.totals.record(plan, int(total))
+        self.totals.record(plan, int(total), catalog=catalog)
         residuals = aggregate_segment_residuals(
             observations, total, self.min_actual, phases=PHASES
         )
         if not residuals:
             return
-        signature = plan_signature(plan)
+        signature = self._key(plan, catalog)
         with self._lock:
             bucket = self._stats.get(signature)
             if bucket is None:
@@ -188,10 +194,17 @@ class RobustHistory:
                     else:
                         stat.fold(mean_square, self.smoothing)
 
-    def stats_for(self, plan: Plan) -> Dict[int, Dict[str, Tuple[float, int]]]:
+    def _key(self, plan: Plan, catalog: object) -> str:
+        return history_key(
+            plan, catalog if catalog is not None else self.catalog
+        )
+
+    def stats_for(
+        self, plan: Plan, catalog: object = None
+    ) -> Dict[int, Dict[str, Tuple[float, int]]]:
         """A snapshot of this signature's statistics (segment → name →
         (mean-square log residual, observation count))."""
-        signature = plan_signature(plan)
+        signature = self._key(plan, catalog)
         with self._lock:
             bucket = self._stats.get(signature)
             if bucket is None:
@@ -221,7 +234,9 @@ class RobustHistory:
         self._lock = threading.Lock()
 
 
-def default_pool(history: RobustHistory) -> List[ProgressEstimator]:
+def default_pool(
+    history: RobustHistory, catalog: object = None
+) -> List[ProgressEstimator]:
     """The full candidate pool of the robust combination."""
     return [
         DneEstimator(),
@@ -229,7 +244,7 @@ def default_pool(history: RobustHistory) -> List[ProgressEstimator]:
         SafeEstimator(),
         HybridMuEstimator(),
         HybridVarianceEstimator(),
-        FeedbackEstimator(history.totals),
+        FeedbackEstimator(history.totals, catalog=catalog),
     ]
 
 
@@ -276,6 +291,7 @@ class RobustEstimator(ProgressEstimator):
         strict: bool = False,
         on_select: Optional[Callable[[SelectionEvent], None]] = None,
         on_degrade: Optional[Callable[[str, str], None]] = None,
+        catalog: object = None,
     ) -> None:
         if mode not in MODES:
             raise EstimatorConfigError(
@@ -292,9 +308,11 @@ class RobustEstimator(ProgressEstimator):
         self.strict = strict
         self.on_select = on_select
         self.on_degrade = on_degrade
+        #: catalog whose fingerprint qualifies this estimator's history keys
+        self.catalog = catalog
         pool = (
             list(candidates) if candidates is not None
-            else default_pool(self.history)
+            else default_pool(self.history, catalog)
         )
         names = [candidate.name for candidate in pool]
         if len(set(names)) != len(names):
@@ -327,8 +345,10 @@ class RobustEstimator(ProgressEstimator):
         self._plan = plan
         #: remembered total, the estimation-time proxy for the phase that
         #: record_run derived from the sealed truth
-        self._expected = self.history.totals.expected_total(plan)
-        self._stats = self.history.stats_for(plan)
+        self._expected = self.history.totals.expected_total(
+            plan, catalog=self.catalog
+        )
+        self._stats = self.history.stats_for(plan, catalog=self.catalog)
         self._pooled = self._pool_segments(self._stats)
         self._weight_cache = {}
         self._log = []
@@ -370,7 +390,7 @@ class RobustEstimator(ProgressEstimator):
                 for name, estimate in retrospective.items():
                     if name in values:
                         values[name] = estimate(curr, total)
-        self.history.record_run(plan, self._log, total)
+        self.history.record_run(plan, self._log, total, catalog=self.catalog)
         self._log = []
 
     # -- estimation --------------------------------------------------------------

@@ -87,7 +87,11 @@ class ProgressEvent:
 
     ``kind`` is ``"run_start"``, ``"sample"`` or ``"run_end"``; samples carry
     the full estimator/bounds/pipeline state, the boundary events carry the
-    frame (plan name, totals, work model).
+    frame (plan name, totals, work model).  Two annotation kinds interleave
+    with samples: ``"estimator_selected"`` when a combining estimator
+    switches candidates, and ``"bound_refined"`` the first time an overlay
+    bound provider tightens an operator's upper bound (payload: operator,
+    provider, upper bound before/after).
 
     ``total`` and ``actual`` are ``None`` on live events under the default
     single-pass protocol: truth is unknown until the run finishes, so only

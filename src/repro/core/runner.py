@@ -370,6 +370,7 @@ class ProgressRunner:
         on_probe: Optional[Callable[["RunnerProbe"], None]] = None,
         probe_estimators: Optional[Sequence[ProgressEstimator]] = None,
         protocol: Optional[str] = None,
+        bounds: Optional[Sequence[str]] = None,
     ) -> None:
         if not estimators:
             raise ProgressError("at least one estimator is required")
@@ -385,6 +386,9 @@ class ProgressRunner:
         self.clock = clock
         self.engine = _engine_choice(engine)
         self.protocol = _protocol_choice(protocol)
+        #: bound-provider stack for the runtime bounds tracker; None and
+        #: $REPRO_BOUNDS resolution both happen in options.py
+        self.bounds = ExecutionOptions(bounds=bounds).resolve().bounds
         #: builds every monitor this runner uses (instrumented, plus the
         #: oracle pass under two_pass); the service injects one whose
         #: record/record_batch check cancellation and deadlines under a lock
@@ -424,7 +428,7 @@ class ProgressRunner:
             else None
         )
         pipelines: List[Pipeline] = decompose(self.plan)
-        tracker = BoundsTracker(self.plan, self.catalog)
+        tracker = BoundsTracker(self.plan, self.catalog, bounds=self.bounds)
         scanned_leaf_ids = {
             leaf.operator_id for leaf in self.plan.scanned_leaves()
         }
@@ -499,6 +503,30 @@ class ProgressRunner:
         # Last reported "selected" candidate per combining estimator, so
         # selection *changes* (not every sample) become events.
         last_selected: Dict[str, object] = {}
+        # Overlay refinements are re-applied on every snapshot; announce
+        # each (operator, provider) pair once per run.
+        announced_refinements: set = set()
+
+        def emit_refinements(
+            curr: float, estimate_values: Dict[str, float],
+            lower: float, upper: float,
+        ) -> None:
+            for refinement in tracker.last_refinements:
+                key = (refinement.operator_id, refinement.provider)
+                if key in announced_refinements:
+                    continue
+                announced_refinements.add(key)
+                emit(
+                    "bound_refined", curr, None, estimate_values,
+                    lower, upper,
+                    payload={
+                        "operator_id": refinement.operator_id,
+                        "operator": refinement.operator,
+                        "provider": refinement.provider,
+                        "upper_before": refinement.upper_before,
+                        "upper_after": refinement.upper_after,
+                    },
+                )
 
         def collect_extras(
             curr: float, estimate_values: Dict[str, float],
@@ -569,6 +597,10 @@ class ProgressRunner:
                 # sample; only do it when someone is listening.  Extras are
                 # collected first so a selection change is announced before
                 # the sample that exhibits it.
+                emit_refinements(
+                    curr, estimate_values,
+                    observation.bounds.lower, observation.bounds.upper,
+                )
                 payload = collect_extras(
                     curr, estimate_values,
                     observation.bounds.lower, observation.bounds.upper,
@@ -662,9 +694,10 @@ def run_with_estimators(
     sinks: Sequence[ProgressEventSink] = (),
     engine: Optional[str] = None,
     protocol: Optional[str] = None,
+    bounds: Optional[Sequence[str]] = None,
 ) -> ProgressReport:
     """One-call convenience wrapper around :class:`ProgressRunner`."""
     return ProgressRunner(
         plan, estimators, catalog, target_samples, sinks=sinks, engine=engine,
-        protocol=protocol,
+        protocol=protocol, bounds=bounds,
     ).run()

@@ -60,6 +60,11 @@ class EstimatorConfigError(ProgressError, ValueError):
     """
 
 
+class BoundsConfigError(ProgressError, ValueError):
+    """A bound-provider stack was configured with invalid parameters
+    (unknown provider name, duplicates, or a stack without ``paper2005``)."""
+
+
 class DegenerateBoundsError(ProgressError):
     """Runtime bounds are degenerate: zero, infinite, inverted, or stale.
 

@@ -26,9 +26,14 @@ from __future__ import annotations
 import multiprocessing
 import os
 from dataclasses import dataclass, fields, replace
-from typing import Optional
+from typing import Optional, Sequence, Tuple, Union
 
-from repro.errors import ExecutionError, ProgressError, ServiceError
+from repro.errors import (
+    BoundsConfigError,
+    ExecutionError,
+    ProgressError,
+    ServiceError,
+)
 
 #: the execution engines (see ``docs/engine.md``); all observationally
 #: identical, so the choice is purely a throughput knob
@@ -43,6 +48,14 @@ PROTOCOLS = ("single_pass", "two_pass")
 #: worker processes for real multi-core parallelism
 BACKENDS = ("thread", "process")
 
+#: the registered bound providers (see ``docs/bounds.md``); kept as a static
+#: list so this module stays at the bottom of the import graph — a test
+#: asserts it matches :func:`repro.core.bounds.provider_names`
+BOUND_PROVIDERS = ("degree_seq", "paper2005")
+
+#: the default bound-provider stack: the paper's own rules, no overlays
+DEFAULT_BOUNDS = ("paper2005",)
+
 _FALLBACKS = {
     "engine": "fused",
     "protocol": "single_pass",
@@ -53,6 +66,30 @@ _FALLBACKS = {
 DEFAULT_TARGET_SAMPLES = 200
 DEFAULT_MAX_WORKERS = 4
 DEFAULT_QUEUE_DEPTH = 16
+
+
+def _validate_bounds(bounds: Tuple[str, ...]) -> None:
+    """Name-level validation of a bound-provider stack.
+
+    Mirrors :func:`repro.core.bounds.resolve_providers` (which re-validates
+    when the trackers are built) against the static name list, so a typo'd
+    ``REPRO_BOUNDS`` fails at resolve time, not mid-query.
+    """
+    if not bounds:
+        raise BoundsConfigError("bounds must name at least one provider")
+    if len(set(bounds)) != len(bounds):
+        raise BoundsConfigError("duplicate bound providers: %s" % (list(bounds),))
+    for name in bounds:
+        if name not in BOUND_PROVIDERS:
+            raise BoundsConfigError(
+                "unknown bound provider %r (choose from: %s)"
+                % (name, ", ".join(BOUND_PROVIDERS))
+            )
+    if "paper2005" not in bounds:
+        raise BoundsConfigError(
+            "bounds must include 'paper2005' (overlay providers tighten the "
+            "paper rules, they do not replace them)"
+        )
 
 
 @dataclass(frozen=True)
@@ -72,19 +109,31 @@ class ExecutionOptions:
     ``protocol``              ``REPRO_PROTOCOL``       ``"single_pass"``
     ``backend``               ``REPRO_BACKEND``        ``"thread"``
     ``start_method``          ``REPRO_START_METHOD``   ``fork``/``spawn``
+    ``bounds``                ``REPRO_BOUNDS``         ``("paper2005",)``
     ``target_samples``        —                        ``200``
     ``max_workers``           —                        ``4``
     ``queue_depth``           —                        ``16``
     ========================  =======================  ==================
+
+    ``bounds`` names the bound-provider stack (a sequence of
+    :data:`BOUND_PROVIDERS` entries; the environment variable takes a
+    comma-separated list, e.g. ``REPRO_BOUNDS=paper2005,degree_seq``).
     """
 
     engine: Optional[str] = None
     protocol: Optional[str] = None
     backend: Optional[str] = None
     start_method: Optional[str] = None
+    bounds: Optional[Union[Tuple[str, ...], Sequence[str]]] = None
     target_samples: Optional[int] = None
     max_workers: Optional[int] = None
     queue_depth: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        # Normalize: lists (e.g. a to_dict round-trip or a CLI split) and
+        # tuples compare and hash alike once canonicalized.
+        if self.bounds is not None and not isinstance(self.bounds, tuple):
+            object.__setattr__(self, "bounds", tuple(self.bounds))
 
     # -- construction ------------------------------------------------------------
 
@@ -141,6 +190,19 @@ class ExecutionOptions:
                 "unknown start method %r (available on this platform: %s)"
                 % (start_method, available_methods)
             )
+        if self.bounds is not None:
+            bounds = tuple(self.bounds)
+        else:
+            env_bounds = self._env("REPRO_BOUNDS")
+            bounds = (
+                tuple(
+                    name.strip() for name in env_bounds.split(",")
+                    if name.strip()
+                )
+                if env_bounds
+                else DEFAULT_BOUNDS
+            )
+        _validate_bounds(bounds)
         target_samples = (
             self.target_samples if self.target_samples is not None
             else DEFAULT_TARGET_SAMPLES
@@ -164,6 +226,7 @@ class ExecutionOptions:
             protocol=protocol,
             backend=backend,
             start_method=start_method,
+            bounds=bounds,
             target_samples=target_samples,
             max_workers=max_workers,
             queue_depth=queue_depth,
@@ -183,4 +246,11 @@ class ExecutionOptions:
         return os.environ.get(name) or None
 
     def to_dict(self) -> dict:
-        return {field.name: getattr(self, field.name) for field in fields(self)}
+        values = {
+            field.name: getattr(self, field.name) for field in fields(self)
+        }
+        if values["bounds"] is not None:
+            # JSON-friendly: the wire formats (server config, procpool
+            # payloads) round-trip lists, not tuples.
+            values["bounds"] = list(values["bounds"])
+        return values

@@ -53,7 +53,7 @@ import traceback
 import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 from repro.core.metrics import TraceSample
 from repro.core.observe import ForwardingSink, emit_to_all
@@ -257,6 +257,7 @@ class _ExecuteRequest:
     target_samples: int
     engine: str
     protocol: str
+    bounds: Tuple[str, ...]
 
 
 class _CatalogRelativePickler(pickle.Pickler):
@@ -460,6 +461,7 @@ def _serve_request(conn, catalog, toolkit_factory, cancel_flag, probe_flag,
             ),),
             engine=request.engine,
             protocol=request.protocol,
+            bounds=request.bounds,
             monitor_factory=lambda: _WorkerMonitor(shim, probe_server),
             on_probe=probe_server.attach,
             probe_estimators=probe_toolkit,
@@ -642,6 +644,7 @@ class _WorkerSlot:
                 target_samples=handle._target_samples,
                 engine=service.engine,
                 protocol=service.protocol,
+                bounds=service.bounds,
             )
             try:
                 self.conn.send(request)

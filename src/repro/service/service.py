@@ -86,6 +86,7 @@ class QueryService:
         toolkit_factory: Callable[[], List[ProgressEstimator]] = standard_toolkit,
         engine: Optional[str] = None,
         protocol: Optional[str] = None,
+        bounds: Optional[Sequence[str]] = None,
         backend: Optional[str] = None,
         start_method: Optional[str] = None,
         catalog_spec: Optional[CatalogSpec] = None,
@@ -103,6 +104,7 @@ class QueryService:
         self.options = (options or ExecutionOptions()).merged(
             engine=engine,
             protocol=protocol,
+            bounds=bounds,
             backend=backend,
             start_method=start_method,
             max_workers=max_workers,
@@ -113,6 +115,7 @@ class QueryService:
         self.toolkit_factory = toolkit_factory
         self.engine = self.options.engine
         self.protocol = self.options.protocol
+        self.bounds = self.options.bounds
         self.backend = self.options.backend
         #: how spawn-started workers re-open the catalog; None means "ship
         #: the catalog pickled" (irrelevant under fork and the thread backend)
@@ -338,6 +341,7 @@ class QueryService:
                 sinks=tuple(runner_sinks),
                 engine=self.engine,
                 protocol=self.protocol,
+                bounds=self.bounds,
                 monitor_factory=lambda: ServiceExecutionMonitor(
                     handle, self._clock
                 ),

@@ -6,6 +6,12 @@ from repro.stats.base import (
     statistics_equal,
     verify_lossy_pair,
 )
+from repro.stats.degree import (
+    DegreeSequenceGenerator,
+    DegreeStatistic,
+    degree_sequence_join_bound,
+    lp_join_bound,
+)
 from repro.stats.estimate import CardinalityEstimator
 from repro.stats.histogram import (
     Bucket,
@@ -20,6 +26,10 @@ __all__ = [
     "Bucket",
     "CardinalityEstimator",
     "ColumnStatistic",
+    "DegreeSequenceGenerator",
+    "DegreeStatistic",
+    "degree_sequence_join_bound",
+    "lp_join_bound",
     "EquiDepthHistogramGenerator",
     "EquiWidthHistogramGenerator",
     "Histogram",

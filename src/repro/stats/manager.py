@@ -13,20 +13,32 @@ from typing import Dict, Iterable, Optional
 
 from repro.errors import StatisticsError
 from repro.stats.base import ColumnStatistic, StatisticsGenerator
+from repro.stats.degree import DegreeSequenceGenerator
 from repro.stats.histogram import EquiDepthHistogramGenerator
 from repro.storage.catalog import Catalog
 
 
 class StatisticsManager:
-    """Builds per-column statistics for tables registered in a catalog."""
+    """Builds per-column statistics for tables registered in a catalog.
+
+    Every analyzed column gets two synopses: the primary statistic (an
+    equi-depth histogram unless another generator is given) in the
+    catalog's main statistics channel, and a degree/frequency-sequence
+    statistic in the degree channel — the latter feeds the ``degree_seq``
+    bound provider.  Pass ``degree_generator=None`` to skip the second.
+    """
 
     def __init__(
         self,
         catalog: Catalog,
         generator: Optional[StatisticsGenerator] = None,
+        degree_generator: Optional[
+            StatisticsGenerator
+        ] = DegreeSequenceGenerator(),
     ) -> None:
         self.catalog = catalog
         self.generator = generator or EquiDepthHistogramGenerator()
+        self.degree_generator = degree_generator
 
     def analyze_column(self, table_name: str, column: str) -> ColumnStatistic:
         """Build (or rebuild) a statistic on one column and register it."""
@@ -35,8 +47,13 @@ class StatisticsManager:
             raise StatisticsError(
                 "table %r has no column %r to analyze" % (table_name, column)
             )
-        statistic = self.generator.build(table.column_values(column))
+        values = table.column_values(column)
+        statistic = self.generator.build(values)
         self.catalog.set_statistic(table_name, column, statistic)
+        if self.degree_generator is not None:
+            self.catalog.set_degree_statistic(
+                table_name, column, self.degree_generator.build(values)
+            )
         return statistic
 
     def analyze_table(self, table_name: str) -> Dict[str, ColumnStatistic]:

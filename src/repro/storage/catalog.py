@@ -9,11 +9,17 @@ database catalogs").
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import CatalogError
 from repro.storage.index import HashIndex, SortedIndex
 from repro.storage.table import Table
+
+#: process-wide catalog identity source: two live catalogs never share an
+#: identity, while a pickled copy (process backend) keeps its original one —
+#: fingerprints stay comparable across the wire.
+_CATALOG_IDS = itertools.count(1)
 
 
 class Catalog:
@@ -27,6 +33,11 @@ class Catalog:
         # Statistics are stored per (table, column); values are objects from
         # repro.stats (kept untyped here to avoid a storage->stats dependency).
         self._statistics: Dict[Tuple[str, str], object] = {}
+        # Degree/frequency-sequence statistics live in their own channel so
+        # they can coexist with a histogram on the same column.
+        self._degree_statistics: Dict[Tuple[str, str], object] = {}
+        self._identity = next(_CATALOG_IDS)
+        self._stats_version = 0
 
     # -- tables ---------------------------------------------------------------
 
@@ -36,6 +47,7 @@ class Catalog:
         if replace:
             self._drop_dependents(table.name)
         self._tables[table.name] = table
+        self._stats_version += 1
         return table
 
     def table(self, name: str) -> Table:
@@ -58,6 +70,7 @@ class Catalog:
             raise CatalogError("no table %r in catalog" % (name,))
         del self._tables[name]
         self._drop_dependents(name)
+        self._stats_version += 1
 
     def cardinality(self, name: str) -> int:
         """Exact base-table cardinality, as a real catalog would know it."""
@@ -70,6 +83,8 @@ class Catalog:
             del self._sorted_indexes[key]
         for key in [k for k in self._statistics if k[0] == table_name]:
             del self._statistics[key]
+        for key in [k for k in self._degree_statistics if k[0] == table_name]:
+            del self._degree_statistics[key]
 
     # -- indexes --------------------------------------------------------------
 
@@ -117,6 +132,7 @@ class Catalog:
     def set_statistic(self, table_name: str, column: str, statistic: object) -> None:
         self.table(table_name)  # existence check
         self._statistics[(table_name, column)] = statistic
+        self._stats_version += 1
 
     def statistic(self, table_name: str, column: str) -> Optional[object]:
         return self._statistics.get((table_name, column))
@@ -127,6 +143,44 @@ class Catalog:
             for (t, column), stat in self._statistics.items()
             if t == table_name
         }
+
+    def set_degree_statistic(
+        self, table_name: str, column: str, statistic: object
+    ) -> None:
+        """Register a degree/frequency-sequence statistic for one column.
+
+        Kept in a channel separate from :meth:`set_statistic` so that a
+        histogram and a degree sequence can coexist on the same column (the
+        bound providers consume both).
+        """
+        self.table(table_name)  # existence check
+        self._degree_statistics[(table_name, column)] = statistic
+        self._stats_version += 1
+
+    def degree_statistic(self, table_name: str, column: str) -> Optional[object]:
+        return self._degree_statistics.get((table_name, column))
+
+    @property
+    def statistics_version(self) -> int:
+        """Monotonic counter bumped by every table or statistics mutation."""
+        return self._stats_version
+
+    def fingerprint(self) -> str:
+        """A cheap content fingerprint: identity, statistics version and
+        per-table row counts.
+
+        Query histories key their entries on ``(plan signature,
+        fingerprint)`` so that structurally identical plans over different
+        data — two live catalogs, or one catalog whose tables or statistics
+        changed — never pollute each other's learned totals.  A pickled
+        catalog copy (process backend) keeps its identity, so histories
+        learned in the parent still apply in the worker.
+        """
+        rows = ",".join(
+            "%s:%d" % (name, len(table))
+            for name, table in sorted(self._tables.items())
+        )
+        return "c%d.v%d|%s" % (self._identity, self._stats_version, rows)
 
     def __repr__(self) -> str:
         return "Catalog(%s: %d tables, %d indexes)" % (

@@ -56,11 +56,19 @@ class ZipfianJoinWorkload:
 
     # -- plans ---------------------------------------------------------------------
 
-    def inl_plan(self, skip_top_ranks: int = 0, name: Optional[str] = None) -> Plan:
+    def inl_plan(
+        self,
+        skip_top_ranks: int = 0,
+        name: Optional[str] = None,
+        linear: bool = True,
+    ) -> Plan:
         """scan(R1) [→ σ] → ⋈INL with the index on R2.B.
 
         ``skip_top_ranks > 0`` adds the Figure 7 filter that removes the
         high-skew tuples (values 1..k are the k highest fan-outs).
+        ``linear=False`` drops the declared-linear hint, so the paper's
+        bounds fall back to the general product rule — the adversarial
+        setting the degree-sequence provider exists for.
         """
         outer = TableScan(self.r1)
         if skip_top_ranks > 0:
@@ -68,24 +76,31 @@ class ZipfianJoinWorkload:
         index = self.catalog.hash_index("r2", "b")
         assert index is not None
         join = IndexNestedLoopsJoin(
-            outer, index, col("r1.a"), linear=True
+            outer, index, col("r1.a"), linear=linear
         )
         return Plan(join, name or "zipf-inl-%s" % (self.order,))
 
-    def hash_plan(self, skip_top_ranks: int = 0, name: Optional[str] = None) -> Plan:
+    def hash_plan(
+        self,
+        skip_top_ranks: int = 0,
+        name: Optional[str] = None,
+        linear: bool = True,
+    ) -> Plan:
         """⋈hash with R1 as the build side — the Table 1 scan-based variant."""
         build = TableScan(self.r1)
         if skip_top_ranks > 0:
             build = Filter(build, col("r1.a") > lit(skip_top_ranks))
         probe = TableScan(self.r2)
-        join = HashJoin(build, probe, col("r1.a"), col("r2.b"), linear=True)
+        join = HashJoin(build, probe, col("r1.a"), col("r2.b"), linear=linear)
         return Plan(join, name or "zipf-hash-%s" % (self.order,))
 
-    def merge_plan(self, name: Optional[str] = None) -> Plan:
+    def merge_plan(
+        self, name: Optional[str] = None, linear: bool = True
+    ) -> Plan:
         """sort-sort-⋈merge — the other scan-based plan of §5.4."""
         left = Sort(TableScan(self.r1), [SortKey(col("r1.a"))])
         right = Sort(TableScan(self.r2), [SortKey(col("r2.b"))])
-        join = MergeJoin(left, right, col("r1.a"), col("r2.b"), linear=True)
+        join = MergeJoin(left, right, col("r1.a"), col("r2.b"), linear=linear)
         return Plan(join, name or "zipf-merge-%s" % (self.order,))
 
 

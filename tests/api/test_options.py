@@ -6,9 +6,16 @@ import multiprocessing
 
 import pytest
 
-from repro.errors import ExecutionError, ProgressError, ServiceError
+from repro.errors import (
+    BoundsConfigError,
+    ExecutionError,
+    ProgressError,
+    ServiceError,
+)
 from repro.options import (
     BACKENDS,
+    BOUND_PROVIDERS,
+    DEFAULT_BOUNDS,
     DEFAULT_MAX_WORKERS,
     DEFAULT_QUEUE_DEPTH,
     DEFAULT_TARGET_SAMPLES,
@@ -127,9 +134,61 @@ class TestMerging:
         assert base.engine == "fused"
 
 
+class TestBounds:
+    def test_default_stack(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BOUNDS", raising=False)
+        assert ExecutionOptions().resolve().bounds == DEFAULT_BOUNDS
+
+    def test_env_comma_list(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BOUNDS", "paper2005, degree_seq")
+        resolved = ExecutionOptions().resolve()
+        assert resolved.bounds == ("paper2005", "degree_seq")
+
+    def test_env_drops_empty_segments(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BOUNDS", "paper2005,,")
+        assert ExecutionOptions().resolve().bounds == ("paper2005",)
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BOUNDS", "paper2005,degree_seq")
+        resolved = ExecutionOptions(bounds=("paper2005",)).resolve()
+        assert resolved.bounds == ("paper2005",)
+
+    def test_list_input_normalized_to_tuple(self):
+        options = ExecutionOptions(bounds=["paper2005", "degree_seq"])
+        assert options.bounds == ("paper2005", "degree_seq")
+
+    def test_unknown_provider_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BOUNDS", "paper2005,sketchy")
+        with pytest.raises(BoundsConfigError, match="unknown"):
+            ExecutionOptions().resolve()
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(BoundsConfigError, match="duplicate"):
+            ExecutionOptions(
+                bounds=("paper2005", "paper2005")
+            ).resolve()
+
+    def test_paper2005_is_mandatory(self):
+        with pytest.raises(BoundsConfigError, match="paper2005"):
+            ExecutionOptions(bounds=("degree_seq",)).resolve()
+
+    def test_static_name_list_matches_registry(self):
+        from repro.core.bounds import provider_names
+
+        assert tuple(sorted(BOUND_PROVIDERS)) == tuple(provider_names())
+
+
 class TestRendering:
     def test_to_dict_round_trip(self):
         resolved = ExecutionOptions(max_workers=3).resolve()
         rendered = resolved.to_dict()
         assert rendered["max_workers"] == 3
+        assert ExecutionOptions(**rendered) == resolved
+
+    def test_to_dict_renders_bounds_as_list(self):
+        resolved = ExecutionOptions(
+            bounds=("paper2005", "degree_seq")
+        ).resolve()
+        rendered = resolved.to_dict()
+        assert rendered["bounds"] == ["paper2005", "degree_seq"]
         assert ExecutionOptions(**rendered) == resolved

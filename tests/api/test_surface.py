@@ -116,3 +116,19 @@ class TestServerStaysOnTheFacadeSide:
             "REPRO_* environment reads must go through "
             "ExecutionOptions.resolve(): %r" % offending
         )
+
+    def test_repro_bounds_is_resolved_only_in_options(self):
+        # The generic sweep above already forbids raw reads anywhere else;
+        # this pins the positive half — the REPRO_BOUNDS environment read
+        # (`_env(...)` / `environ[...]`) lives in options.py and nowhere
+        # else.  Comments and CLI help may *mention* the variable freely.
+        src = REPO / "src" / "repro"
+        read_pattern = re.compile(
+            r"(_env|environ(\.get)?\s*[\[(])\s*\(?\s*['\"]REPRO_BOUNDS"
+        )
+        readers = [
+            str(path.relative_to(src))
+            for path in sorted(src.rglob("*.py"))
+            if read_pattern.search(path.read_text())
+        ]
+        assert readers == ["options.py"]

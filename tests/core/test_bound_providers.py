@@ -1,0 +1,298 @@
+"""The pluggable bound-provider stack: registry, composition, refinement.
+
+Covers the provider seam introduced by the ``repro.core.bounds`` package
+split: name-level registry/validation, the ``degree_seq`` overlay's static
+join caps, the composition layer's soundness guard, the degenerate-input
+guard (missing/stale statistics → "no opinion", warned once, never
+``(0, inf)``), and the ``bound_refined`` observability event.
+"""
+
+import warnings
+
+import pytest
+
+from repro import options as options_module
+from repro.core import BoundsTracker, ReferenceBoundsTracker, SafeEstimator
+from repro.core.bounds import (
+    DEFAULT_BOUNDS,
+    BoundProvider,
+    Paper2005Provider,
+    make_provider,
+    provider_names,
+    resolve_providers,
+)
+from repro.core.bounds.degree_seq import DegreeSequenceProvider
+from repro.core.bounds.model import NodeBounds
+from repro.core.bounds.providers import apply_caps, compose_caps
+from repro.core.observe import MemorySink, _warned_keys
+from repro.core.runner import run_with_estimators
+from repro.errors import BoundsConfigError
+from repro.stats.degree import DegreeStatistic
+from repro.workloads.adversarial import make_zipfian_join
+
+STACKED = ("paper2005", "degree_seq")
+
+
+@pytest.fixture
+def fresh_warnings():
+    """Snapshot/restore the process-wide warn_once registry."""
+    saved = set(_warned_keys)
+    _warned_keys.clear()
+    yield
+    _warned_keys.clear()
+    _warned_keys.update(saved)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_zipfian_join(n=2000, z=2.0, order="skew_last", seed=7)
+
+
+class TestRegistry:
+    def test_names_match_options_constant(self):
+        # options.py keeps a static copy so it stays at the bottom of the
+        # import graph; this is the drift guard promised in its comment.
+        assert tuple(provider_names()) == tuple(
+            sorted(options_module.BOUND_PROVIDERS)
+        )
+
+    def test_default_stack_is_paper_only(self):
+        assert DEFAULT_BOUNDS == ("paper2005",)
+        assert options_module.DEFAULT_BOUNDS == DEFAULT_BOUNDS
+
+    def test_make_provider_roundtrip(self):
+        assert isinstance(make_provider("paper2005"), Paper2005Provider)
+        assert isinstance(make_provider("degree_seq"), DegreeSequenceProvider)
+
+    def test_make_provider_unknown_name(self):
+        with pytest.raises(BoundsConfigError, match="unknown bound provider"):
+            make_provider("sketchy")
+
+    def test_maintenance_contracts(self):
+        assert Paper2005Provider().maintenance == "recursive"
+        assert DegreeSequenceProvider().maintenance == "static"
+
+
+class TestResolveProviders:
+    def test_none_means_default(self):
+        providers = resolve_providers(None)
+        assert [p.name for p in providers] == ["paper2005"]
+
+    def test_stacked(self):
+        providers = resolve_providers(STACKED)
+        assert [p.name for p in providers] == list(STACKED)
+
+    def test_empty_rejected(self):
+        with pytest.raises(BoundsConfigError, match="at least one"):
+            resolve_providers(())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(BoundsConfigError, match="duplicate"):
+            resolve_providers(("paper2005", "paper2005"))
+
+    def test_unknown_rejected(self):
+        with pytest.raises(BoundsConfigError, match="unknown"):
+            resolve_providers(("paper2005", "sketchy"))
+
+    def test_paper2005_is_mandatory(self):
+        with pytest.raises(BoundsConfigError, match="must include 'paper2005'"):
+            resolve_providers(("degree_seq",))
+
+    def test_unknown_maintenance_contract_rejected(self, monkeypatch):
+        class BrokenProvider(BoundProvider):
+            name = "broken"
+            maintenance = "telepathic"
+
+            def node_bounds(self, node, catalog):
+                return None
+
+        from repro.core.bounds import providers as providers_module
+
+        registry = dict(providers_module._registry())
+        registry["broken"] = BrokenProvider
+        monkeypatch.setattr(
+            providers_module, "_registry", lambda: registry
+        )
+        with pytest.raises(BoundsConfigError, match="maintenance contract"):
+            providers_module.resolve_providers(("paper2005", "broken"))
+
+
+class TestComposeCaps:
+    def test_default_stack_composes_nothing(self, workload):
+        plan = workload.hash_plan(linear=False)
+        caps = compose_caps(
+            plan, workload.catalog, resolve_providers(None)
+        )
+        assert caps == {}
+
+    def test_overlay_caps_the_join(self, workload):
+        plan = workload.hash_plan(linear=False)
+        caps = compose_caps(
+            plan, workload.catalog, resolve_providers(STACKED)
+        )
+        join_id = plan.root.operator_id
+        assert join_id in caps
+        lb, ub, winner = caps[join_id]
+        assert lb is None
+        assert winner == "degree_seq"
+        # The product rule says |R1|·|R2| = 4,000,000; the pairing bound
+        # must land at the true worst case, far below it.
+        assert ub is not None
+        assert ub < 4_000_000
+
+    def test_no_catalog_means_no_opinion(self, workload, fresh_warnings):
+        plan = workload.hash_plan(linear=False)
+        with pytest.warns(RuntimeWarning, match="no opinion"):
+            caps = compose_caps(plan, None, resolve_providers(STACKED))
+        assert caps == {}
+
+    def test_degenerate_guard_warns_once(self, workload, fresh_warnings):
+        plan = workload.hash_plan(linear=False)
+        with pytest.warns(RuntimeWarning, match="degree_seq"):
+            compose_caps(plan, None, resolve_providers(STACKED))
+        # Second composition over the same degraded provider stays silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            compose_caps(plan, None, resolve_providers(STACKED))
+
+    def test_stale_statistic_is_ignored_and_warned(
+        self, fresh_warnings
+    ):
+        workload = make_zipfian_join(n=500, z=2.0, order="skew_last", seed=3)
+        # Replace r2.b's degree statistic with one recording a different
+        # row count than the live table: it must be treated as absent.
+        live = workload.catalog.degree_statistic("r2", "b")
+        stale = DegreeStatistic(live.degree_counts, live.row_count + 1)
+        workload.catalog.set_degree_statistic("r2", "b", stale)
+        plan = workload.hash_plan(linear=False)
+        with pytest.warns(RuntimeWarning, match="stale|re-run the statistics"):
+            caps = compose_caps(
+                plan, workload.catalog, resolve_providers(STACKED)
+            )
+        # The r1 side still grounds, so the one-sided Hölder form applies —
+        # the cap survives, built without the stale side's sequence.
+        join_id = plan.root.operator_id
+        assert join_id in caps
+        _, ub, _ = caps[join_id]
+        assert ub == pytest.approx(
+            len(workload.r2)
+            * workload.catalog.degree_statistic("r1", "a").max_degree
+        )
+
+
+class TestApplyCaps:
+    def test_tightens_upper_and_records_refinement(self):
+        per_node = {7: NodeBounds(10.0, 1000.0)}
+        refinements = apply_caps(
+            per_node, {7: (None, 250.0, "degree_seq")}, {7: "HashJoin"}
+        )
+        assert per_node[7] == NodeBounds(10.0, 250.0)
+        assert len(refinements) == 1
+        refinement = refinements[0]
+        assert refinement.operator_id == 7
+        assert refinement.operator == "HashJoin"
+        assert refinement.provider == "degree_seq"
+        assert refinement.upper_before == 1000.0
+        assert refinement.upper_after == 250.0
+
+    def test_looser_cap_is_a_no_op(self):
+        per_node = {7: NodeBounds(10.0, 100.0)}
+        refinements = apply_caps(
+            per_node, {7: (None, 5000.0, "degree_seq")}, {}
+        )
+        assert per_node[7] == NodeBounds(10.0, 100.0)
+        assert refinements == []
+
+    def test_soundness_guard_never_inverts_bounds(self):
+        # A (hypothetically unsound) cap below the sound lower bound is
+        # clamped back to it: LB ≤ UB survives whatever a provider said.
+        per_node = {7: NodeBounds(40.0, 100.0)}
+        apply_caps(per_node, {7: (None, 3.0, "degree_seq")}, {})
+        assert per_node[7] == NodeBounds(40.0, 40.0)
+
+    def test_cap_on_missing_node_is_ignored(self):
+        per_node = {1: NodeBounds(0.0, 10.0)}
+        assert apply_caps(per_node, {99: (None, 5.0, "x")}, {}) == []
+        assert per_node == {1: NodeBounds(0.0, 10.0)}
+
+
+class TestTrackerIntegration:
+    @pytest.mark.parametrize("shape", ["hash", "merge", "inl"])
+    def test_overlay_tightens_nonlinear_zipfian_joins(self, workload, shape):
+        plan_of = {
+            "hash": workload.hash_plan,
+            "merge": workload.merge_plan,
+            "inl": workload.inl_plan,
+        }[shape]
+        base = BoundsTracker(plan_of(linear=False), workload.catalog)
+        stacked = BoundsTracker(
+            plan_of(linear=False), workload.catalog, bounds=STACKED
+        )
+        before = base.snapshot()
+        after = stacked.snapshot()
+        # Never looser, and on the nonlinear plans dramatically tighter.
+        assert after.upper <= before.upper
+        assert after.lower >= before.lower
+        assert after.ratio < before.ratio / 2
+        assert stacked.last_refinements
+
+    def test_overlay_never_loosens_linear_plans(self, workload):
+        for plan_of in (
+            workload.hash_plan, workload.merge_plan, workload.inl_plan
+        ):
+            base = BoundsTracker(plan_of(), workload.catalog).snapshot()
+            stacked = BoundsTracker(
+                plan_of(), workload.catalog, bounds=STACKED
+            ).snapshot()
+            assert stacked.upper <= base.upper
+            assert stacked.lower >= base.lower
+
+    def test_reference_tracker_applies_identical_caps(self, workload):
+        plan = workload.hash_plan(linear=False)
+        incremental = BoundsTracker(plan, workload.catalog, bounds=STACKED)
+        reference = ReferenceBoundsTracker(
+            plan, workload.catalog, bounds=STACKED
+        )
+        inc, ref = incremental.snapshot(), reference.snapshot()
+        assert inc.lower == ref.lower
+        assert inc.upper == ref.upper
+        assert inc.per_node == ref.per_node
+        assert incremental.last_refinements == reference.last_refinements
+
+    def test_default_stack_has_no_refinements(self, workload):
+        tracker = BoundsTracker(workload.hash_plan(linear=False),
+                                workload.catalog)
+        tracker.snapshot()
+        assert tracker.last_refinements == []
+
+
+class TestBoundRefinedEvent:
+    def test_event_emitted_once_per_operator_provider(self, workload):
+        sink = MemorySink()
+        run_with_estimators(
+            workload.hash_plan(linear=False),
+            [SafeEstimator()],
+            workload.catalog,
+            sinks=[sink],
+            bounds=STACKED,
+        )
+        refined = [e for e in sink.events if e.kind == "bound_refined"]
+        assert refined, "overlay tightened nothing on a nonlinear zipf join"
+        keys = [
+            (e.payload["operator_id"], e.payload["provider"]) for e in refined
+        ]
+        assert len(keys) == len(set(keys)), "refinement announced twice"
+        for event in refined:
+            assert event.payload["provider"] == "degree_seq"
+            assert event.payload["upper_after"] < event.payload["upper_before"]
+            assert event.payload["operator"] == "HashJoin"
+
+    def test_no_event_under_default_stack(self, workload):
+        sink = MemorySink()
+        run_with_estimators(
+            workload.hash_plan(linear=False),
+            [SafeEstimator()],
+            workload.catalog,
+            sinks=[sink],
+        )
+        assert not [e for e in sink.events if e.kind == "bound_refined"]

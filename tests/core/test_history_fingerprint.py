@@ -1,0 +1,147 @@
+"""History keys must be data-aware: same shape, different data → no collision.
+
+``plan_signature`` is deliberately structural, so before the catalog
+fingerprint two same-shaped plans over different catalogs shared one
+history entry and poisoned each other's learned totals (the robust sweep's
+per-case-history workaround existed precisely because of this).  These are
+the regression tests for the fix: :func:`history_key` qualifies the
+signature with :meth:`Catalog.fingerprint`, and both history stores key on
+it.
+"""
+
+import pickle
+
+from repro.core.estimators.feedback import (
+    FeedbackEstimator,
+    QueryHistory,
+    catalog_fingerprint,
+    history_key,
+    plan_signature,
+)
+from repro.core.estimators.robust import RobustHistory
+from repro.engine.operators import Filter, TableScan
+from repro.engine.expressions import col, lit
+from repro.engine.plan import Plan
+from repro.stats.manager import StatisticsManager
+from repro.storage import Catalog, Table, schema_of
+
+
+def make_catalog(rows):
+    catalog = Catalog()
+    catalog.add_table(
+        Table("t", schema_of("t", "k:int"), [(v,) for v in rows])
+    )
+    return catalog
+
+
+def make_plan(name="p"):
+    # Structure is fixed; only the backing catalog differs between tests.
+    return lambda catalog: Plan(
+        Filter(TableScan(catalog.table("t")), col("t.k") >= lit(2)), name
+    )
+
+
+class TestCatalogFingerprint:
+    def test_distinct_catalogs_distinct_fingerprints(self):
+        a = make_catalog([1, 2, 3])
+        b = make_catalog([1, 2, 3])
+        # Even with identical content, two live catalogs are different data
+        # sources: identity keeps them apart.
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_fingerprint_tracks_statistics_version(self):
+        catalog = make_catalog([1, 2, 3])
+        before = catalog.fingerprint()
+        StatisticsManager(catalog).analyze_all()
+        assert catalog.fingerprint() != before
+
+    def test_fingerprint_carries_row_counts(self):
+        catalog = make_catalog([1, 2, 3])
+        assert "t:3" in catalog.fingerprint()
+
+    def test_pickled_copy_keeps_identity(self):
+        # The process backend ships catalog copies to workers; their
+        # histories must keep pointing at the same logical data source.
+        catalog = make_catalog([1, 2, 3])
+        clone = pickle.loads(pickle.dumps(catalog))
+        assert clone.fingerprint() == catalog.fingerprint()
+
+    def test_duck_typing_tolerates_non_catalogs(self):
+        assert catalog_fingerprint(None) == ""
+        assert catalog_fingerprint(object()) == ""
+
+
+class TestHistoryKey:
+    def test_key_degrades_to_signature_without_catalog(self):
+        catalog = make_catalog([1, 2, 3])
+        plan = make_plan()(catalog)
+        assert history_key(plan) == plan_signature(plan)
+
+    def test_key_qualifies_signature_with_fingerprint(self):
+        catalog = make_catalog([1, 2, 3])
+        plan = make_plan()(catalog)
+        key = history_key(plan, catalog)
+        assert key.startswith(plan_signature(plan))
+        assert catalog.fingerprint() in key
+
+
+class TestQueryHistoryIsolation:
+    def test_same_shape_different_catalogs_do_not_collide(self):
+        catalog_a = make_catalog(list(range(10)))
+        catalog_b = make_catalog(list(range(10)))
+        plan_of = make_plan()
+        history = QueryHistory()
+        history.record(plan_of(catalog_a), 100, catalog=catalog_a)
+        history.record(plan_of(catalog_b), 9000, catalog=catalog_b)
+        assert history.expected_total(
+            plan_of(catalog_a), catalog=catalog_a
+        ) == 100.0
+        assert history.expected_total(
+            plan_of(catalog_b), catalog=catalog_b
+        ) == 9000.0
+
+    def test_default_catalog_on_the_history(self):
+        catalog = make_catalog(list(range(10)))
+        other = make_catalog(list(range(10)))
+        plan_of = make_plan()
+        history = QueryHistory(catalog=catalog)
+        history.record(plan_of(catalog), 100)
+        # Keyed under `catalog`'s fingerprint: a lookup against different
+        # data finds nothing.
+        assert history.expected_total(plan_of(other), catalog=other) is None
+        assert history.expected_total(plan_of(catalog)) == 100.0
+
+    def test_feedback_estimator_scopes_to_its_catalog(self):
+        catalog_a = make_catalog(list(range(10)))
+        catalog_b = make_catalog(list(range(10)))
+        plan_of = make_plan()
+        history = QueryHistory()
+        a = FeedbackEstimator(history, catalog=catalog_a)
+        b = FeedbackEstimator(history, catalog=catalog_b)
+        a.observe_result(plan_of(catalog_a), 100)
+        b.prepare(plan_of(catalog_b))
+        assert b._expected is None
+        a.prepare(plan_of(catalog_a))
+        assert a._expected == 100.0
+
+
+class TestRobustHistoryIsolation:
+    def test_stats_and_totals_scoped_by_fingerprint(self):
+        catalog_a = make_catalog(list(range(10)))
+        catalog_b = make_catalog(list(range(10)))
+        plan_of = make_plan()
+        history = RobustHistory()
+        # (segment, curr, {candidate: estimate}) triples, as the pool logs.
+        observations = [
+            (0, 20.0, {"safe": 0.2}),
+            (1, 50.0, {"safe": 0.45}),
+            (2, 80.0, {"safe": 0.8}),
+        ]
+        history.record_run(
+            plan_of(catalog_a), observations, 100, catalog=catalog_a
+        )
+        assert history.stats_for(plan_of(catalog_a), catalog=catalog_a)
+        assert not history.stats_for(plan_of(catalog_b), catalog=catalog_b)
+        assert history.totals.expected_total(
+            plan_of(catalog_b), catalog=catalog_b
+        ) is None

@@ -1,0 +1,222 @@
+"""Degree/frequency-sequence statistics and the join bounds built on them."""
+
+import math
+from collections import Counter
+from itertools import permutations
+
+import pytest
+
+from repro.errors import StatisticsError
+from repro.stats import (
+    DegreeSequenceGenerator,
+    DegreeStatistic,
+    degree_sequence_join_bound,
+    lp_join_bound,
+)
+from repro.stats.manager import StatisticsManager
+from repro.storage import Catalog, Table, schema_of
+
+
+def stat_of(values, row_count=None):
+    """Build a DegreeStatistic directly from a value list."""
+    frequencies = Counter(v for v in values if v is not None)
+    degree_counts = Counter(frequencies.values())
+    return DegreeStatistic(
+        dict(degree_counts),
+        len(values) if row_count is None else row_count,
+    )
+
+
+def join_size(left_values, right_values):
+    """The true equality-join output size for two concrete columns."""
+    left = Counter(v for v in left_values if v is not None)
+    right = Counter(v for v in right_values if v is not None)
+    return sum(count * right.get(value, 0) for value, count in left.items())
+
+
+class TestDegreeStatistic:
+    def test_basic_properties(self):
+        # values: 1,1,1,2,2,3 → degrees {3:1, 2:1, 1:1}
+        stat = stat_of([1, 1, 1, 2, 2, 3])
+        assert stat.row_count == 6
+        assert stat.distinct_count == 3
+        assert stat.non_null_count == 6
+        assert stat.max_degree == 3
+        assert stat.degree_counts == {3: 1, 2: 1, 1: 1}
+
+    def test_degree_counts_is_a_copy(self):
+        stat = stat_of([1, 1, 2])
+        stat.degree_counts[99] = 99
+        assert 99 not in stat.degree_counts
+
+    def test_empty_column(self):
+        stat = stat_of([])
+        assert stat.distinct_count == 0
+        assert stat.non_null_count == 0
+        assert stat.max_degree == 0
+        assert stat.estimate_equality(1) == 0.0
+
+    def test_rejects_nonpositive_degrees_and_counts(self):
+        with pytest.raises(StatisticsError):
+            DegreeStatistic({0: 3}, 10)
+        with pytest.raises(StatisticsError):
+            DegreeStatistic({2: 0}, 10)
+
+    def test_rejects_sequence_larger_than_row_count(self):
+        # 2 values of degree 3 cover 6 rows; a 5-row table cannot hold them.
+        with pytest.raises(StatisticsError):
+            DegreeStatistic({3: 2}, 5)
+
+    def test_nulls_count_toward_rows_not_degrees(self):
+        stat = stat_of([1, 1, None, None, 2])
+        assert stat.row_count == 5
+        assert stat.non_null_count == 3
+        assert stat.distinct_count == 2
+
+    def test_top_degrees(self):
+        stat = stat_of([1] * 5 + [2] * 3 + [3] * 3 + [4])
+        assert stat.top_degrees(0) == []
+        assert stat.top_degrees(2) == [5, 3]
+        assert stat.top_degrees(3) == [5, 3, 3]
+        # k beyond the distinct count returns the whole sequence.
+        assert stat.top_degrees(10) == [5, 3, 3, 1]
+        with pytest.raises(StatisticsError):
+            stat.top_degrees(-1)
+
+    def test_lp_norms(self):
+        stat = stat_of([1] * 3 + [2] * 4)  # degrees (4, 3)
+        assert stat.lp_norm(1) == 7.0
+        assert stat.lp_norm(2) == pytest.approx(math.sqrt(16 + 9))
+        assert stat.lp_norm(math.inf) == 4.0
+        with pytest.raises(StatisticsError):
+            stat.lp_norm(0)
+        with pytest.raises(StatisticsError):
+            stat.lp_norm(-2)
+
+    def test_estimators_are_honest_fallbacks(self):
+        stat = stat_of([1, 1, 1, 2, 2, 3])
+        assert stat.estimate_equality("anything") == pytest.approx(2.0)
+        assert stat.estimate_range(0, 10) == 6.0
+        assert stat.estimate_distinct() == 3.0
+
+    def test_describe(self):
+        assert "max_degree=3" in stat_of([1, 1, 1, 2]).describe()
+
+
+class TestDegreeSequenceJoinBound:
+    def test_sound_over_every_value_alignment(self):
+        # The pairing bound must dominate the true join size for EVERY
+        # assignment of values to degrees — permute which value gets which
+        # degree on one side and check each concrete instance.
+        left_degrees = [4, 2, 1]
+        right_degrees = [3, 3, 2, 1]
+        values = [10, 20, 30, 40]
+        left_stat = DegreeStatistic(dict(Counter(left_degrees)), 7)
+        right_stat = DegreeStatistic(dict(Counter(right_degrees)), 9)
+        bound = degree_sequence_join_bound(left_stat, right_stat)
+        worst = 0
+        for perm in permutations(values, len(left_degrees)):
+            left_values = [
+                v for v, d in zip(perm, left_degrees) for _ in range(d)
+            ]
+            right_values = [
+                v for v, d in zip(values, right_degrees) for _ in range(d)
+            ]
+            size = join_size(left_values, right_values)
+            assert size <= bound
+            worst = max(worst, size)
+        # The rearrangement pairing is attained by the descending-descending
+        # alignment, so the bound is exactly the worst case, not just above it.
+        assert worst == bound
+
+    def test_exact_on_aligned_instance(self):
+        # Both sides sorted descending by fan-out: value 1 is the heavy
+        # hitter on both sides, so the true size equals the pairing bound.
+        left = [1] * 5 + [2] * 2 + [3]
+        right = [1] * 4 + [2] * 3 + [3] * 2
+        assert degree_sequence_join_bound(
+            stat_of(left), stat_of(right)
+        ) == join_size(left, right)
+
+    def test_handles_unequal_sequence_lengths(self):
+        # One side runs out of distinct values: the tail pairs with nothing.
+        a = DegreeStatistic({5: 1}, 5)
+        b = DegreeStatistic({2: 3}, 6)
+        assert degree_sequence_join_bound(a, b) == 10.0
+
+    def test_empty_side_gives_zero(self):
+        assert degree_sequence_join_bound(stat_of([]), stat_of([1, 1])) == 0.0
+
+    def test_commutative(self):
+        a, b = stat_of([1, 1, 2, 3, 3, 3]), stat_of([1, 2, 2, 2, 4])
+        assert degree_sequence_join_bound(a, b) == degree_sequence_join_bound(
+            b, a
+        )
+
+
+class TestLpJoinBound:
+    def test_cauchy_schwarz_value(self):
+        a = stat_of([1] * 3 + [2] * 4)  # ‖·‖₂ = 5
+        b = stat_of([1] * 6 + [2] * 8)  # ‖·‖₂ = 10
+        assert lp_join_bound(a, b) == pytest.approx(50.0)
+
+    def test_never_tighter_than_pairing_bound(self):
+        cases = [
+            ([1, 1, 1, 2], [1, 2, 2, 3]),
+            ([1] * 10, [1] * 10),
+            ([1, 2, 3, 4], [5, 6, 7, 8]),
+            ([1] * 7 + [2] * 2 + [3], [1] * 5 + [4] * 5),
+        ]
+        for left, right in cases:
+            a, b = stat_of(left), stat_of(right)
+            assert lp_join_bound(a, b) >= degree_sequence_join_bound(a, b) - 1e-9
+
+
+class TestDegreeSequenceGenerator:
+    def test_name(self):
+        assert DegreeSequenceGenerator().name == "degree_seq"
+
+    def test_build_counts_degrees(self):
+        stat = DegreeSequenceGenerator().build([5, 5, 5, 7, 7, 9])
+        assert stat.degree_counts == {3: 1, 2: 1, 1: 1}
+        assert stat.row_count == 6
+
+    def test_build_skips_nulls_but_keeps_row_count(self):
+        stat = DegreeSequenceGenerator().build([5, None, 5, None])
+        assert stat.degree_counts == {2: 1}
+        assert stat.row_count == 4
+        assert stat.non_null_count == 2
+
+    def test_build_empty(self):
+        stat = DegreeSequenceGenerator().build([])
+        assert stat.degree_counts == {}
+        assert stat.row_count == 0
+
+
+class TestManagerIntegration:
+    def make_catalog(self):
+        catalog = Catalog()
+        catalog.add_table(
+            Table(
+                "t",
+                schema_of("t", "k:int"),
+                [(v,) for v in [1, 1, 1, 2, 2, 3]],
+            )
+        )
+        return catalog
+
+    def test_analyze_writes_degree_channel(self):
+        catalog = self.make_catalog()
+        StatisticsManager(catalog).analyze_all()
+        stat = catalog.degree_statistic("t", "k")
+        assert isinstance(stat, DegreeStatistic)
+        assert stat.max_degree == 3
+        assert stat.row_count == 6
+        # The primary channel is untouched by the degree channel.
+        assert catalog.statistic("t", "k") is not None
+
+    def test_degree_generator_can_be_disabled(self):
+        catalog = self.make_catalog()
+        StatisticsManager(catalog, degree_generator=None).analyze_all()
+        assert catalog.degree_statistic("t", "k") is None
+        assert catalog.statistic("t", "k") is not None
